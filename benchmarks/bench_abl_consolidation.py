@@ -1,0 +1,16 @@
+"""Ablation: consolidated virtual-log batches vs one-chunk-per-RPC replication.
+
+Regenerates the series of the paper's design-choice ablation through the discrete-event
+cluster harness. Timing of the whole figure run is captured once by
+pytest-benchmark; the series themselves are printed in the terminal
+summary and saved under ``benchmarks/results/``.
+"""
+
+from repro.bench import run_figure
+
+
+def test_abl_consolidation(benchmark, figures):
+    result = benchmark.pedantic(lambda: run_figure("abl_consolidation"), rounds=1, iterations=1)
+    figures.add(result)
+    assert result.results, "figure produced no datapoints"
+    assert all(pr.result.records_acked > 0 for pr in result.results)

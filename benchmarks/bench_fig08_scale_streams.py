@@ -1,0 +1,16 @@
+"""Scaling the number of streams: Kafka vs KerA, R1/R2/R3, chunk 1 KB, 4 producers.
+
+Regenerates the series of the paper's Figure 08 through the discrete-event
+cluster harness. Timing of the whole figure run is captured once by
+pytest-benchmark; the series themselves are printed in the terminal
+summary and saved under ``benchmarks/results/``.
+"""
+
+from repro.bench import run_figure
+
+
+def test_fig08(benchmark, figures):
+    result = benchmark.pedantic(lambda: run_figure("fig08"), rounds=1, iterations=1)
+    figures.add(result)
+    assert result.results, "figure produced no datapoints"
+    assert all(pr.result.records_acked > 0 for pr in result.results)

@@ -1,0 +1,16 @@
+"""One virtual log per sub-partition, 32 producers + 32 consumers, chunk 4-64 KB.
+
+Regenerates the series of the paper's Figure 20 through the discrete-event
+cluster harness. Timing of the whole figure run is captured once by
+pytest-benchmark; the series themselves are printed in the terminal
+summary and saved under ``benchmarks/results/``.
+"""
+
+from repro.bench import run_figure
+
+
+def test_fig20(benchmark, figures):
+    result = benchmark.pedantic(lambda: run_figure("fig20"), rounds=1, iterations=1)
+    figures.add(result)
+    assert result.results, "figure produced no datapoints"
+    assert all(pr.result.records_acked > 0 for pr in result.results)

@@ -1,0 +1,58 @@
+"""Produce-acknowledgment latency across configurations.
+
+The paper's discussion (Section V-E) expects ``the latency of small
+producer chunks to be similar to RAMCloud's measurements (tens to
+hundreds of microseconds)`` without replication, growing with the
+replication factor and shrinking with replication capacity (more virtual
+logs → shorter group-commit cycles). This bench prints p50/p99 ack
+latency for those configurations and checks the orderings.
+"""
+
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import KeraConfig, SimKeraCluster
+from repro.simdriver import SimWorkload
+
+
+def run(r: int, vlogs: int, streams: int = 64):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(materialize=False),
+        replication=ReplicationConfig(replication_factor=r, vlogs_per_broker=vlogs),
+        chunk_size=1 * KB,
+    )
+    workload = SimWorkload.many_streams(
+        streams, num_producers=4, num_consumers=4, duration=0.1, warmup=0.03
+    )
+    return SimKeraCluster(config, workload).run()
+
+
+def test_latency(benchmark):
+    rows = []
+
+    def sweep():
+        for r, vlogs in ((1, 4), (2, 4), (3, 1), (3, 4), (3, 32)):
+            rows.append((r, vlogs, run(r, vlogs)))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n== latency: produce ack latency (64 streams, chunk 1 KB, "
+          "4 producers + 4 consumers)")
+    print("   paper (V-E): tens-to-hundreds of us for small chunks without "
+          "replication; replication adds group-commit cycles")
+    print(f"   {'config':>16} | {'p50':>10} | {'p99':>10} | {'Mrec/s':>7}")
+    by_key = {}
+    for r, vlogs, result in rows:
+        lat = result.latency
+        by_key[(r, vlogs)] = lat
+        print(f"   R{r}, {vlogs:>2} vlogs    | {lat['p50']*1e6:8.1f}us "
+              f"| {lat['p99']*1e6:8.1f}us | {result.mrecords_per_sec:7.2f}")
+
+    # R1 acks in the RAMCloud-like regime: tens to hundreds of us.
+    assert 10e-6 < by_key[(1, 4)]["p50"] < 1e-3
+    # Replication raises ack latency monotonically in R.
+    assert by_key[(1, 4)]["p50"] < by_key[(2, 4)]["p50"] < by_key[(3, 4)]["p50"]
+    # One shared virtual log has the longest group-commit cycle.
+    assert by_key[(3, 1)]["p50"] > by_key[(3, 4)]["p50"]

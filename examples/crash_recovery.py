@@ -1,0 +1,76 @@
+"""Crash recovery: lose a broker, recover its data from the backups.
+
+Ingests records over 8 streamlets with replication factor 3, kills broker
+1, and runs the recovery protocol: the coordinator reassigns the dead
+broker's streamlets to the survivors, the backups hand over the
+replicated virtual segments they hold for it, the copies are merged in
+virtual-segment order (replica divergence is checked), and every chunk is
+replayed through the ordinary produce path — metadata reconstructed from
+the [group, segment] tags, duplicates across backup copies collapsed, and
+the recovered data re-replicated to the surviving backups.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import (
+    InprocKeraCluster,
+    KeraConfig,
+    KeraConsumer,
+    KeraProducer,
+    recover_broker,
+)
+
+
+def main() -> None:
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(segment_size=64 * KB),
+        replication=ReplicationConfig(replication_factor=3, vlogs_per_broker=2),
+        chunk_size=1 * KB,
+    )
+    cluster = InprocKeraCluster(config)
+    cluster.create_stream(0, num_streamlets=8)
+
+    producer = KeraProducer(cluster, producer_id=0)
+    expected = set()
+    for i in range(2_000):
+        value = f"r{i:05d}".encode()
+        producer.send(0, value, streamlet_id=i % 8)
+        expected.add(value)
+    producer.flush()
+
+    victim = 1
+    lost_partitions = cluster.coordinator.partitions_on(victim)
+    print(f"broker {victim} leads {len(lost_partitions)} streamlets; crashing it")
+
+    report = recover_broker(cluster, failed_broker=victim)
+    print(f"recovery merged {report.vsegs_merged} virtual segments from "
+          f"{report.backups_read} backups")
+    print(f"replayed {report.chunks_recovered} chunks / "
+          f"{report.records_recovered} records "
+          f"({report.duplicates_dropped} duplicates dropped)")
+    for (stream, streamlet), target in sorted(report.reassignments.items()):
+        print(f"  streamlet {streamlet} -> broker {target}")
+
+    consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+    records = consumer.drain()
+    got = {r.value for r in records}
+    missing = expected - got
+    assert not missing, f"lost {len(missing)} acked records!"
+    assert len(records) == len(expected), "duplicate ingestion!"
+
+    # Per-streamlet order must survive recovery.
+    per_streamlet: dict[int, list[int]] = {}
+    for record in records:
+        value = int(record.value[1:])
+        per_streamlet.setdefault(value % 8, []).append(value)
+    for streamlet, values in per_streamlet.items():
+        assert values == sorted(values), f"order broken in streamlet {streamlet}"
+    print(f"recovery OK: all {len(expected)} acked records intact, order preserved")
+
+
+if __name__ == "__main__":
+    main()

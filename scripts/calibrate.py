@@ -1,0 +1,66 @@
+"""Calibration sweep: run the paper's anchor configurations and print
+simulated vs paper-reported throughput. Used to tune CostModel defaults;
+see EXPERIMENTS.md for the record of the final calibration.
+"""
+
+import sys
+import time
+
+from repro.common.units import KB
+from repro.storage.config import StorageConfig
+from repro.replication.config import ReplicationConfig, PolicyMode
+from repro.sim.costmodel import CostModel
+from repro.kera import KeraConfig, SimKeraCluster, SimWorkload
+
+DUR = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+WARM = DUR / 3
+
+
+def run(name, target, *, streams=None, streamlets=None, producers=4, consumers=4,
+        chunk_kb=1, r=3, vlogs=4, policy=PolicyMode.SHARED, q=1):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(materialize=False, q_active_groups=q),
+        replication=ReplicationConfig(
+            replication_factor=r, vlogs_per_broker=vlogs, policy=policy
+        ),
+        chunk_size=chunk_kb * KB,
+    )
+    kwargs = dict(num_producers=producers, num_consumers=consumers,
+                  duration=DUR, warmup=WARM)
+    wl = (SimWorkload.many_streams(streams, **kwargs) if streams
+          else SimWorkload.one_stream(streamlets, **kwargs))
+    t0 = time.time()
+    res = SimKeraCluster(config, wl).run()
+    print(f"{name:<42} sim={res.mrecords_per_sec:6.2f}M  target~{target:<5} "
+          f"lat_p50={res.latency['p50']*1e3:6.2f}ms  "
+          f"batch={res.avg_replication_batch_chunks:6.1f}ck  "
+          f"disp={max(res.dispatch_utilization):4.2f} "
+          f"work={max(res.worker_utilization):4.2f}  [{time.time()-t0:4.1f}s]")
+    return res
+
+
+print(f"--- duration {DUR}s ---")
+# Fig 12: 1 vlog/broker, 8 prod/cons, 1KB, R3
+run("F12 512s R3 1vlog 8p", "1.8", streams=512, producers=8, consumers=8, vlogs=1)
+run("F12 128s R3 1vlog 8p", "1.2", streams=128, producers=8, consumers=8, vlogs=1)
+# Fig 13: 4 vlogs -> +30-40%
+run("F13 512s R3 4vlog 8p", "2.4", streams=512, producers=8, consumers=8, vlogs=4)
+# Fig 14-16: many vlogs -> -40-50% from best
+run("F14 128s R3 32vlog 8p", "~1.2", streams=128, producers=8, consumers=8, vlogs=32)
+run("F16 512s R3 64vlog 8p", "~1.3", streams=512, producers=8, consumers=8, vlogs=64)
+# Fig 8: 4 producers, 4 vlogs
+run("F08 32s  R3 4vlog 4p", "0.5", streams=32, producers=4, consumers=0, vlogs=4)
+run("F08 512s R3 4vlog 4p", "1.5", streams=512, producers=4, consumers=0, vlogs=4)
+run("F08 512s R1 4vlog 4p", "2.5", streams=512, producers=4, consumers=0, vlogs=4, r=1)
+# Fig 17: 1 stream 32 streamlets Q4, per-subpartition vlogs, 4 prod
+run("F17 32sl R3 psub 4p 64KB", "7.0", streamlets=32, producers=4, consumers=4,
+    chunk_kb=64, policy=PolicyMode.PER_SUBPARTITION, q=4)
+run("F17 32sl R3 psub 4p 4KB", "2.0", streamlets=32, producers=4, consumers=4,
+    chunk_kb=4, policy=PolicyMode.PER_SUBPARTITION, q=4)
+# Fig 19: 16 prod/cons 64KB -> 8.3M
+run("F19 32sl R3 psub 16p 64KB", "8.3", streamlets=32, producers=16, consumers=16,
+    chunk_kb=64, policy=PolicyMode.PER_SUBPARTITION, q=4)
+# Fig 20: 32 prod/cons -> 7.2M (drop)
+run("F20 32sl R3 psub 32p 64KB", "7.2", streamlets=32, producers=32, consumers=32,
+    chunk_kb=64, policy=PolicyMode.PER_SUBPARTITION, q=4)

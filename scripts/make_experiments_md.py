@@ -1,0 +1,192 @@
+"""Generate EXPERIMENTS.md from benchmarks/results/figures.json.
+
+Merges the measured series with the paper's claims and the per-figure
+assessment notes below. Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python scripts/make_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Hand-written verdicts, keyed by figure id. Everything else is generated.
+ASSESSMENTS = {
+    "fig08": (
+        "Partially reproduced: with replication (R2/R3) KerA leads Kafka "
+        "2-2.5x at 32-128 streams and converges to parity at 512 (paper: "
+        "KerA ahead, up to 4x). Divergences: the paper shows throughput "
+        "increasing with streams; our client model peaks at low-to-mid "
+        "stream counts (fat 1 KB chunks fill before the linger there) and "
+        "declines toward 512 streams, and at exactly 512 streams / 4 "
+        "producers both systems are client-bound so the KerA edge "
+        "disappears."
+    ),
+    "fig09": (
+        "Reproduced (direction): throughput rises with producers and falls "
+        "with the replication factor; KerA (one log per partition) stays "
+        "ahead of Kafka at R3. Magnitude: ~1.4x at 16 producers vs the "
+        "paper's ~2x."
+    ),
+    "fig10": (
+        "Reproduced at 32-128 streams: KerA with 4 shared virtual logs "
+        "beats Kafka ~1.9-2.5x at R3 (paper: up to 3x); with 32 virtual "
+        "logs the advantage shrinks (paper: near parity at 128 streams). "
+        "At 512 streams with only 4 producers both systems are client-"
+        "bound and converge."
+    ),
+    "fig11": (
+        "Reproduced (direction): KerA with 4 active groups and one virtual "
+        "log per sub-partition outperforms Kafka at every point; throughput "
+        "grows with chunk size. Magnitude: ~1.5-2x at R3 vs the paper's "
+        "up-to-5x — our Kafka follower pipeline is more generous than the "
+        "real system's tuned-but-limited replica fetchers."
+    ),
+    "fig12": (
+        "Reproduced: a single shared virtual log per broker sustains "
+        "~1.5-1.8 Mrec/s at 512 streams / R3 (paper: up to 1.8 Mrec/s), "
+        "with R1 > R2 > R3 ordering."
+    ),
+    "fig13": (
+        "Reproduced: 2 virtual logs lift throughput ~30-40% over 1 at 512 "
+        "streams (paper: 30-40% for 2-4 logs); the optimum shifts toward "
+        "more logs at lower stream counts."
+    ),
+    "fig14": (
+        "Reproduced (shape): an inverted-U — throughput rises to an optimum "
+        "(8-16 logs at 128 streams) then falls at 32 logs as replication "
+        "degenerates into many small RPCs. Our drop beyond the optimum is "
+        "~20% vs the paper's up-to-40-50%."
+    ),
+    "fig15": (
+        "Same inverted-U with the optimum at ~4 logs (256 streams); the "
+        "tail penalty is milder (~5-10%) in this calibration."
+    ),
+    "fig16": (
+        "Same shape; at 512 streams the optimum sits at 2 logs (~+40% over "
+        "1) and larger counts give back 10-20% of that gain. The measured "
+        "drop is smaller than the paper's 40-50%."
+    ),
+    "fig17": (
+        "Reproduced: throughput grows with chunk size toward ~6.5 Mrec/s "
+        "at 16-64 KB (paper: ~7 Mrec/s); the replication factor costs "
+        "throughput at small chunks. At large chunks the 8 clients are "
+        "client-bound, so R1 and R3 converge (the paper keeps a gap)."
+    ),
+    "fig18": ("Reproduced: ~10.5 Mrec/s at 16-64 KB / R3 with 16 clients "
+              "(paper: 8.3), R1 > R2 > R3 at small chunks."),
+    "fig19": ("Reproduced: ~9-10 Mrec/s at 64 KB / R3 with 32 clients "
+              "(paper: 8.3)."),
+    "fig20": (
+        "Partially reproduced: 64 clients reach the same NIC-bound plateau "
+        "(~9 Mrec/s) instead of the paper's contention-induced dip to 7.2; "
+        "our worker model releases cores while produce requests park, so "
+        "oversubscription costs less than on the real 64-core cluster."
+    ),
+    "fig21": (
+        "Reproduced: a small number of shared virtual logs matches or "
+        "slightly beats one-per-sub-partition at 32/64 KB chunks (paper: "
+        "8-16 logs gain ~300 Krec/s over 32)."
+    ),
+    "abl_consolidation": (
+        "Consolidation is the mechanism: forcing one chunk per replication "
+        "RPC (the paper's Section II-B strawman) forfeits most of the "
+        "virtual log's advantage at hundreds of streams."
+    ),
+    "abl_dispatch": (
+        "Negative result worth keeping: in the final calibration the "
+        "position of the virtual-log optimum is robust to halving/doubling "
+        "the per-RPC dispatch cost — the high-count penalty here comes "
+        "mostly from lost consolidation (per-chunk staging overheads no "
+        "longer amortized across a batch) rather than dispatch-core "
+        "saturation alone. The consolidation ablation isolates that "
+        "directly."
+    ),
+}
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every figure of the paper's evaluation (Section V), regenerated on the
+discrete-event substrate (`pytest benchmarks/ --benchmark-only`; series
+also saved to `benchmarks/results/figures.json`). Values are cluster
+ingestion throughput in **Mrec/s** over the post-warmup window, as in the
+paper. Absolute numbers are calibrated to the paper's order of magnitude;
+the reproduced claims are the *shapes* (winners, optima, trends) — see
+DESIGN.md §2/§6 for the substitution rationale and cost model.
+
+Run configuration: 4 brokers x (1 dispatch + 15 worker cores), 100-byte
+records, linger 1 ms, simulated duration {duration}s per point
+(`REPRO_BENCH_DURATION`), trimmed sweep axes (`REPRO_BENCH_FULL=1` for the
+paper's full axes).
+
+"""
+
+
+def render_figure(fig: dict) -> str:
+    lines = [f"## {fig['fig_id']}: {fig['title']}", ""]
+    lines.append(f"**Paper:** {fig['paper_claim']}")
+    lines.append("")
+    series = fig["series"]
+    xs: list[str] = []
+    for rows in series.values():
+        for x, _ in rows:
+            if x not in xs:
+                xs.append(x)
+    header = "| x | " + " | ".join(series) + " |"
+    sep = "|---" * (len(series) + 1) + "|"
+    lines.append(header)
+    lines.append(sep)
+    tables = {name: dict(rows) for name, rows in series.items()}
+    for x in xs:
+        cells = []
+        for name in series:
+            value = tables[name].get(x)
+            cells.append(f"{value:.2f}" if value is not None else "")
+        lines.append(f"| {x} | " + " | ".join(cells) + " |")
+    lines.append("")
+    assessment = ASSESSMENTS.get(fig["fig_id"])
+    if assessment:
+        lines.append(f"**Measured vs paper:** {assessment}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results_path = ROOT / "benchmarks" / "results" / "figures.json"
+    if not results_path.exists():
+        print(f"no results at {results_path}; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    figures = json.loads(results_path.read_text())
+    import os
+
+    duration = os.environ.get("REPRO_BENCH_DURATION", "0.15")
+    parts = [HEADER.format(duration=duration)]
+    order = {fid: i for i, fid in enumerate(
+        [f"fig{n:02d}" for n in range(8, 22)] + ["abl_consolidation", "abl_dispatch"]
+    )}
+    for fig in sorted(figures, key=lambda f: order.get(f["fig_id"], 99)):
+        parts.append(render_figure(fig))
+    parts.append(
+        "## abl_recovery: crash-recovery parallelism vs cluster size\n\n"
+        "Run separately by `benchmarks/bench_abl_recovery.py` on the "
+        "in-process (real-bytes) cluster: one broker of a 4/6/8-node "
+        "cluster is crashed after durable ingestion. Across sizes, 2-3 "
+        "backups feed the recovery in parallel and 3-4 surviving brokers "
+        "re-ingest the lost streamlets; every acked record survives with "
+        "per-sub-partition order intact, and the cost-model estimate of "
+        "parallel recovery time shrinks as the cluster grows — the "
+        "RAMCloud-style scatter/gather recovery the paper inherits.\n"
+    )
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("\n".join(parts))
+    print(f"wrote {out} ({len(figures)} figures)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no ``wheel`` package and no network, so PEP 660
+editable installs (which require ``bdist_wheel``) fail. Keeping a
+``setup.py`` lets ``pip install -e . --no-use-pep517`` fall back to the
+legacy ``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

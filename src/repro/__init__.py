@@ -1,0 +1,61 @@
+"""repro — virtual log-structured storage for high-performance streaming.
+
+A from-scratch reproduction of Marcu et al., *"Virtual Log-Structured
+Storage for High-Performance Streaming"* (IEEE CLUSTER 2021): the KerA
+ingestion system with shared replicated **virtual logs** (separating
+stream partitioning from replication), an Apache Kafka baseline, and the
+deterministic discrete-event cluster substrate that regenerates every
+figure of the paper's evaluation.
+
+Most users want one of:
+
+* :class:`repro.kera.InprocKeraCluster` + :class:`repro.kera.KeraProducer`
+  / :class:`repro.kera.KeraConsumer` — a live in-process cluster with real
+  bytes end to end;
+* :class:`repro.kera.SimKeraCluster` / :class:`repro.kafka.SimKafkaCluster`
+  — simulated 4-broker experiments (the benchmark substrate);
+* :func:`repro.bench.run_figure` — regenerate a paper figure.
+
+See README.md for the architecture map and DESIGN.md for the
+paper-to-module inventory.
+"""
+
+from repro.common.units import KB, MB, GB, MSEC, USEC
+from repro.storage.config import StorageConfig
+from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.sim.costmodel import CostModel
+from repro.simdriver import SimWorkload, SimResult
+from repro.kera import (
+    KeraConfig,
+    InprocKeraCluster,
+    KeraProducer,
+    KeraConsumer,
+    SimKeraCluster,
+    recover_broker,
+)
+from repro.kafka import KafkaConfig, SimKafkaCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "MSEC",
+    "USEC",
+    "StorageConfig",
+    "PolicyMode",
+    "ReplicationConfig",
+    "CostModel",
+    "SimWorkload",
+    "SimResult",
+    "KeraConfig",
+    "InprocKeraCluster",
+    "KeraProducer",
+    "KeraConsumer",
+    "SimKeraCluster",
+    "recover_broker",
+    "KafkaConfig",
+    "SimKafkaCluster",
+    "__version__",
+]

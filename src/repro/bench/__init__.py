@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerate every figure of the paper's evaluation.
+
+* :mod:`repro.bench.workload` — config builders translating the paper's
+  experimental parameters (streams, producers, chunk size, replication
+  factor, virtual logs) into system configs + workloads;
+* :mod:`repro.bench.figures` — one :class:`FigureSpec` per paper figure
+  (8-21) plus the ablations, each producing the same series the paper
+  plots;
+* :mod:`repro.bench.report` — plain-text series tables and paper-vs-
+  measured summaries.
+
+Simulated duration per point is controlled by the ``REPRO_BENCH_DURATION``
+environment variable (seconds of simulated time; default 0.1 — enough for
+the post-warmup window to stabilize within a few percent).
+"""
+
+from repro.bench.workload import (
+    kera_point,
+    kafka_point,
+    bench_duration,
+    Point,
+    PointResult,
+)
+from repro.bench.figures import FIGURES, run_figure, FigureResult
+from repro.bench.report import format_figure, print_figure
+
+__all__ = [
+    "kera_point",
+    "kafka_point",
+    "bench_duration",
+    "Point",
+    "PointResult",
+    "FIGURES",
+    "run_figure",
+    "FigureResult",
+    "format_figure",
+    "print_figure",
+]

@@ -1,0 +1,58 @@
+"""CLI: regenerate paper figures from the command line.
+
+Usage::
+
+    python -m repro.bench fig08 fig13        # specific figures
+    python -m repro.bench all                # everything (10-20 minutes)
+    python -m repro.bench --list
+
+Environment: ``REPRO_BENCH_DURATION`` (simulated seconds per point,
+default 0.15), ``REPRO_BENCH_FULL=1`` (complete sweep axes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.report import print_figure, save_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate figures of the CLUSTER'21 virtual-log paper.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, or 'all'")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--save", metavar="PATH", help="write series JSON here")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figures:
+        for fig_id in sorted(FIGURES):
+            print(f"  {fig_id:<20} {FIGURES[fig_id]().title}")
+        return 0
+
+    wanted = sorted(FIGURES) if args.figures == ["all"] else args.figures
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    results = []
+    for fig_id in wanted:
+        started = time.time()
+        result = run_figure(fig_id)
+        print_figure(result)
+        print(f"   [{len(result.results)} points in {time.time() - started:.0f}s]")
+        results.append(result)
+    if args.save:
+        save_results(results, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Plain-text figure reports: the rows/series the paper plots."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.figures import FigureResult
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render a figure's series as an aligned text table (Mrec/s)."""
+    spec = result.spec
+    series = result.series()
+    xs: list[object] = []
+    for rows in series.values():
+        for x, _ in rows:
+            if x not in xs:
+                xs.append(x)
+    lines = [
+        f"== {spec.fig_id}: {spec.title}",
+        f"   paper: {spec.paper_claim}",
+    ]
+    header = f"   {'x':>12} | " + " | ".join(f"{name:>18}" for name in series)
+    lines.append(header)
+    lines.append("   " + "-" * (len(header) - 3))
+    table = {name: dict(rows) for name, rows in series.items()}
+    for x in xs:
+        cells = []
+        for name in series:
+            value = table[name].get(x)
+            cells.append(f"{value:18.3f}" if value is not None else " " * 18)
+        lines.append(f"   {str(x):>12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def print_figure(result: FigureResult) -> None:
+    print()
+    print(format_figure(result))
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """JSON-serializable record for EXPERIMENTS.md bookkeeping."""
+    return {
+        "fig_id": result.spec.fig_id,
+        "title": result.spec.title,
+        "paper_claim": result.spec.paper_claim,
+        "series": {
+            name: [[str(x), mrps] for x, mrps in rows]
+            for name, rows in result.series().items()
+        },
+    }
+
+
+def save_results(results: list[FigureResult], path: str | Path) -> None:
+    payload = [figure_to_dict(r) for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,131 @@
+"""Experiment points: paper parameters → runnable simulations."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.units import KB
+from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.sim.costmodel import CostModel
+from repro.storage.config import StorageConfig
+from repro.kafka import KafkaConfig, SimKafkaCluster
+from repro.kera import KeraConfig, SimKeraCluster
+from repro.simdriver import SimResult, SimWorkload
+
+
+def bench_duration() -> float:
+    """Simulated seconds per point (env ``REPRO_BENCH_DURATION``)."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "0.15"))
+
+
+def _workload(
+    *, streams: int | None, streamlets: int | None, producers: int, consumers: int,
+    duration: float | None,
+) -> SimWorkload:
+    dur = duration if duration is not None else bench_duration()
+    kwargs: dict[str, Any] = dict(
+        num_producers=producers,
+        num_consumers=consumers,
+        duration=dur,
+        warmup=dur / 3,
+    )
+    if streams is not None:
+        return SimWorkload.many_streams(streams, **kwargs)
+    assert streamlets is not None
+    return SimWorkload.one_stream(streamlets, **kwargs)
+
+
+@dataclass(frozen=True)
+class Point:
+    """One datapoint of a figure: a label plus a runnable factory."""
+
+    label: str
+    x: Any
+    series: str
+    factory: Callable[[], Any] = field(compare=False)
+
+    def run(self) -> "PointResult":
+        result: SimResult = self.factory().run()
+        return PointResult(point=self, result=result)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    point: Point
+    result: SimResult
+
+    @property
+    def mrps(self) -> float:
+        return self.result.mrecords_per_sec
+
+
+def kera_point(
+    *,
+    series: str,
+    x: Any,
+    streams: int | None = None,
+    streamlets: int | None = None,
+    producers: int = 4,
+    consumers: int | None = None,
+    chunk_kb: float = 1,
+    r: int = 3,
+    vlogs: int = 4,
+    policy: PolicyMode = PolicyMode.SHARED,
+    q: int = 1,
+    duration: float | None = None,
+    cost: CostModel | None = None,
+) -> Point:
+    """A KerA datapoint with the paper's parameter vocabulary."""
+
+    def factory() -> SimKeraCluster:
+        config = KeraConfig(
+            num_brokers=4,
+            storage=StorageConfig(materialize=False, q_active_groups=q),
+            replication=ReplicationConfig(
+                replication_factor=r, vlogs_per_broker=vlogs, policy=policy
+            ),
+            chunk_size=int(chunk_kb * KB),
+        )
+        workload = _workload(
+            streams=streams,
+            streamlets=streamlets,
+            producers=producers,
+            consumers=producers if consumers is None else consumers,
+            duration=duration,
+        )
+        return SimKeraCluster(config, workload, cost or CostModel())
+
+    return Point(label=f"KerA {series} @{x}", x=x, series=series, factory=factory)
+
+
+def kafka_point(
+    *,
+    series: str,
+    x: Any,
+    streams: int | None = None,
+    streamlets: int | None = None,
+    producers: int = 4,
+    consumers: int | None = None,
+    chunk_kb: float = 1,
+    r: int = 3,
+    duration: float | None = None,
+    cost: CostModel | None = None,
+) -> Point:
+    """A Kafka datapoint with the paper's parameter vocabulary."""
+
+    def factory() -> SimKafkaCluster:
+        config = KafkaConfig(
+            num_brokers=4, replication_factor=r, chunk_size=int(chunk_kb * KB)
+        )
+        workload = _workload(
+            streams=streams,
+            streamlets=streamlets,
+            producers=producers,
+            consumers=producers if consumers is None else consumers,
+            duration=duration,
+        )
+        return SimKafkaCluster(config, workload, cost or CostModel())
+
+    return Point(label=f"Kafka {series} @{x}", x=x, series=series, factory=factory)

@@ -1,0 +1,67 @@
+"""Shared foundations: errors, unit helpers, checksums, identifiers.
+
+Everything in this package is dependency-free (stdlib + numpy only) and is
+used by every other ``repro`` subpackage.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    WireFormatError,
+    ChecksumError,
+    StorageError,
+    SegmentFullError,
+    SegmentSealedError,
+    GroupFullError,
+    ReplicationError,
+    RpcError,
+    RetriableRpcError,
+    NotLeaderError,
+    UnknownStreamError,
+    SimulationError,
+    RecoveryError,
+)
+from repro.common.units import (
+    KB,
+    MB,
+    GB,
+    USEC,
+    MSEC,
+    SEC,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+from repro.common.checksum import crc32c, crc32c_update, verify_crc32c
+from repro.common.idgen import IdGenerator
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "WireFormatError",
+    "ChecksumError",
+    "StorageError",
+    "SegmentFullError",
+    "SegmentSealedError",
+    "GroupFullError",
+    "ReplicationError",
+    "RpcError",
+    "RetriableRpcError",
+    "NotLeaderError",
+    "UnknownStreamError",
+    "SimulationError",
+    "RecoveryError",
+    "KB",
+    "MB",
+    "GB",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "crc32c",
+    "crc32c_update",
+    "verify_crc32c",
+    "IdGenerator",
+]

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro library.
+
+All library exceptions derive from :class:`ReproError` so callers can catch
+one base type. Subsystems raise the most specific subclass available; the
+RPC layer distinguishes retriable from fatal failures so clients can
+implement at-least-once retransmission (exactly-once overall, thanks to
+producer/chunk sequence numbers de-duplicated at the broker).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class WireFormatError(ReproError):
+    """A buffer could not be decoded as a record, chunk, or frame."""
+
+
+class ChecksumError(WireFormatError):
+    """A CRC-32C check failed: the data is corrupt."""
+
+    def __init__(self, expected: int, actual: int, context: str = "") -> None:
+        self.expected = expected
+        self.actual = actual
+        msg = f"checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+        if context:
+            msg = f"{context}: {msg}"
+        super().__init__(msg)
+
+
+class StorageError(ReproError):
+    """Base class for log-structured storage failures."""
+
+
+class SegmentFullError(StorageError):
+    """An append did not fit in the segment's remaining space.
+
+    This is part of the normal control flow of the storage engine: the
+    caller rolls over to a fresh segment and retries.
+    """
+
+
+class SegmentSealedError(StorageError):
+    """An append was attempted on a sealed (immutable) segment."""
+
+
+class GroupFullError(StorageError):
+    """A group (fixed-size sub-partition) has exhausted its segment quota.
+
+    Like :class:`SegmentFullError` this is normal control flow: the
+    streamlet closes the group and creates a fresh one for the same active
+    entry.
+    """
+
+
+class ReplicationError(ReproError):
+    """A replication invariant was violated (not a transient RPC failure)."""
+
+
+class RpcError(ReproError):
+    """Base class for RPC-level failures."""
+
+
+class RetriableRpcError(RpcError):
+    """The RPC failed transiently; the caller should retransmit."""
+
+
+class NotLeaderError(RpcError):
+    """The contacted broker does not own the requested partition.
+
+    Carries the current leader if known so clients can refresh metadata.
+    """
+
+    def __init__(self, stream_id: int, streamlet_id: int, leader: int | None = None):
+        self.stream_id = stream_id
+        self.streamlet_id = streamlet_id
+        self.leader = leader
+        super().__init__(
+            f"not leader for stream {stream_id} streamlet {streamlet_id}"
+            + (f" (leader is broker {leader})" if leader is not None else "")
+        )
+
+
+class UnknownStreamError(RpcError):
+    """The requested stream does not exist on this broker."""
+
+    def __init__(self, stream_id: int):
+        self.stream_id = stream_id
+        super().__init__(f"unknown stream {stream_id}")
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an internal inconsistency."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent broker state."""

@@ -1,0 +1,39 @@
+"""Monotone identifier generation.
+
+Brokers, segments, virtual segments, groups, and RPCs all need dense
+monotone integer ids. A single tiny class keeps this uniform and makes the
+"no wall-clock, no global state" rule easy to audit: every generator is
+owned by some component, never module-level.
+"""
+
+from __future__ import annotations
+
+
+class IdGenerator:
+    """Hands out consecutive integers starting at ``start``."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        """Return the next id and advance."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """Return the id :meth:`next` would hand out, without advancing."""
+        return self._next
+
+    def reserve(self, count: int) -> range:
+        """Atomically reserve ``count`` consecutive ids."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        start = self._next
+        self._next += count
+        return range(start, start + count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdGenerator(next={self._next})"

@@ -1,0 +1,114 @@
+"""Throughput and latency measurement primitives.
+
+The paper reports ``the average ingestion/processing throughput per
+cluster ... measured while concurrently running all producers and
+consumers (without considering each client's first few seconds ... )``.
+:class:`ThroughputMeter` implements exactly that: record events with
+timestamps, then query the rate over a window that excludes warmup.
+Aggregation is vectorized with numpy (HPC guide: batch the math, not the
+bookkeeping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class ThroughputMeter:
+    """Time-stamped counters with windowed rate queries."""
+
+    __slots__ = ("_times", "_counts")
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._counts: list[int] = []
+
+    def add(self, count: int, timestamp: float) -> None:
+        """Record ``count`` events completing at ``timestamp``."""
+        self._times.append(timestamp)
+        self._counts.append(count)
+
+    @property
+    def total(self) -> int:
+        return int(sum(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def rate(self, start: float, end: float) -> float:
+        """Events per second completed in ``[start, end)``."""
+        if end <= start:
+            raise ConfigError(f"empty measurement window [{start}, {end})")
+        if not self._times:
+            return 0.0
+        times = np.asarray(self._times)
+        counts = np.asarray(self._counts, dtype=np.float64)
+        mask = (times >= start) & (times < end)
+        return float(counts[mask].sum() / (end - start))
+
+    def per_second_series(self, start: float, end: float) -> np.ndarray:
+        """Per-second event counts over ``[start, end)`` (the paper logs
+        throughput after each second)."""
+        if end <= start:
+            raise ConfigError(f"empty measurement window [{start}, {end})")
+        edges = np.arange(start, end + 1e-12, 1.0)
+        if len(edges) < 2:
+            edges = np.array([start, end])
+        if not self._times:
+            return np.zeros(len(edges) - 1)
+        times = np.asarray(self._times)
+        counts = np.asarray(self._counts, dtype=np.float64)
+        hist, _ = np.histogram(times, bins=edges, weights=counts)
+        return hist
+
+
+class LatencyReservoir:
+    """Bounded reservoir of latency samples with percentile queries.
+
+    Deterministic decimation (keep every k-th sample once full) rather
+    than random sampling, preserving run-to-run reproducibility.
+    """
+
+    __slots__ = ("capacity", "_samples", "_stride", "_seen")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ConfigError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        self._seen += 1
+        if self._seen % self._stride != 0:
+            return
+        self._samples.append(value)
+        if len(self._samples) >= self.capacity:
+            # Halve the resolution: keep every other retained sample.
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        return self._seen
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(np.asarray(self._samples)))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }

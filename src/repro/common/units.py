@@ -1,0 +1,51 @@
+"""Size and time unit constants plus human-readable formatting.
+
+Sizes are in bytes (int); simulated time is in seconds (float). The
+constants exist so that configuration code reads like the paper:
+``chunk_size=16 * KB``, ``segment_size=8 * MB``, ``linger=1 * MSEC``.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+#: One microsecond, in seconds.
+USEC: float = 1e-6
+#: One millisecond, in seconds.
+MSEC: float = 1e-3
+#: One second.
+SEC: float = 1.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-unit suffix (``"16.0 KiB"``)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(records_per_sec: float) -> str:
+    """Format a record rate the way the paper reports it (Mrec/s)."""
+    if records_per_sec >= 1e6:
+        return f"{records_per_sec / 1e6:.2f} Mrec/s"
+    if records_per_sec >= 1e3:
+        return f"{records_per_sec / 1e3:.1f} Krec/s"
+    return f"{records_per_sec:.0f} rec/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (``"250.0 us"``)."""
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3f} s"
+    if abs(seconds) >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if abs(seconds) >= 1e-6:
+        return f"{seconds * 1e6:.1f} us"
+    return f"{seconds * 1e9:.1f} ns"

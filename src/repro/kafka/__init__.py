@@ -1,0 +1,30 @@
+"""Apache Kafka baseline: per-partition replicated logs, pull replication.
+
+The comparison system of the paper's evaluation (Section V-B):
+
+* each stream (*topic*) is split into a fixed number of partitions, each
+  backed by **one replicated log** (:mod:`repro.kafka.log`);
+* one broker is the partition *leader* serving clients; the other
+  replicas are *followers* that issue pull-based fetch requests to stay
+  in sync (**passive replication**) — a single replica fetcher per
+  (follower, leader) broker pair, as in Kafka's default
+  ``num.replica.fetchers=1``;
+* with ``acks=all`` a produce request is acknowledged only once the high
+  watermark — the minimum of the in-sync replicas' fetched offsets —
+  passes the appended batches; consumers can read only below the high
+  watermark;
+* the follower fetch loop must be *tuned* (``replica.fetch.wait.max.ms``,
+  ``replica.fetch.max.bytes``) — the operational pain the paper contrasts
+  with KerA's self-clocking push replication.
+
+Clients are byte-for-byte the same simulation code as KerA's
+(:mod:`repro.simdriver`), so every throughput difference comes from the
+replication and partitioning engines.
+"""
+
+from repro.kafka.config import KafkaConfig
+from repro.kafka.log import PartitionLog
+from repro.kafka.broker import KafkaBrokerCore
+from repro.kafka.cluster_sim import SimKafkaCluster
+
+__all__ = ["KafkaConfig", "PartitionLog", "KafkaBrokerCore", "SimKafkaCluster"]

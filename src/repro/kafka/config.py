@@ -1,0 +1,54 @@
+"""Kafka baseline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import KB, MB, MSEC, USEC
+
+
+@dataclass(frozen=True)
+class KafkaConfig:
+    """The knobs of the Kafka comparison runs.
+
+    Replica-fetch tuning mirrors Kafka's broker configuration; the paper
+    stresses that ``one has to tune the Kafka replication followers to be
+    efficiently in sync with their leaders``.
+    """
+
+    num_brokers: int = 4
+    #: R: total copies including the leader's (paper: 1-3).
+    replication_factor: int = 3
+    #: Producer batch capacity (batch.size; the paper's "chunk").
+    chunk_size: int = 16 * KB
+    #: linger.ms equivalent.
+    linger: float = 1 * MSEC
+    client_cache_chunks: int = 1000
+    #: replica.fetch.wait.max.ms — how long a leader parks an empty
+    #: follower fetch before answering.
+    replica_fetch_wait_max: float = 500 * USEC
+    #: replica.fetch.max.bytes — per-partition cap in one fetch response.
+    replica_fetch_max_bytes: int = 1 * MB
+    #: Total response cap for one follower fetch.
+    replica_fetch_response_max_bytes: int = 10 * MB
+    #: num.replica.fetchers per (follower, leader) pair.
+    num_replica_fetchers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_brokers < 1:
+            raise ConfigError("num_brokers must be >= 1")
+        if not 1 <= self.replication_factor <= self.num_brokers:
+            raise ConfigError(
+                "replication_factor must be between 1 and num_brokers"
+            )
+        if self.chunk_size <= 0:
+            raise ConfigError("chunk_size must be positive")
+        if self.replica_fetch_wait_max < 0 or self.linger < 0:
+            raise ConfigError("waits must be >= 0")
+        if self.num_replica_fetchers < 1:
+            raise ConfigError("need at least one replica fetcher")
+
+    @property
+    def num_followers(self) -> int:
+        return self.replication_factor - 1

@@ -1,0 +1,73 @@
+"""KerA: the high-performance ingestion system with virtual-log replication.
+
+The broker, backup, and coordinator are **sans-IO cores** — pure state
+machines with no notion of time or transport. Two drivers execute them:
+
+* :mod:`repro.kera.cluster_sim` — the discrete-event driver used by every
+  benchmark: clients, brokers, and backups run as simulated processes over
+  the RPC fabric, with the calibrated cost model attached;
+* :mod:`repro.kera.inproc` — a synchronous in-process driver with real
+  payload bytes end to end, used by the quickstart example and the
+  integration tests (produce → replicate → consume → decode).
+
+Crash recovery (:mod:`repro.kera.recovery`) re-ingests the failed broker's
+chunks from the backups' replicated segments into the surviving brokers,
+reconstructing metadata from the ``[group, segment]`` tags each chunk
+carries.
+"""
+
+from repro.kera.config import KeraConfig
+from repro.kera.messages import (
+    ProduceRequest,
+    ProduceResponse,
+    ChunkAssignment,
+    FetchRequest,
+    FetchResponse,
+    FetchPosition,
+    FetchEntry,
+    ReplicateRequest,
+    ReplicateResponse,
+)
+from repro.kera.broker import KeraBrokerCore, ProduceOutcome
+from repro.kera.backup import KeraBackupCore
+from repro.kera.coordinator import Coordinator, StreamMetadata
+from repro.kera.inproc import InprocKeraCluster
+from repro.kera.client import KeraProducer, KeraConsumer
+from repro.kera.recovery import recover_broker, RecoveryReport, merge_backup_copies
+from repro.kera.cluster_sim import SimKeraCluster, SimWorkload, SimResult
+from repro.kera.objects import ObjectStore, ObjectInfo
+from repro.kera.kv import KVTable, VersionedValue
+from repro.kera.migration import migrate_streamlet, MigrationReport
+
+__all__ = [
+    "KeraConfig",
+    "ProduceRequest",
+    "ProduceResponse",
+    "ChunkAssignment",
+    "FetchRequest",
+    "FetchResponse",
+    "FetchPosition",
+    "FetchEntry",
+    "ReplicateRequest",
+    "ReplicateResponse",
+    "KeraBrokerCore",
+    "ProduceOutcome",
+    "KeraBackupCore",
+    "Coordinator",
+    "StreamMetadata",
+    "InprocKeraCluster",
+    "KeraProducer",
+    "KeraConsumer",
+    "recover_broker",
+    "RecoveryReport",
+    "merge_backup_copies",
+    "SimKeraCluster",
+    "SimWorkload",
+    "SimResult",
+    "ObjectStore",
+    "ObjectInfo",
+    "KVTable",
+    "VersionedValue",
+    "migrate_streamlet",
+    "MigrationReport",
+]

@@ -1,0 +1,132 @@
+"""The KerA backup service core.
+
+One backup service runs on every node, colocated with a broker
+(paper, Figure 1 / Section V-A). It holds replicated in-memory segments
+and asynchronously persists them ``with the same in-memory format``; at
+recovery time it serves the crashed broker's chunks back to the cluster.
+
+When constructed with ``disk_dir`` (live mode), flushes write real files:
+one file per replicated segment, appended incrementally, decodable with
+the ordinary chunk framing — which is what lets recovery read segments
+back from disk after a restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import StorageError
+from repro.replication.backup_store import BackupStore, ReplicatedSegment
+from repro.kera.messages import ReplicateRequest, ReplicateResponse
+from repro.wire.chunk import Chunk
+from repro.wire.framing import decode_chunks
+
+
+@dataclass
+class FlushWork:
+    """An asynchronous disk write the driver should schedule."""
+
+    segment: ReplicatedSegment
+    nbytes: int
+    #: Byte range of the segment this flush covers.
+    start: int = 0
+
+
+class KeraBackupCore:
+    """Sans-IO backup state machine for one node."""
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        materialize: bool = True,
+        flush_threshold: int = 1 << 20,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.store = BackupStore(node_id, materialize=materialize)
+        self.flush_threshold = flush_threshold
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            if not materialize:
+                raise StorageError("disk persistence requires materialized segments")
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- secondary storage ----------------------------------------------------
+
+    def _segment_path(self, segment: ReplicatedSegment) -> Path:
+        assert self.disk_dir is not None
+        return (
+            self.disk_dir
+            / f"b{segment.src_broker}_v{segment.vlog_id}_s{segment.vseg_id}.seg"
+        )
+
+    def persist(self, flush: FlushWork) -> Path | None:
+        """Execute a flush: append the covered byte range to the segment's
+        file (same format on disk and in memory). No-op without a
+        ``disk_dir``."""
+        if self.disk_dir is None:
+            return None
+        segment = flush.segment
+        path = self._segment_path(segment)
+        data = segment.buffer.view(flush.start, flush.nbytes)
+        with path.open("ab") as f:
+            f.write(data)
+        return path
+
+    def read_persisted(self, segment: ReplicatedSegment) -> list[Chunk]:
+        """Recovery read path: decode a segment's chunks from its file."""
+        if self.disk_dir is None:
+            raise StorageError("backup has no secondary storage configured")
+        path = self._segment_path(segment)
+        return decode_chunks(path.read_bytes())
+
+    def handle_replicate(
+        self, request: ReplicateRequest
+    ) -> tuple[ReplicateResponse, FlushWork | None]:
+        """Ingest a replication batch; returns the response plus flush work
+        once enough unflushed bytes accumulated (the response never waits
+        for the disk — ``backups respond immediately to the broker``)."""
+        segment = self.store.append_batch(
+            src_broker=request.src_broker,
+            vlog_id=request.vlog_id,
+            vseg_id=request.vseg_id,
+            chunks=request.chunks,
+            segment_capacity=request.vseg_capacity,
+        )
+        flush = None
+        if segment.unflushed_bytes >= self.flush_threshold:
+            start = segment.flushed_bytes
+            flush = FlushWork(
+                segment=segment,
+                nbytes=self.store.take_flush_work(segment),
+                start=start,
+            )
+        return ReplicateResponse(ok=True, bytes_held=segment.bytes_held), flush
+
+    def drain_flush(self) -> list[FlushWork]:
+        """Flush work for everything still unflushed (shutdown / idle)."""
+        work = []
+        for src_broker in {k[0] for k in self.store._segments}:
+            for segment in self.store.segments_for_broker(src_broker):
+                if segment.unflushed_bytes > 0:
+                    start = segment.flushed_bytes
+                    work.append(
+                        FlushWork(
+                            segment=segment,
+                            nbytes=self.store.take_flush_work(segment),
+                            start=start,
+                        )
+                    )
+        return work
+
+    # -- recovery -----------------------------------------------------------
+
+    def recovery_chunks(self, failed_broker: int) -> list[tuple[int, list[Chunk]]]:
+        """The failed broker's chunks held here, as ``(vseg_id, chunks)``
+        runs in virtual-segment order."""
+        return [
+            (segment.vseg_id, list(segment.chunks))
+            for segment in self.store.segments_for_broker(failed_broker)
+        ]

@@ -1,0 +1,275 @@
+"""The KerA broker core: the produce and fetch paths, sans I/O.
+
+Produce path (paper, Section IV-B, "Replicating chunks after broker
+appends"): the broker identifies the stream object for each chunk's
+stream identifier, computes the streamlet's active group from the
+producer identifier and Q, appends the chunk to the group (which may
+create a new segment and/or group), then appends a chunk reference to the
+replicated virtual log associated with that streamlet. Once all chunks of
+a request are appended, the affected virtual logs are synchronized on the
+backups; the producer request is acknowledged only when every one of its
+chunks is durably replicated.
+
+Exactly-once: each chunk carries ``(producer_id, chunk_seq)`` scoped to
+its streamlet; retransmitted chunks are detected and never re-appended,
+and a request whose duplicate chunk is still awaiting replication is
+acknowledged only when the original becomes durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.common.errors import ReplicationError
+from repro.replication.config import ReplicationConfig
+from repro.replication.manager import ReplicationManager
+from repro.replication.virtual_log import ReplicationBatch, VirtualLog
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.offsets import StreamletCursor
+from repro.storage.segment import StoredChunk
+from repro.storage.stream import Stream, StreamRegistry
+from repro.kera.messages import (
+    ChunkAssignment,
+    FetchEntry,
+    FetchPosition,
+    FetchRequest,
+    FetchResponse,
+    ProduceRequest,
+    ProduceResponse,
+)
+
+RequestDoneCallback = Callable[[int], None]
+
+
+@dataclass
+class ProduceOutcome:
+    """What a produce request did, and whether its ack must wait."""
+
+    request_id: int
+    response: ProduceResponse
+    #: Chunks newly appended by this request (excludes duplicates).
+    new_chunks: list[StoredChunk] = field(default_factory=list)
+    #: Number of records newly appended.
+    new_records: int = 0
+    #: Payload bytes newly appended.
+    new_bytes: int = 0
+    #: True when the ack must wait for replication (driver parks).
+    pending: bool = False
+    duplicates: int = 0
+
+
+class KeraBrokerCore:
+    """Sans-IO broker state machine for one node."""
+
+    def __init__(
+        self,
+        *,
+        broker_id: int,
+        nodes: list[int],
+        storage_config: StorageConfig,
+        replication_config: ReplicationConfig,
+        on_request_complete: RequestDoneCallback | None = None,
+        zero_copy_fetch: bool = False,
+    ) -> None:
+        self.broker_id = broker_id
+        self.storage_config = storage_config
+        self.replication_config = replication_config
+        self.allocator = SegmentAllocator(storage_config)
+        self.registry = StreamRegistry()
+        self.manager = ReplicationManager(
+            broker_id=broker_id,
+            nodes=nodes,
+            config=replication_config,
+            on_durable=self._on_chunk_durable,
+        )
+        self.on_request_complete = on_request_complete
+        #: When set, fetch responses carry StoredChunk references instead
+        #: of re-encoded wire chunks — the zero-copy read path the paper's
+        #: shared client/broker binary format enables. The simulation
+        #: driver uses it; serialization-boundary drivers must re-encode.
+        self.zero_copy_fetch = zero_copy_fetch
+        # Exactly-once state.
+        self._last_durable_seq: dict[tuple[int, int, int], int] = {}
+        self._inflight: dict[tuple[int, int, int, int], StoredChunk] = {}
+        # Ack bookkeeping: chunk identity -> waiting request ids.
+        self._chunk_waiters: dict[int, list[int]] = {}
+        self._request_remaining: dict[int, int] = {}
+        # Stats.
+        self.records_ingested = 0
+        self.chunks_ingested = 0
+        self.bytes_ingested = 0
+        self.duplicates_dropped = 0
+
+    # -- stream management ---------------------------------------------------
+
+    def create_stream(self, stream_id: int, streamlet_ids: Iterable[int]) -> Stream:
+        """Register the streamlets this broker leads for ``stream_id``."""
+        stream = Stream(
+            stream_id=stream_id,
+            streamlet_ids=streamlet_ids,
+            config=self.storage_config,
+            allocator=self.allocator,
+        )
+        self.registry.add(stream)
+        return stream
+
+    # -- produce path ------------------------------------------------------------
+
+    def handle_produce(self, request: ProduceRequest) -> ProduceOutcome:
+        outcome = ProduceOutcome(
+            request_id=request.request_id,
+            response=ProduceResponse(request_id=request.request_id, assignments=[]),
+        )
+        wait_chunks: list[StoredChunk] = []
+        for chunk in request.chunks:
+            key3 = (chunk.stream_id, chunk.streamlet_id, chunk.producer_id)
+            key4 = key3 + (chunk.chunk_seq,)
+            last = self._last_durable_seq.get(key3, -1)
+            if chunk.chunk_seq <= last:
+                # Durable duplicate: already acknowledged territory.
+                outcome.duplicates += 1
+                self.duplicates_dropped += 1
+                outcome.response.assignments.append(
+                    ChunkAssignment(
+                        stream_id=chunk.stream_id,
+                        streamlet_id=chunk.streamlet_id,
+                        group_id=0,
+                        segment_id=0,
+                        offset=0,
+                        duplicate=True,
+                    )
+                )
+                continue
+            pending_dup = self._inflight.get(key4)
+            if pending_dup is not None:
+                # Duplicate of a chunk still awaiting replication: the ack
+                # must wait for the original.
+                outcome.duplicates += 1
+                self.duplicates_dropped += 1
+                wait_chunks.append(pending_dup)
+                outcome.response.assignments.append(
+                    ChunkAssignment(
+                        stream_id=pending_dup.stream_id,
+                        streamlet_id=pending_dup.streamlet_id,
+                        group_id=pending_dup.group_id,
+                        segment_id=pending_dup.segment_id,
+                        offset=pending_dup.offset,
+                        duplicate=True,
+                    )
+                )
+                continue
+            stream = self.registry.get(chunk.stream_id)
+            streamlet = stream.streamlet(chunk.streamlet_id)
+            stored = streamlet.append(chunk)
+            entry = streamlet.entry_for_producer(chunk.producer_id)
+            self._inflight[key4] = stored
+            self.manager.replicate(stored, entry)
+            outcome.new_chunks.append(stored)
+            outcome.new_records += stored.record_count
+            outcome.new_bytes += stored.payload_len
+            self.records_ingested += stored.record_count
+            self.chunks_ingested += 1
+            self.bytes_ingested += stored.payload_len
+            if not stored.is_durable:
+                wait_chunks.append(stored)
+            outcome.response.assignments.append(
+                ChunkAssignment(
+                    stream_id=stored.stream_id,
+                    streamlet_id=stored.streamlet_id,
+                    group_id=stored.group_id,
+                    segment_id=stored.segment_id,
+                    offset=stored.offset,
+                )
+            )
+        if wait_chunks:
+            outcome.pending = True
+            self._request_remaining[request.request_id] = len(wait_chunks)
+            for stored in wait_chunks:
+                self._chunk_waiters.setdefault(id(stored), []).append(
+                    request.request_id
+                )
+        return outcome
+
+    def _on_chunk_durable(self, stored: StoredChunk) -> None:
+        key3 = (stored.stream_id, stored.streamlet_id, stored.producer_id)
+        last = self._last_durable_seq.get(key3, -1)
+        if stored.chunk_seq > last:
+            self._last_durable_seq[key3] = stored.chunk_seq
+        self._inflight.pop(key3 + (stored.chunk_seq,), None)
+        for request_id in self._chunk_waiters.pop(id(stored), ()):  # noqa: B020
+            remaining = self._request_remaining.get(request_id)
+            if remaining is None:
+                raise ReplicationError(
+                    f"durability event for untracked request {request_id}"
+                )
+            remaining -= 1
+            if remaining == 0:
+                del self._request_remaining[request_id]
+                if self.on_request_complete is not None:
+                    self.on_request_complete(request_id)
+            else:
+                self._request_remaining[request_id] = remaining
+
+    # -- replication driver interface -----------------------------------------------
+
+    def collect_batches(self) -> list[ReplicationBatch]:
+        """Ready-to-ship batches from virtual logs touched since last call."""
+        return self.manager.collect_batches()
+
+    def vlog_for_batch(self, batch: ReplicationBatch) -> VirtualLog:
+        vlog = self.manager.vlog(batch.vlog_id)
+        if vlog is None:
+            raise ReplicationError(f"unknown virtual log {batch.vlog_id}")
+        return vlog
+
+    def complete_batch(self, batch: ReplicationBatch) -> list[StoredChunk]:
+        return self.manager.complete_batch(batch)
+
+    # -- fetch path ----------------------------------------------------------------
+
+    def handle_fetch(self, request: FetchRequest) -> FetchResponse:
+        """Serve durably-replicated chunks from the requested positions."""
+        entries: list[FetchEntry] = []
+        for pos in request.positions:
+            stream = self.registry.get(pos.stream_id)
+            streamlet = stream.streamlet(pos.streamlet_id)
+            cursor = StreamletCursor(
+                streamlet=streamlet,
+                entry=pos.entry,
+                group_pos=pos.group_pos,
+                chunk_pos=pos.chunk_pos,
+            )
+            stored_chunks = cursor.next_chunks(request.max_chunks_per_entry)
+            if self.zero_copy_fetch:
+                chunks = stored_chunks  # type: ignore[assignment]
+            else:
+                chunks = [s.to_wire_chunk() for s in stored_chunks]
+            entries.append(
+                FetchEntry(
+                    position=pos,
+                    chunks=chunks,
+                    next_position=FetchPosition(
+                        stream_id=pos.stream_id,
+                        streamlet_id=pos.streamlet_id,
+                        entry=pos.entry,
+                        group_pos=cursor.group_pos,
+                        chunk_pos=cursor.chunk_pos,
+                    ),
+                )
+            )
+        return FetchResponse(request_id=request.request_id, entries=entries)
+
+    # -- failure handling ----------------------------------------------------------
+
+    def handle_backup_failure(self, failed_node: int) -> list[ReplicationBatch]:
+        return self.manager.handle_backup_failure(failed_node)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def pending_requests(self) -> int:
+        return len(self._request_remaining)
+
+    def pending_chunks(self) -> int:
+        return self.manager.pending_chunks()

@@ -1,0 +1,249 @@
+"""The discrete-event KerA cluster driver.
+
+System-side behaviour on top of :class:`repro.simdriver.BaseSimCluster`:
+
+* every broker node also runs a backup service;
+* the broker's produce handler appends chunks under per-sub-partition
+  locks (parallel appends need Q > 1), triggers virtual-log
+  synchronization, releases its worker, and parks until every chunk of
+  the request is durable (active, push-based replication);
+* each virtual log keeps one replication RPC in flight to its backup set;
+  whatever accumulated while the RPC travelled ships in the next batch
+  (group commit). Staging a batch consumes broker worker CPU serialized
+  per virtual log — the replication pipeline whose multiplicity is the
+  paper's *replication capacity* knob;
+* backups verify, buffer, and asynchronously flush replicated segments;
+  the produce path never waits on a disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.common.errors import ConfigError
+from repro.replication.manager import wire_chunks
+from repro.replication.virtual_log import ReplicationBatch, VirtualLog
+from repro.rpc.fabric import RELEASE_WORKER, Service
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Event
+from repro.sim.resources import Resource
+from repro.simdriver.base import BaseSimCluster, SimResult, SimWorkload
+from repro.kera.backup import KeraBackupCore
+from repro.kera.broker import KeraBrokerCore
+from repro.kera.config import KeraConfig
+from repro.kera.coordinator import StreamMetadata
+from repro.kera.messages import FetchRequest, ProduceRequest, ReplicateRequest
+
+__all__ = ["SimKeraCluster", "SimWorkload", "SimResult"]
+
+
+class _BrokerService(Service):
+    """Sim wrapper around :class:`KeraBrokerCore` (produce + fetch)."""
+
+    def __init__(self, driver: "SimKeraCluster", node_id: int) -> None:
+        self.driver = driver
+        self.node_id = node_id
+        self.core = driver.broker_cores[node_id]
+        self.locks: dict[tuple[int, int, int], Resource] = {}
+
+    def _lock(self, key: tuple[int, int, int]) -> Resource:
+        lock = self.locks.get(key)
+        if lock is None:
+            lock = Resource(self.driver.env, 1)
+            self.locks[key] = lock
+        return lock
+
+    def handle(self, method: str, request: Any) -> Generator[Any, Any, tuple[Any, int]]:
+        if method == "produce":
+            return (yield from self._produce(request))
+        if method == "fetch":
+            return (yield from self._fetch(request))
+        raise ConfigError(f"unknown broker method {method!r}")
+
+    def _produce(
+        self, request: ProduceRequest
+    ) -> Generator[Any, Any, tuple[Any, int]]:
+        driver = self.driver
+        cost = driver.cost
+        env = driver.env
+        yield env.timeout(cost.request_handle_cost)
+        # Per-sub-partition append serialization: group the request's
+        # chunks by (stream, streamlet, entry) and charge the append CPU
+        # under that sub-partition's lock (Q > 1 -> parallel appends).
+        q = driver.q_active_groups
+        by_subpartition: dict[tuple[int, int, int], tuple[int, int]] = {}
+        for chunk in request.chunks:
+            key = (chunk.stream_id, chunk.streamlet_id, chunk.producer_id % q)
+            n, nbytes = by_subpartition.get(key, (0, 0))
+            by_subpartition[key] = (n + 1, nbytes + chunk.payload_len)
+        for key, (n, nbytes) in by_subpartition.items():
+            work = n * (cost.chunk_append_cost + cost.chunk_ref_cost) + (
+                nbytes * cost.byte_copy_cost
+            )
+            yield from self._lock(key).use(work)
+        outcome = self.core.handle_produce(request)
+        driver._start_shipments(self.node_id)
+        if outcome.pending:
+            done = driver._completion_event(self.node_id, request.request_id)
+            yield RELEASE_WORKER
+            yield done
+        response = outcome.response
+        return response, response.payload_bytes()
+
+    def _fetch(self, request: FetchRequest) -> Generator[Any, Any, tuple[Any, int]]:
+        cost = self.driver.cost
+        response = self.core.handle_fetch(request)
+        work = cost.request_handle_cost + response.chunk_count * cost.consumer_chunk_cost
+        yield self.driver.env.timeout(work)
+        return response, response.payload_bytes()
+
+
+class _BackupService(Service):
+    """Sim wrapper around :class:`KeraBackupCore`."""
+
+    def __init__(self, driver: "SimKeraCluster", node_id: int) -> None:
+        self.driver = driver
+        self.node_id = node_id
+        self.core = driver.backup_cores[node_id]
+
+    def handle(self, method: str, request: Any) -> Generator[Any, Any, tuple[Any, int]]:
+        if method != "replicate":
+            raise ConfigError(f"unknown backup method {method!r}")
+        driver = self.driver
+        cost = driver.cost
+        nbytes = sum(c.payload_len for c in request.chunks)
+        work = (
+            cost.backup_request_cost
+            + len(request.chunks) * cost.backup_chunk_cost
+            + nbytes * cost.byte_copy_cost
+        )
+        yield driver.env.timeout(work)
+        response, flush = self.core.handle_replicate(request)
+        if flush is not None:
+            node = driver.fabric.nodes[self.node_id]
+            driver.env.process(
+                node.disk.write(flush.nbytes), name=f"flush@{self.node_id}"
+            )
+        return response, response.payload_bytes()
+
+
+class SimKeraCluster(BaseSimCluster):
+    """Builds and runs one simulated KerA experiment."""
+
+    def __init__(
+        self,
+        config: KeraConfig | None = None,
+        workload: SimWorkload | None = None,
+        cost: CostModel | None = None,
+    ) -> None:
+        self.config = config or KeraConfig()
+        if self.config.storage.materialize:
+            raise ConfigError(
+                "the simulation driver requires metadata-only storage "
+                "(StorageConfig(materialize=False)); byte fidelity belongs "
+                "to InprocKeraCluster"
+            )
+        super().__init__(
+            workload or SimWorkload(),
+            cost or CostModel(),
+            num_brokers=self.config.num_brokers,
+            q_active_groups=self.config.storage.q_active_groups,
+            chunk_size=self.config.chunk_size,
+            linger=self.config.linger,
+            client_cache_chunks=self.config.client_cache_chunks,
+        )
+
+    # -- system wiring -----------------------------------------------------------
+
+    def _setup_system(self) -> None:
+        self.broker_cores: dict[int, KeraBrokerCore] = {}
+        self.backup_cores: dict[int, KeraBackupCore] = {}
+        for node in self.broker_nodes:
+            self.broker_cores[node] = KeraBrokerCore(
+                broker_id=node,
+                nodes=self.broker_nodes,
+                storage_config=self.config.storage,
+                replication_config=self.config.replication,
+                on_request_complete=self._make_completion_cb(node),
+                zero_copy_fetch=True,
+            )
+            self.backup_cores[node] = KeraBackupCore(
+                node_id=node,
+                materialize=False,
+                flush_threshold=self.config.flush_threshold,
+            )
+            self.fabric.register(node, "broker", _BrokerService(self, node))
+            self.fabric.register(node, "backup", _BackupService(self, node))
+
+    def _on_stream_created(self, meta: StreamMetadata) -> None:
+        for node in self.broker_nodes:
+            local = meta.streamlets_on(node)
+            if local:
+                self.broker_cores[node].create_stream(meta.stream_id, local)
+
+    # -- replication shipping --------------------------------------------------------
+
+    def _start_shipments(self, broker_id: int) -> None:
+        core = self.broker_cores[broker_id]
+        for batch in core.collect_batches():
+            vlog = core.vlog_for_batch(batch)
+            self.env.process(
+                self._ship_loop(broker_id, vlog, batch),
+                name=f"ship:b{broker_id}v{batch.vlog_id}",
+            )
+
+    def _ship_loop(
+        self, broker_id: int, vlog: VirtualLog, batch: ReplicationBatch | None
+    ) -> Generator[Event, Any, None]:
+        core = self.broker_cores[broker_id]
+        cost = self.cost
+        workers = self.fabric.nodes[broker_id].workers
+        while batch is not None:
+            # Staging the batch (reference walk, wire headers, checksum
+            # folding) consumes broker worker CPU and serializes per
+            # virtual log — the replication pipeline a single shared log
+            # provides, and the reason replication capacity is a knob.
+            yield from workers.use(
+                cost.repl_batch_send_cost
+                + batch.chunk_count * cost.repl_chunk_send_cost
+            )
+            request = ReplicateRequest(
+                src_broker=broker_id,
+                vlog_id=batch.vlog_id,
+                vseg_id=batch.vseg.vseg_id,
+                vseg_capacity=batch.vseg.capacity,
+                batch_checksum=batch.vseg.checksum,
+                chunks=list(wire_chunks(batch)),
+            )
+            nbytes = request.payload_bytes()
+            if len(batch.backups) == 1:
+                yield from self.fabric.call_inline(
+                    broker_id, batch.backups[0], "backup", "replicate", request, nbytes
+                )
+            else:
+                rpcs = [
+                    self.fabric.call(
+                        broker_id, backup, "backup", "replicate", request, nbytes
+                    )
+                    for backup in batch.backups
+                ]
+                yield self.env.all_of(rpcs)
+            core.complete_batch(batch)
+            batch = vlog.next_batch()
+
+    # -- result ------------------------------------------------------------------------
+
+    def _system_result_fields(self) -> dict[str, Any]:
+        chunks_shipped = sum(
+            core.manager.total_chunks_shipped() for core in self.broker_cores.values()
+        )
+        batches = sum(
+            core.manager.total_batches() for core in self.broker_cores.values()
+        )
+        return {
+            "avg_replication_batch_chunks": (chunks_shipped / batches) if batches else 0.0,
+            "replication_rpcs": self.fabric.stats.calls.get(("backup", "replicate"), 0),
+            "memory_peak_bytes": sum(
+                core.allocator.peak_bytes for core in self.broker_cores.values()
+            ),
+        }

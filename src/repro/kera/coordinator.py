@@ -1,0 +1,120 @@
+"""The coordinator: cluster metadata and recovery orchestration.
+
+``The coordinator manages storage nodes on which live broker and backup
+processes`` (paper, Figure 1). It owns the stream catalog — which broker
+leads which streamlet — hands clients their routing tables, and plans
+crash recovery: the failed broker's streamlets are spread over the
+survivors, which then re-ingest the lost data from the backups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, RecoveryError, StorageError
+
+
+@dataclass
+class StreamMetadata:
+    """Catalog entry for one stream."""
+
+    stream_id: int
+    #: streamlet id -> leading broker node.
+    leaders: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def streamlet_ids(self) -> list[int]:
+        return sorted(self.leaders)
+
+    def streamlets_on(self, broker: int) -> list[int]:
+        return sorted(sid for sid, b in self.leaders.items() if b == broker)
+
+
+@dataclass
+class RecoveryPlan:
+    """Reassignment of a crashed broker's streamlets to survivors."""
+
+    failed_broker: int
+    #: (stream_id, streamlet_id) -> new leading broker.
+    reassignments: dict[tuple[int, int], int]
+    survivors: list[int]
+
+
+class Coordinator:
+    """Cluster catalog. Pure metadata — no time, no transport."""
+
+    def __init__(self, broker_ids: list[int]) -> None:
+        if not broker_ids:
+            raise ConfigError("cluster needs at least one broker")
+        self.broker_ids = sorted(broker_ids)
+        self._streams: dict[int, StreamMetadata] = {}
+        self._failed: set[int] = set()
+
+    # -- catalog ------------------------------------------------------------
+
+    @property
+    def live_brokers(self) -> list[int]:
+        return [b for b in self.broker_ids if b not in self._failed]
+
+    def create_stream(self, stream_id: int, num_streamlets: int) -> StreamMetadata:
+        """Create a stream of M streamlets, spread round-robin over the
+        live brokers (M >= number of brokers gives every broker work; the
+        paper also supports M below that for tiny streams)."""
+        if stream_id in self._streams:
+            raise StorageError(f"stream {stream_id} already exists")
+        if num_streamlets < 1:
+            raise ConfigError("a stream needs at least one streamlet")
+        live = self.live_brokers
+        meta = StreamMetadata(stream_id=stream_id)
+        for sid in range(num_streamlets):
+            # Offset by stream id so single-streamlet streams spread out.
+            meta.leaders[sid] = live[(stream_id + sid) % len(live)]
+        self._streams[stream_id] = meta
+        return meta
+
+    def stream(self, stream_id: int) -> StreamMetadata:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise StorageError(f"unknown stream {stream_id}") from None
+
+    @property
+    def streams(self) -> list[StreamMetadata]:
+        return [self._streams[k] for k in sorted(self._streams)]
+
+    def partitions_on(self, broker: int) -> list[tuple[int, int]]:
+        """All (stream, streamlet) pairs a broker leads."""
+        out = []
+        for meta in self.streams:
+            for sid in meta.streamlets_on(broker):
+                out.append((meta.stream_id, sid))
+        return out
+
+    # -- failure handling -------------------------------------------------------
+
+    def plan_recovery(self, failed_broker: int) -> RecoveryPlan:
+        """Mark a broker failed and reassign its streamlets round-robin
+        over the survivors — ``each virtual log can be recovered in
+        parallel over many brokers that become the primary leader of the
+        partitions associated to recovered virtual logs``."""
+        if failed_broker not in self.broker_ids:
+            raise RecoveryError(f"unknown broker {failed_broker}")
+        if failed_broker in self._failed:
+            raise RecoveryError(f"broker {failed_broker} already failed")
+        self._failed.add(failed_broker)
+        survivors = self.live_brokers
+        if not survivors:
+            raise RecoveryError("no survivors to recover onto")
+        reassignments: dict[tuple[int, int], int] = {}
+        i = 0
+        for meta in self.streams:
+            for sid in meta.streamlets_on(failed_broker):
+                target = survivors[i % len(survivors)]
+                reassignments[(meta.stream_id, sid)] = target
+                meta.leaders[sid] = target
+                i += 1
+        return RecoveryPlan(
+            failed_broker=failed_broker,
+            reassignments=reassignments,
+            survivors=survivors,
+        )

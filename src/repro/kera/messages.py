@@ -1,0 +1,153 @@
+"""KerA RPC message types.
+
+Messages are dataclasses with a ``payload_bytes()`` method giving the wire
+payload size the network model charges (the framing constant is added by
+the cost model). The in-process driver passes the same objects by
+reference; the chunk payload bytes inside them are the real thing there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wire.chunk import Chunk
+
+#: Wire overhead per request beyond its chunks (ids, counts).
+_REQUEST_HEADER_BYTES = 32
+#: Wire size of one chunk assignment in a produce response.
+_ASSIGNMENT_BYTES = 24
+#: Wire size of one fetch position/entry header.
+_POSITION_BYTES = 24
+
+
+@dataclass
+class ProduceRequest:
+    """``Each producer request is characterized by the stream and producer
+    identifiers and a set of chunks`` (paper, Section IV-B). Proxy
+    producers put chunks of many streams in one request, so the stream id
+    lives on each chunk."""
+
+    request_id: int
+    producer_id: int
+    chunks: list[Chunk]
+
+    def payload_bytes(self) -> int:
+        return _REQUEST_HEADER_BYTES + sum(c.size for c in self.chunks)
+
+    @property
+    def record_count(self) -> int:
+        return sum(c.record_count for c in self.chunks)
+
+
+@dataclass(frozen=True)
+class ChunkAssignment:
+    """Broker-assigned placement returned to the producer."""
+
+    stream_id: int
+    streamlet_id: int
+    group_id: int
+    segment_id: int
+    offset: int
+    duplicate: bool = False
+
+
+@dataclass
+class ProduceResponse:
+    request_id: int
+    assignments: list[ChunkAssignment]
+
+    def payload_bytes(self) -> int:
+        return _REQUEST_HEADER_BYTES + _ASSIGNMENT_BYTES * len(self.assignments)
+
+    @property
+    def record_count(self) -> int:  # pragma: no cover - convenience
+        return 0
+
+
+@dataclass(frozen=True)
+class FetchPosition:
+    """A consumer's cursor over one (streamlet, active entry)."""
+
+    stream_id: int
+    streamlet_id: int
+    entry: int
+    group_pos: int = 0
+    chunk_pos: int = 0
+
+
+@dataclass
+class FetchRequest:
+    """One pull: up to ``max_chunks_per_entry`` durable chunks per position
+    (the paper's consumers pull ``one chunk per streamlet`` per request)."""
+
+    request_id: int
+    consumer_id: int
+    positions: list[FetchPosition]
+    max_chunks_per_entry: int = 1
+
+    def payload_bytes(self) -> int:
+        return _REQUEST_HEADER_BYTES + _POSITION_BYTES * len(self.positions)
+
+
+@dataclass
+class FetchEntry:
+    """Chunks for one position plus the advanced cursor."""
+
+    position: FetchPosition
+    chunks: list[Chunk]
+    next_position: FetchPosition
+
+    @property
+    def record_count(self) -> int:
+        return sum(c.record_count for c in self.chunks)
+
+
+@dataclass
+class FetchResponse:
+    request_id: int
+    entries: list[FetchEntry]
+
+    def payload_bytes(self) -> int:
+        total = _REQUEST_HEADER_BYTES
+        for entry in self.entries:
+            total += _POSITION_BYTES + sum(c.size for c in entry.chunks)
+        return total
+
+    @property
+    def record_count(self) -> int:
+        return sum(e.record_count for e in self.entries)
+
+    @property
+    def chunk_count(self) -> int:
+        return sum(len(e.chunks) for e in self.entries)
+
+
+@dataclass
+class ReplicateRequest:
+    """One virtual-log replication RPC: a slice of a virtual segment's
+    chunks shipped to one backup."""
+
+    src_broker: int
+    vlog_id: int
+    vseg_id: int
+    vseg_capacity: int
+    #: CRC over the shipped chunks' CRCs (virtual segment header checksum
+    #: discipline — backups verify integrity per chunk as well).
+    batch_checksum: int
+    chunks: list[Chunk] = field(default_factory=list)
+
+    def payload_bytes(self) -> int:
+        from repro.replication.chunk_ref import CHUNK_REF_WIRE_SIZE
+
+        return _REQUEST_HEADER_BYTES + sum(
+            c.size + CHUNK_REF_WIRE_SIZE for c in self.chunks
+        )
+
+
+@dataclass
+class ReplicateResponse:
+    ok: bool = True
+    bytes_held: int = 0
+
+    def payload_bytes(self) -> int:
+        return 16

@@ -1,0 +1,137 @@
+"""Objects as bounded streams: KerA's unified ingestion/storage API.
+
+``KerA is a high-performance ingestion system that unifies ingestion and
+storage, exposing one API that captures the semantics of both
+stream-based systems like Apache Kafka and distributed systems like
+Hadoop HDFS`` — and ``an object is simply represented as a bounded
+stream`` (paper, Sections IV and IV-A).
+
+The object store maps a named blob onto a dedicated stream: the blob is
+split into part-records (key = object name, version = part index), the
+final part carries an end-of-object marker, and a read reassembles the
+parts in order — all through the ordinary durable produce/fetch path, so
+objects inherit replication, exactly-once, and crash recovery for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StorageError
+from repro.common.idgen import IdGenerator
+from repro.wire.record import Record
+from repro.kera.client import KeraConsumer, KeraProducer
+from repro.kera.inproc import InprocKeraCluster
+
+#: Timestamp flag marking the final part of an object.
+_EOF_MARK = 1
+#: Per-part payload ceiling: leave room for the record header + name key
+#: inside one chunk.
+_HEADER_SLACK = 64
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Catalog entry for one stored object."""
+
+    name: bytes
+    size: int
+    parts: int
+    stream_id: int
+
+
+class ObjectStore:
+    """Named bounded streams over a KerA cluster."""
+
+    def __init__(
+        self,
+        cluster: InprocKeraCluster,
+        *,
+        base_stream_id: int = 1 << 20,
+        streamlets_per_object: int = 1,
+        writer_id: int = 1 << 16,
+    ) -> None:
+        self.cluster = cluster
+        self.streamlets_per_object = streamlets_per_object
+        self._stream_ids = IdGenerator(start=base_stream_id)
+        self._writer_id = writer_id
+        self._catalog: dict[bytes, ObjectInfo] = {}
+        self.part_size = cluster.config.chunk_size - _HEADER_SLACK
+        if self.part_size <= 0:
+            raise StorageError(
+                "chunk_size too small to carry object parts "
+                f"({cluster.config.chunk_size} bytes)"
+            )
+
+    # -- write path ------------------------------------------------------------
+
+    def put(self, name: bytes | str, data: bytes) -> ObjectInfo:
+        """Durably store ``data`` under ``name`` (immutable; re-put is an
+        error — objects are bounded streams, not mutable files)."""
+        key = name.encode() if isinstance(name, str) else bytes(name)
+        if not key:
+            raise StorageError("object name must be non-empty")
+        if key in self._catalog:
+            raise StorageError(f"object {key!r} already exists")
+        part_size = self.part_size - len(key)
+        if part_size <= 0:
+            raise StorageError(f"object name {key!r} too long for the chunk size")
+        stream_id = self._stream_ids.next()
+        self.cluster.create_stream(stream_id, self.streamlets_per_object)
+        producer = KeraProducer(self.cluster, producer_id=self._writer_id)
+        parts = [data[i : i + part_size] for i in range(0, len(data), part_size)] or [b""]
+        for index, part in enumerate(parts):
+            is_last = index == len(parts) - 1
+            producer.send(
+                stream_id,
+                part,
+                keys=(key,),
+                version=index,
+                timestamp=_EOF_MARK if is_last else 0,
+                streamlet_id=index % self.streamlets_per_object,
+            )
+        producer.flush()
+        info = ObjectInfo(name=key, size=len(data), parts=len(parts), stream_id=stream_id)
+        self._catalog[key] = info
+        return info
+
+    # -- read path ----------------------------------------------------------------
+
+    def get(self, name: bytes | str) -> bytes:
+        """Read an object back, reassembling its parts in version order
+        and verifying the end-of-object marker."""
+        info = self.stat(name)
+        consumer = KeraConsumer(
+            self.cluster, consumer_id=self._writer_id, stream_ids=[info.stream_id]
+        )
+        records = consumer.drain()
+        parts: dict[int, Record] = {}
+        for record in records:
+            if record.key != info.name:
+                raise StorageError(
+                    f"foreign record in object stream {info.stream_id}"
+                )
+            assert record.version is not None
+            parts[record.version] = record
+        if sorted(parts) != list(range(info.parts)):
+            raise StorageError(
+                f"object {info.name!r} incomplete: have parts {sorted(parts)}"
+            )
+        last = parts[info.parts - 1]
+        if last.timestamp != _EOF_MARK:
+            raise StorageError(f"object {info.name!r} missing end-of-object marker")
+        return b"".join(parts[i].value for i in range(info.parts))
+
+    def stat(self, name: bytes | str) -> ObjectInfo:
+        key = name.encode() if isinstance(name, str) else bytes(name)
+        info = self._catalog.get(key)
+        if info is None:
+            raise StorageError(f"unknown object {key!r}")
+        return info
+
+    def list(self) -> list[ObjectInfo]:
+        return [self._catalog[k] for k in sorted(self._catalog)]
+
+    def __contains__(self, name: bytes | str) -> bool:
+        key = name.encode() if isinstance(name, str) else bytes(name)
+        return key in self._catalog

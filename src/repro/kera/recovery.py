@@ -1,0 +1,139 @@
+"""Crash recovery: re-ingest a failed broker's data from the backups.
+
+``Backups read segments from disk and issue writes to the new brokers
+responsible for recovering a crashed broker's lost data at recovery time.
+Each of these requests is handled as a normal producer request (i.e.,
+chunks are ingested into their respective groups) while metadata is
+safely reconstructed`` (paper, Section IV-B).
+
+Because consecutive virtual segments scatter over rotating backup sets,
+each backup holds a *subset* of the broker's virtual segments, and with
+R >= 3 every virtual segment exists on several backups. Recovery merges
+the copies by virtual segment id (creation order — which, per virtual
+log, is chunk append order), verifies replica consistency, routes every
+chunk to the streamlet's new leader, and replays it through the ordinary
+produce path. Exactly-once de-duplication makes replayed duplicates
+harmless; per-(streamlet, entry) ordering is preserved because all chunks
+of an entry flow through one virtual log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import RecoveryError
+from repro.wire.chunk import Chunk
+from repro.kera.inproc import InprocKeraCluster
+from repro.kera.messages import ProduceRequest
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass did."""
+
+    failed_broker: int
+    vsegs_merged: int = 0
+    chunks_recovered: int = 0
+    records_recovered: int = 0
+    duplicates_dropped: int = 0
+    #: (stream, streamlet) -> new leader, as executed.
+    reassignments: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: How many backups contributed at least one virtual segment.
+    backups_read: int = 0
+
+
+def merge_backup_copies(
+    copies: list[list[tuple[int, list[Chunk]]]],
+) -> list[tuple[int, list[Chunk]]]:
+    """Merge per-backup ``(vseg_id, chunks)`` runs into one ordered run.
+
+    Replicas of the same virtual segment must agree on the chunk sequence
+    up to a prefix (a backup acked earlier batches only); the longest
+    replica wins. Any divergence is a corruption signal, not a race.
+    """
+    merged: dict[int, list[Chunk]] = {}
+    for backup_run in copies:
+        for vseg_id, chunks in backup_run:
+            existing = merged.get(vseg_id)
+            if existing is None:
+                merged[vseg_id] = list(chunks)
+                continue
+            short, long_ = (
+                (existing, chunks) if len(existing) <= len(chunks) else (chunks, existing)
+            )
+            for mine, theirs in zip(short, long_):
+                if mine.dedup_key() != theirs.dedup_key() or mine.payload_crc != theirs.payload_crc:
+                    raise RecoveryError(
+                        f"replica divergence in virtual segment {vseg_id}: "
+                        f"{mine.dedup_key()} vs {theirs.dedup_key()}"
+                    )
+            merged[vseg_id] = list(long_)
+    return [(vseg_id, merged[vseg_id]) for vseg_id in sorted(merged)]
+
+
+def recover_broker(cluster: InprocKeraCluster, failed_broker: int) -> RecoveryReport:
+    """Full recovery of one crashed broker on the in-process cluster.
+
+    1. The coordinator marks the broker failed and reassigns streamlets.
+    2. Surviving brokers repair virtual segments that used the dead node
+       as a backup (:meth:`InprocKeraCluster.crash_broker`).
+    3. Backups hand over the dead broker's replicated segments; copies
+       are merged and replayed into the new leaders as ordinary produce
+       requests, replicated to the (surviving) backups.
+    """
+    report = RecoveryReport(failed_broker=failed_broker)
+    plan = cluster.coordinator.plan_recovery(failed_broker)
+    report.reassignments = dict(plan.reassignments)
+    cluster.crash_broker(failed_broker)
+
+    # Gather the lost data from every surviving backup.
+    copies = []
+    for node, backup in cluster.backups.items():
+        if node == failed_broker:
+            continue
+        run = backup.recovery_chunks(failed_broker)
+        if run:
+            copies.append(run)
+            report.backups_read += 1
+    merged = merge_backup_copies(copies)
+    report.vsegs_merged = len(merged)
+
+    # Make sure target brokers know the reassigned streamlets.
+    for (stream_id, streamlet_id), target in plan.reassignments.items():
+        broker = cluster.brokers[target]
+        if stream_id in broker.registry:
+            stream = broker.registry.get(stream_id)
+            if streamlet_id not in stream.streamlet_ids:
+                stream.add_streamlet(streamlet_id)
+        else:
+            broker.create_stream(stream_id, [streamlet_id])
+
+    # Replay in virtual-segment order; route each chunk to its new leader.
+    for _, chunks in merged:
+        by_target: dict[int, list[Chunk]] = {}
+        for chunk in chunks:
+            target = plan.reassignments.get((chunk.stream_id, chunk.streamlet_id))
+            if target is None:
+                raise RecoveryError(
+                    f"recovered chunk for ({chunk.stream_id}, {chunk.streamlet_id}) "
+                    "which was not led by the failed broker"
+                )
+            by_target.setdefault(target, []).append(chunk)
+        for target, target_chunks in by_target.items():
+            broker = cluster.brokers[target]
+            request = ProduceRequest(
+                request_id=cluster._request_ids.next(),
+                producer_id=0,  # per-chunk producer ids drive routing/dedup
+                chunks=target_chunks,
+            )
+            outcome = broker.handle_produce(request)
+            cluster.pump_replication(target)
+            report.chunks_recovered += len(outcome.new_chunks)
+            report.records_recovered += outcome.new_records
+            report.duplicates_dropped += outcome.duplicates
+
+    # The recovered broker's backup data is no longer needed.
+    for node, backup in cluster.backups.items():
+        if node != failed_broker:
+            backup.store.drop_broker(failed_broker)
+    return report

@@ -1,0 +1,160 @@
+"""The backup service's sans-IO core.
+
+``The virtual segment's chunks are replicated into a corresponding backup
+in-memory segment. The backup asynchronously writes the segment on
+storage to ensure durability. The backup's segments contain chunks from
+possibly various groups of different streamlets of multiple streams``
+(paper, Section IV-B).
+
+The store keeps one replicated segment per (source broker, virtual log,
+virtual segment); payload checksums are verified on arrival when bytes
+are present; flush work is queued for the driver's asynchronous disk
+writer; and at recovery time the store hands back every chunk (with its
+``[group, segment]`` placement tags) for re-ingestion by the new brokers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import ReplicationError
+from repro.wire.buffers import AppendBuffer
+from repro.wire.chunk import Chunk, encode_chunk
+
+
+@dataclass
+class ReplicatedSegment:
+    """A backup's in-memory copy of one virtual segment's chunks."""
+
+    src_broker: int
+    vlog_id: int
+    vseg_id: int
+    capacity: int
+    materialize: bool = True
+    buffer: AppendBuffer = field(init=False)
+    chunks: list[Chunk] = field(default_factory=list)
+    #: Bytes already written to secondary storage.
+    flushed_bytes: int = 0
+    sealed: bool = False
+
+    def __post_init__(self) -> None:
+        self.buffer = AppendBuffer(self.capacity, materialize=self.materialize)
+
+    @property
+    def bytes_held(self) -> int:
+        return self.buffer.head
+
+    @property
+    def unflushed_bytes(self) -> int:
+        return self.buffer.head - self.flushed_bytes
+
+    def append(self, chunk: Chunk) -> None:
+        if chunk.payload is not None:
+            chunk.verify_payload()
+        if self.materialize:
+            self.buffer.append(encode_chunk(chunk))
+        else:
+            self.buffer.reserve(chunk.size)
+        self.chunks.append(chunk)
+
+
+class BackupStore:
+    """All replicated segments held by one backup node."""
+
+    def __init__(self, node_id: int, *, materialize: bool = True) -> None:
+        self.node_id = node_id
+        self.materialize = materialize
+        self._segments: dict[tuple[int, int, int], ReplicatedSegment] = {}
+        self._chunks_received = 0
+        self._batches_received = 0
+
+    # -- replication path ------------------------------------------------------
+
+    def append_batch(
+        self,
+        *,
+        src_broker: int,
+        vlog_id: int,
+        vseg_id: int,
+        chunks: list[Chunk],
+        segment_capacity: int,
+    ) -> ReplicatedSegment:
+        """Ingest one replication RPC's chunks; returns the segment so the
+        driver can schedule an asynchronous flush."""
+        key = (src_broker, vlog_id, vseg_id)
+        segment = self._segments.get(key)
+        if segment is None:
+            segment = ReplicatedSegment(
+                src_broker=src_broker,
+                vlog_id=vlog_id,
+                vseg_id=vseg_id,
+                capacity=segment_capacity,
+                materialize=self.materialize,
+            )
+            self._segments[key] = segment
+        if segment.sealed:
+            raise ReplicationError(
+                f"replication append on sealed backup segment {key}"
+            )
+        for chunk in chunks:
+            segment.append(chunk)
+        self._chunks_received += len(chunks)
+        self._batches_received += 1
+        return segment
+
+    def seal(self, src_broker: int, vlog_id: int, vseg_id: int) -> None:
+        key = (src_broker, vlog_id, vseg_id)
+        if key in self._segments:
+            self._segments[key].sealed = True
+
+    # -- flush accounting ---------------------------------------------------------
+
+    def take_flush_work(self, segment: ReplicatedSegment) -> int:
+        """Mark the segment's unflushed bytes as being written; returns the
+        byte count the disk writer should charge."""
+        nbytes = segment.unflushed_bytes
+        segment.flushed_bytes = segment.bytes_held
+        return nbytes
+
+    def total_unflushed(self) -> int:
+        return sum(s.unflushed_bytes for s in self._segments.values())
+
+    # -- recovery path ---------------------------------------------------------------
+
+    def segments_for_broker(self, src_broker: int) -> list[ReplicatedSegment]:
+        """The crashed broker's segments held here, in virtual-log order —
+        ``backups read segments from disk and issue writes to the new
+        brokers responsible for recovering a crashed broker's lost data``."""
+        keys = sorted(k for k in self._segments if k[0] == src_broker)
+        return [self._segments[k] for k in keys]
+
+    def chunks_for_broker(self, src_broker: int) -> Iterator[Chunk]:
+        for segment in self.segments_for_broker(src_broker):
+            yield from segment.chunks
+
+    def drop_broker(self, src_broker: int) -> int:
+        """Discard a recovered broker's segments; returns bytes freed."""
+        keys = [k for k in self._segments if k[0] == src_broker]
+        freed = 0
+        for key in keys:
+            freed += self._segments.pop(key).bytes_held
+        return freed
+
+    # -- stats ---------------------------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def chunks_received(self) -> int:
+        return self._chunks_received
+
+    @property
+    def batches_received(self) -> int:
+        return self._batches_received
+
+    @property
+    def bytes_held(self) -> int:
+        return sum(s.bytes_held for s in self._segments.values())

@@ -1,0 +1,43 @@
+"""Chunk references: what a virtual segment actually stores.
+
+``the virtual segment (implemented as an append-only in-memory buffer)
+holds the chunks' metadata it further uses to replicate the actual chunks
+to backups`` (paper, Section III). A reference never copies record bytes
+— replication reads them zero-copy out of the physical segment when the
+batch is shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.segment import StoredChunk
+
+#: Bytes of metadata a chunk reference occupies in a virtual segment
+#: (physical segment pointer, offset, length, checksum, placement tags).
+CHUNK_REF_WIRE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """An ordered entry of a virtual segment pointing at a stored chunk."""
+
+    #: Position of this reference within its virtual segment.
+    ref_index: int
+    #: Virtual offset: byte position within the virtual segment's space
+    #: accounted from the accumulated chunk lengths.
+    virtual_offset: int
+    stored: StoredChunk
+
+    @property
+    def length(self) -> int:
+        """Physical chunk length (header + payload) this reference covers."""
+        return self.stored.length
+
+    @property
+    def virtual_end(self) -> int:
+        return self.virtual_offset + self.length
+
+    @property
+    def payload_crc(self) -> int:
+        return self.stored.payload_crc

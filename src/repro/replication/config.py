@@ -1,0 +1,60 @@
+"""Replication configuration: factor, capacity, and sharing policy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+
+
+class PolicyMode(enum.Enum):
+    """How streamlets are associated with virtual logs.
+
+    * ``SHARED`` — the broker's virtual logs are shared by *all* streams;
+      a streamlet maps to ``hash(stream, streamlet) % vlogs_per_broker``
+      (the paper's latency-oriented configurations: "four virtual logs per
+      broker shared by all streams").
+    * ``PER_SUBPARTITION`` — one virtual log per (streamlet, active-group
+      entry) pair (the throughput configurations: "one virtual log per
+      sub-partition", 32 per broker in Figures 17-21).
+    """
+
+    SHARED = "shared"
+    PER_SUBPARTITION = "per_subpartition"
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Tunables for the virtual-log replication engine."""
+
+    #: R: total copies including the broker's (paper: 1-3).
+    replication_factor: int = 3
+    #: Replication capacity: virtual logs per broker (SHARED mode).
+    vlogs_per_broker: int = 4
+    #: Virtual space per virtual segment.
+    virtual_segment_size: int = 8 * MB
+    #: Streamlet-to-virtual-log association mode.
+    policy: PolicyMode = PolicyMode.SHARED
+    #: Cap on chunks shipped per replication RPC (0 = unlimited): the
+    #: group-commit batch is otherwise bounded only by what accumulated
+    #: while the previous RPC was in flight.
+    max_batch_chunks: int = 0
+    #: Cap on payload bytes per replication RPC (0 = unlimited).
+    max_batch_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ConfigError("replication_factor must be >= 1")
+        if self.vlogs_per_broker < 1:
+            raise ConfigError("vlogs_per_broker must be >= 1")
+        if self.virtual_segment_size <= 0:
+            raise ConfigError("virtual_segment_size must be positive")
+        if self.max_batch_chunks < 0 or self.max_batch_bytes < 0:
+            raise ConfigError("batch caps must be >= 0")
+
+    @property
+    def num_backup_copies(self) -> int:
+        """Passive copies on backups (R minus the broker's active copy)."""
+        return self.replication_factor - 1

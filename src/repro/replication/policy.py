@@ -1,0 +1,128 @@
+"""Streamlet→virtual-log association and backup selection.
+
+Two policies from the evaluation:
+
+* **SHARED** — ``KerA uses for replication four virtual logs per broker
+  shared by all streams`` (Figure 8): deterministic hash of
+  ``(stream, streamlet)`` over the broker's virtual logs;
+* **PER_SUBPARTITION** — ``KerA configures one virtual log per
+  sub-partition`` (Figure 11/17-21): the (streamlet, entry) pair gets its
+  own virtual log, created on demand.
+
+Backup selection follows RAMCloud: when a virtual segment opens, a set of
+``R - 1`` distinct backups excluding the primary is chosen, rotating so
+that consecutive virtual segments scatter over all nodes — ``distributing
+data to all backups helps at recovery time since data can be read in
+parallel from many backups``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, ReplicationError
+from repro.replication.config import PolicyMode, ReplicationConfig
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a full-avalanche integer hash.
+
+    A plain multiplicative hash is not enough here: brokers receive
+    streams whose ids share a residue class (the coordinator assigns
+    leaders round-robin), and ``(stream_id * odd) % vlogs`` maps a whole
+    residue class to one virtual log — silently serializing all
+    replication through it.
+    """
+    x &= 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x
+
+
+class ReplicationPolicy:
+    """Maps a (stream, streamlet, entry) append to a virtual-log key."""
+
+    __slots__ = ("config", "_subpartition_keys")
+
+    def __init__(self, config: ReplicationConfig) -> None:
+        self.config = config
+        self._subpartition_keys: dict[tuple[int, int, int], int] = {}
+
+    def vlog_key(self, stream_id: int, streamlet_id: int, entry: int) -> int:
+        """Deterministic virtual-log index for this append's target.
+
+        SHARED hashes the full (stream, streamlet, entry) sub-partition so
+        a single 32-sub-partition stream can still spread over many shared
+        virtual logs (the paper's Figure 21 sweep).
+        """
+        if self.config.policy is PolicyMode.SHARED:
+            return (
+                _mix64(stream_id * 131_071 + streamlet_id * 257 + entry)
+                % self.config.vlogs_per_broker
+            )
+        key = (stream_id, streamlet_id, entry)
+        index = self._subpartition_keys.get(key)
+        if index is None:
+            index = len(self._subpartition_keys)
+            self._subpartition_keys[key] = index
+        return index
+
+    @property
+    def max_vlogs(self) -> int | None:
+        """Upper bound on virtual logs (None when created on demand)."""
+        if self.config.policy is PolicyMode.SHARED:
+            return self.config.vlogs_per_broker
+        return None
+
+
+class BackupSelector:
+    """Rotating distinct-backup choice for new virtual segments."""
+
+    __slots__ = ("primary", "candidates", "copies", "_cursor")
+
+    def __init__(self, *, primary: int, nodes: list[int], copies: int) -> None:
+        self.primary = primary
+        self.candidates = [n for n in nodes if n != primary]
+        self.copies = copies
+        self._cursor = primary  # stagger start per broker
+        if copies < 0:
+            raise ConfigError("backup copies must be >= 0")
+        if copies > len(self.candidates):
+            raise ReplicationError(
+                f"replication needs {copies} backups but only "
+                f"{len(self.candidates)} non-primary nodes exist"
+            )
+
+    def select(self) -> tuple[int, ...]:
+        """Choose the next set of ``copies`` distinct backups."""
+        if self.copies == 0:
+            return ()
+        chosen = []
+        for i in range(self.copies):
+            chosen.append(self.candidates[(self._cursor + i) % len(self.candidates)])
+        self._cursor = (self._cursor + 1) % len(self.candidates)
+        return tuple(chosen)
+
+    def replace(self, backups: tuple[int, ...], failed: int) -> tuple[int, ...]:
+        """Return ``backups`` with ``failed`` swapped for a healthy node."""
+        if failed not in backups:
+            raise ReplicationError(f"node {failed} is not among backups {backups}")
+        pool = [n for n in self.candidates if n != failed and n not in backups]
+        if not pool:
+            raise ReplicationError(
+                f"no replacement backup available for failed node {failed}"
+            )
+        replacement = pool[self._cursor % len(pool)]
+        self._cursor = (self._cursor + 1) % max(len(self.candidates), 1)
+        return tuple(replacement if b == failed else b for b in backups)
+
+    def remove_candidate(self, node: int) -> None:
+        """Permanently drop a crashed node from the candidate pool."""
+        if node in self.candidates:
+            self.candidates.remove(node)
+        if self.copies > len(self.candidates):
+            raise ReplicationError(
+                f"cluster too small after losing node {node}: need "
+                f"{self.copies} backups, have {len(self.candidates)}"
+            )

@@ -1,0 +1,139 @@
+"""Virtual segments: ordered chunk references with replication watermarks.
+
+Each virtual segment keeps (paper, Section IV-B):
+
+* an ordered list of chunk references;
+* the *header* — the next available/free virtual offset, computed from
+  the accumulated chunk lengths;
+* the *durable header* — pointing at the next chunk to be replicated
+  (every chunk below it is on all of the segment's backups);
+* a header checksum that covers the chunks' checksums, which backups use
+  for recovery and data integrity;
+* the set of backups chosen at open time.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.checksum import crc32c_update
+from repro.common.errors import ReplicationError, SegmentFullError, SegmentSealedError
+from repro.replication.chunk_ref import ChunkRef
+from repro.storage.segment import StoredChunk
+
+_CRC_PACK = struct.Struct("<I")
+
+
+class VirtualSegment:
+    """An append-only run of chunk references bound to one backup set."""
+
+    __slots__ = (
+        "vlog_id",
+        "vseg_id",
+        "capacity",
+        "backups",
+        "refs",
+        "_header",
+        "_durable_index",
+        "_checksum",
+        "_sealed",
+    )
+
+    def __init__(
+        self, *, vlog_id: int, vseg_id: int, capacity: int, backups: tuple[int, ...]
+    ) -> None:
+        self.vlog_id = vlog_id
+        self.vseg_id = vseg_id
+        self.capacity = capacity
+        self.backups = backups
+        self.refs: list[ChunkRef] = []
+        self._header = 0
+        self._durable_index = 0
+        self._checksum = 0
+        self._sealed = False
+
+    # -- append path -------------------------------------------------------
+
+    @property
+    def header(self) -> int:
+        """Next free virtual offset (accumulated chunk lengths)."""
+        return self._header
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._header
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def append_ref(self, stored: StoredChunk) -> ChunkRef:
+        """Reference ``stored``; raises :class:`SegmentFullError` when the
+        virtual space is exhausted (the virtual log then rolls)."""
+        if self._sealed:
+            raise SegmentSealedError(
+                f"append on sealed virtual segment {self.vseg_id}"
+            )
+        if stored.length > self.remaining:
+            raise SegmentFullError(
+                f"chunk of {stored.length} bytes exceeds virtual segment "
+                f"{self.vseg_id} remaining space {self.remaining}"
+            )
+        ref = ChunkRef(
+            ref_index=len(self.refs), virtual_offset=self._header, stored=stored
+        )
+        self.refs.append(ref)
+        self._header += stored.length
+        # The virtual segment header checksum covers the chunks' checksums.
+        self._checksum = crc32c_update(
+            self._checksum, _CRC_PACK.pack(stored.payload_crc)
+        )
+        return ref
+
+    def seal(self) -> None:
+        self._sealed = True
+
+    @property
+    def checksum(self) -> int:
+        """CRC-32C over the referenced chunks' CRCs, in order."""
+        return self._checksum
+
+    # -- replication watermarks ------------------------------------------------
+
+    @property
+    def durable_index(self) -> int:
+        """Index of the next reference awaiting replication."""
+        return self._durable_index
+
+    @property
+    def durable_header(self) -> int:
+        """Virtual offset of the next chunk to be replicated."""
+        if self._durable_index == 0:
+            return 0
+        return self.refs[self._durable_index - 1].virtual_end
+
+    @property
+    def fully_replicated(self) -> bool:
+        return self._durable_index == len(self.refs)
+
+    def unreplicated(self) -> list[ChunkRef]:
+        return self.refs[self._durable_index :]
+
+    def mark_replicated(self, count: int) -> list[ChunkRef]:
+        """Advance the durable header past the next ``count`` references
+        (atomic per chunk: partial chunks are never durable)."""
+        if count < 0 or self._durable_index + count > len(self.refs):
+            raise ReplicationError(
+                f"cannot mark {count} refs replicated "
+                f"({self._durable_index}/{len(self.refs)} done)"
+            )
+        done = self.refs[self._durable_index : self._durable_index + count]
+        self._durable_index += count
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualSegment(vlog={self.vlog_id}, vseg={self.vseg_id}, "
+            f"refs={len(self.refs)}, durable={self._durable_index}, "
+            f"backups={self.backups}, sealed={self._sealed})"
+        )

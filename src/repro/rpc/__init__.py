@@ -1,0 +1,25 @@
+"""RPC framework: RAMCloud-style dispatch/worker request processing.
+
+KerA ``builds atop RAMCloud's RPC framework ... borrowing the
+dispatch-worker threading mechanism for handling RPCs`` (paper, Sections
+IV and V-E). This package models that structure over the simulated
+network:
+
+* each :class:`~repro.rpc.node.SimNode` owns a dispatch-core resource and
+  a worker-core pool (plus its NIC and disk);
+* an RPC costs dispatch CPU on the sender, wire transfer, dispatch CPU on
+  the receiver, then a worker core executes the service handler;
+* handlers are generators and may themselves issue nested RPCs (the
+  broker's synchronous replication to backups) or explicitly release
+  their worker while parked on a completion event (Kafka's produce
+  purgatory) by yielding :data:`RELEASE_WORKER`.
+
+The per-message dispatch cost is deliberately prominent: the paper's
+virtual-log consolidation wins precisely because it reduces how many
+replication messages cross this path.
+"""
+
+from repro.rpc.node import SimNode
+from repro.rpc.fabric import RpcFabric, Service, RELEASE_WORKER, RpcStats
+
+__all__ = ["SimNode", "RpcFabric", "Service", "RELEASE_WORKER", "RpcStats"]

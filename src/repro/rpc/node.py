@@ -1,0 +1,41 @@
+"""A simulated cluster node: cores, NIC, disk.
+
+The paper configures ``a broker with 16 threads that correspond to the
+number of cores of a node``; following RAMCloud's threading model one
+core polls and dispatches requests while the rest execute them. Client
+machines (producers/consumers ``run on different nodes``) are modeled as
+nodes too, with the same structure.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costmodel import CostModel
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class SimNode:
+    """One machine: dispatch core, worker cores, NIC (held by the fabric's
+    network model), and a disk for backup flushes."""
+
+    __slots__ = ("env", "node_id", "cost", "dispatch", "workers", "disk", "name")
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        cost: CostModel,
+        *,
+        name: str = "",
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.cost = cost
+        self.name = name or f"node{node_id}"
+        self.dispatch = Resource(env, cost.dispatch_cores)
+        self.workers = Resource(env, cost.worker_cores)
+        self.disk = DiskModel(env, cost)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNode({self.name}, workers={self.cost.worker_cores})"

@@ -1,0 +1,60 @@
+"""Secondary-storage model for backup nodes.
+
+Backups asynchronously write buffered segments to disk ``with the same
+in-memory format`` (paper, Section III); the producer request path never
+waits on the disk, so this model only matters for (a) recovery reads and
+(b) verifying that the flush queue keeps up with ingestion. One disk arm
+per node: seek overhead plus sequential bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+
+class DiskModel:
+    """A single disk with FIFO scheduling."""
+
+    __slots__ = ("env", "cost", "_arm", "_bytes_written", "_bytes_read", "_flushes")
+
+    def __init__(self, env: Environment, cost: CostModel) -> None:
+        self.env = env
+        self.cost = cost
+        self._arm = Resource(env, 1)
+        self._bytes_written = 0
+        self._bytes_read = 0
+        self._flushes = 0
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read
+
+    @property
+    def flush_count(self) -> int:
+        return self._flushes
+
+    @property
+    def queue_length(self) -> int:
+        return self._arm.queue_length
+
+    def _io_time(self, nbytes: int) -> float:
+        return self.cost.disk_seek + nbytes / self.cost.disk_bandwidth
+
+    def write(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Sub-process: durably write ``nbytes`` (one flush)."""
+        self._bytes_written += nbytes
+        self._flushes += 1
+        yield from self._arm.use(self._io_time(nbytes))
+
+    def read(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Sub-process: read ``nbytes`` (recovery path)."""
+        self._bytes_read += nbytes
+        yield from self._arm.use(self._io_time(nbytes))

@@ -1,0 +1,381 @@
+"""Discrete-event simulation engine.
+
+A lean, dependency-free implementation of the generator-process model:
+processes are Python generators that ``yield`` events; the environment
+resumes them when those events fire. The scheduler is a binary heap keyed
+by ``(time, sequence)`` so same-time events run in schedule order —
+determinism is a hard requirement (every benchmark must be reproducible
+bit-for-bit from its seed).
+
+Typical usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 1.0 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called
+    (its value is then fixed), and *processed* once its callbacks have run.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; callbacks run at the current time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters have it raised."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator may ``yield`` any untriggered (or triggered-but-pending)
+    :class:`Event`; it is resumed with the event's value, or has the
+    event's exception raised into it if the event failed.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume on an immediately-scheduled event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._value = None
+        init._ok = True
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself synchronously")
+        # Disarm the event the process is waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        hit = Event(self.env)
+        hit.callbacks.append(self._resume)
+        hit._value = Interrupt(cause)
+        hit._ok = False
+        self.env._schedule(hit)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    if isinstance(exc, Interrupt):
+                        target = self._generator.throw(exc)
+                    else:
+                        target = self._generator.throw(exc)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self._value = stop.value
+                    self._ok = True
+                    self.env._schedule(self)
+                return
+            except BaseException as exc:
+                if not self.triggered:
+                    self._value = exc
+                    self._ok = False
+                    self.env._schedule(self)
+                    return
+                raise
+            if not isinstance(target, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                event = Event(self.env)
+                event._value = err
+                event._ok = False
+                continue
+            if target.callbacks is not None:
+                # Not yet processed: wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+            # Already processed: resume immediately with its outcome.
+            event = target
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for ev in self._events:
+            if ev.callbacks is None:
+                # Already processed.
+                self._check(ev, immediate=True)
+            else:
+                self._remaining += 1
+                ev.callbacks.append(self._on_event)
+        self._finalize_if_ready()
+
+    def _on_event(self, ev: Event) -> None:
+        self._remaining -= 1
+        self._check(ev, immediate=False)
+
+    # Subclasses implement _check/_finalize_if_ready semantics.
+    def _check(self, ev: Event, immediate: bool) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _finalize_if_ready(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; fails fast on child failure.
+
+    Succeeds with a list of child values in construction order.
+    """
+
+    def _check(self, ev: Event, immediate: bool) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self._value = ev._value
+            self._ok = False
+            self.env._schedule(self)
+            return
+        if not immediate and self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+    def _finalize_if_ready(self) -> None:
+        if not self.triggered and self._remaining == 0:
+            # All children were already processed successfully.
+            for ev in self._events:
+                if not ev._ok:
+                    self._value = ev._value
+                    self._ok = False
+                    self.env._schedule(self)
+                    return
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Condition):
+    """Fires as soon as any child event fires (with that child's outcome)."""
+
+    def _check(self, ev: Event, immediate: bool) -> None:
+        if self.triggered:
+            return
+        if ev._ok:
+            self._value = (ev, ev._value)
+            self._ok = True
+        else:
+            self._value = ev._value
+            self._ok = False
+        self.env._schedule(self)
+
+    def _finalize_if_ready(self) -> None:
+        if not self.triggered and self._events:
+            for ev in self._events:
+                if ev.callbacks is None:
+                    self._check(ev, immediate=False)
+                    return
+
+
+class Environment:
+    """Holds simulated time and the event heap; drives the simulation."""
+
+    __slots__ = ("_now", "_heap", "_seq", "_active_count")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("scheduler time went backwards")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited on: surface it rather than
+            # silently dropping a broken invariant.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the given time, until an event fires, or to quiescence.
+
+        * ``until`` is a number: run events scheduled strictly before it and
+          advance ``now`` to it.
+        * ``until`` is an event: run until that event has been processed and
+          return its value (raising if it failed).
+        * ``until`` is ``None``: run until no events remain.
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "deadlock: no scheduled events but the awaited event never fired"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run backwards to {horizon} (now={self._now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,80 @@
+"""Network model: per-node NICs with bandwidth serialization plus latency.
+
+A message from node A to node B costs:
+
+1. serialization on A's transmit side at link bandwidth (messages from the
+   same node share the NIC — this is where replication traffic competes
+   with produce responses),
+2. one-way propagation latency,
+3. serialization on B's receive side.
+
+NICs are full duplex: tx and rx are independent resources, as on real
+10 GbE hardware. Loopback (A == B) costs only a small in-memory latency —
+colocated broker/backup services on one node do not traverse the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.common.errors import SimulationError
+from repro.common.units import USEC
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+
+#: In-memory hand-off latency for same-node messages.
+LOOPBACK_LATENCY = 2 * USEC
+
+
+class Nic:
+    """Full-duplex NIC of one node."""
+
+    __slots__ = ("node_id", "tx", "rx")
+
+    def __init__(self, env: Environment, node_id: int) -> None:
+        self.node_id = node_id
+        self.tx = Resource(env, 1)
+        self.rx = Resource(env, 1)
+
+
+class NetworkModel:
+    """All NICs of the cluster plus the transfer cost logic."""
+
+    def __init__(self, env: Environment, num_nodes: int, cost: CostModel) -> None:
+        if num_nodes <= 0:
+            raise SimulationError("cluster needs at least one node")
+        self.env = env
+        self.cost = cost
+        self.nics = [Nic(env, node) for node in range(num_nodes)]
+        self._bytes_sent = 0
+        self._messages_sent = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nics)
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    def transfer(
+        self, src: int, dst: int, payload_bytes: int
+    ) -> Generator[Event, Any, None]:
+        """Sub-process that completes when the message has fully arrived."""
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise SimulationError(f"transfer between unknown nodes {src}->{dst}")
+        nbytes = self.cost.wire_size(payload_bytes)
+        self._bytes_sent += nbytes
+        self._messages_sent += 1
+        if src == dst:
+            yield self.env.timeout(LOOPBACK_LATENCY)
+            return
+        wire_time = self.cost.transfer_time(nbytes)
+        yield from self.nics[src].tx.use(wire_time)
+        yield self.env.timeout(self.cost.net_latency)
+        yield from self.nics[dst].rx.use(wire_time)

@@ -1,0 +1,152 @@
+"""Counted resources and FIFO stores for the simulation engine.
+
+* :class:`Resource` models a pool of identical servers (worker cores, the
+  dispatch core, a disk arm): processes ``yield resource.acquire()`` and
+  must call :meth:`Resource.release` when done. Grants are strictly FIFO —
+  the determinism requirement again.
+* :class:`Store` is an unbounded FIFO queue of items with blocking ``get``
+  — the shared-memory chunk queues between the producer's source thread
+  and requests thread (paper, Figure 6) are Stores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    The convenience :meth:`use` wraps acquire → hold ``service_time`` →
+    release as a process generator, which is the dominant usage pattern in
+    the cluster drivers::
+
+        yield from cpu.use(cost)          # inside another process
+    """
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters", "_stat_busy", "_stat_last")
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # Busy-time accounting for utilization metrics.
+        self._stat_busy = 0.0
+        self._stat_last = env.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._stat_busy += self._in_use * (now - self._stat_last)
+        self._stat_last = now
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of capacity busy over ``elapsed`` seconds."""
+        self._account()
+        if elapsed <= 0:
+            return 0.0
+        return self._stat_busy / (elapsed * self.capacity)
+
+    def reset_stats(self) -> None:
+        self._account()
+        self._stat_busy = 0.0
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a unit is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a unit; the longest waiter (if any) is granted immediately."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        self._account()
+        if self._waiters:
+            # Hand the unit straight to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, service_time: float) -> Generator[Event, Any, None]:
+        """acquire → hold for ``service_time`` → release, as a sub-process.
+
+        Fast path: when a unit is free and nobody queues, the grant is
+        immediate (no extra scheduler event) — this is the dominant case
+        on uncontended client nodes and saves ~25% of all sim events.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+        else:
+            yield self.acquire()
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO queue with blocking ``get``.
+
+    ``put`` never blocks (the paper's producer threads communicate through
+    shared memory with recycled chunk buffers; back-pressure comes from the
+    closed-loop request path, not from these queues).
+    """
+
+    __slots__ = ("env", "_items", "_getters")
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        """Pop the next item immediately; raise if empty."""
+        if not self._items:
+            raise SimulationError("get_nowait() on empty store")
+        return self._items.popleft()
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items (non-blocking)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

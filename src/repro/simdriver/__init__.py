@@ -1,0 +1,14 @@
+"""Shared discrete-event cluster driver machinery.
+
+Both simulated systems — KerA (:mod:`repro.kera.cluster_sim`) and the
+Apache Kafka baseline (:mod:`repro.kafka.cluster_sim`) — drive identical
+clients against different broker/replication engines. This package holds
+everything they share: node layout, the fluid-source producer model, the
+two-thread consumer model, produce-ack completion plumbing, and result
+assembly. Keeping the client model literally the same code is what makes
+the KerA-vs-Kafka comparisons apples-to-apples, as in the paper.
+"""
+
+from repro.simdriver.base import BaseSimCluster, SimWorkload, SimResult
+
+__all__ = ["BaseSimCluster", "SimWorkload", "SimResult"]

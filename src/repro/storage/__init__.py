@@ -1,0 +1,41 @@
+"""Log-structured storage engine: segments, groups, streamlets, streams.
+
+The paper's dynamic partitioning model (Section IV-A, Figures 3 and 4):
+
+* a **stream** is an unbounded sequence of records, partitioned into up to
+  M **streamlets**;
+* a streamlet is divided into fixed-size sub-partitions called **groups of
+  segments**, created dynamically as data arrives; up to Q groups are
+  *active* (accepting appends) at a time, and a producer writes to the
+  active group at entry ``producer_id % Q``;
+* a **segment** is a fixed-size append-only in-memory buffer (e.g. 8 MB)
+  with the same structure in memory and on disk;
+* **lightweight offset indexing** maps logical record offsets to
+  ``(group, segment, byte offset)`` for sequential record access.
+
+Durability is *not* this package's job — consumers may only read a chunk
+once its bytes fall below the owning segment's durable head, and that head
+is advanced by the replication layer (:mod:`repro.replication`) or, for
+replication factor 1, immediately by the broker.
+"""
+
+from repro.storage.config import StorageConfig
+from repro.storage.segment import Segment, StoredChunk
+from repro.storage.group import Group
+from repro.storage.streamlet import Streamlet
+from repro.storage.stream import Stream, StreamRegistry
+from repro.storage.offsets import GroupOffsetIndex, StreamletCursor
+from repro.storage.memory import SegmentAllocator
+
+__all__ = [
+    "StorageConfig",
+    "Segment",
+    "StoredChunk",
+    "Group",
+    "Streamlet",
+    "Stream",
+    "StreamRegistry",
+    "GroupOffsetIndex",
+    "StreamletCursor",
+    "SegmentAllocator",
+]

@@ -1,0 +1,40 @@
+"""Storage engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Sizing of the log-structured storage engine.
+
+    ``materialize=False`` switches segments to metadata-only accounting
+    (no payload bytes stored) — the fidelity used by the discrete-event
+    benchmarks; all offset arithmetic is identical in both modes.
+    """
+
+    #: Fixed segment size (paper example: 8 MB).
+    segment_size: int = 8 * MB
+    #: Segments per group — the group is the "fixed-size sub-partition".
+    segments_per_group: int = 2
+    #: Q: number of active groups per streamlet (parallel append slots).
+    q_active_groups: int = 1
+    #: Whether segments store real bytes.
+    materialize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.segment_size <= 0:
+            raise ConfigError("segment_size must be positive")
+        if self.segments_per_group <= 0:
+            raise ConfigError("segments_per_group must be positive")
+        if self.q_active_groups <= 0:
+            raise ConfigError("q_active_groups must be positive")
+
+    @property
+    def group_capacity(self) -> int:
+        """Total byte capacity of one group."""
+        return self.segment_size * self.segments_per_group

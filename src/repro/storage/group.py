@@ -1,0 +1,156 @@
+"""Groups of segments: the fixed-size sub-partition.
+
+``To reduce the metadata necessary to describe the unbounded set of
+segments of a stream, we further logically assemble a configurable number
+of segments into a group`` (paper, Section IV-A). A group owns a bounded
+number of segments; when the quota is exhausted the group is *closed*
+(suffers no appends) and the streamlet opens a fresh group in the same
+active entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import GroupFullError, SegmentFullError, StorageError
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.offsets import GroupOffsetIndex
+from repro.storage.segment import Segment, StoredChunk
+from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE
+
+
+class Group:
+    """A bounded, ordered set of segments within a streamlet."""
+
+    __slots__ = (
+        "stream_id",
+        "streamlet_id",
+        "group_id",
+        "entry",
+        "config",
+        "allocator",
+        "segments",
+        "index",
+        "_closed",
+        "_record_count",
+    )
+
+    def __init__(
+        self,
+        *,
+        stream_id: int,
+        streamlet_id: int,
+        group_id: int,
+        entry: int,
+        config: StorageConfig,
+        allocator: SegmentAllocator,
+    ) -> None:
+        self.stream_id = stream_id
+        self.streamlet_id = streamlet_id
+        self.group_id = group_id
+        #: Which of the streamlet's Q active entries this group serves.
+        self.entry = entry
+        self.config = config
+        self.allocator = allocator
+        self.segments: list[Segment] = []
+        self.index = GroupOffsetIndex()
+        self._closed = False
+        self._record_count = 0
+
+    # -- write path -----------------------------------------------------------
+
+    @property
+    def open_segment(self) -> Segment | None:
+        return self.segments[-1] if self.segments else None
+
+    def _roll_segment(self) -> Segment:
+        if len(self.segments) >= self.config.segments_per_group:
+            raise GroupFullError(
+                f"group {self.group_id} exhausted its "
+                f"{self.config.segments_per_group}-segment quota"
+            )
+        if self.segments:
+            self.segments[-1].seal()
+        segment = self.allocator.allocate(
+            stream_id=self.stream_id,
+            streamlet_id=self.streamlet_id,
+            group_id=self.group_id,
+            segment_id=len(self.segments),
+        )
+        self.segments.append(segment)
+        return segment
+
+    def append(self, chunk: Chunk) -> StoredChunk:
+        """Append a chunk, rolling to a new segment when the open one is
+        full. Raises :class:`GroupFullError` once the quota is spent."""
+        if self._closed:
+            raise GroupFullError(f"group {self.group_id} is closed")
+        length = CHUNK_HEADER_SIZE + chunk.payload_len
+        if length > self.config.segment_size:
+            raise StorageError(
+                f"chunk of {length} bytes can never fit a "
+                f"{self.config.segment_size}-byte segment"
+            )
+        segment = self.open_segment
+        if segment is None:
+            segment = self._roll_segment()
+        try:
+            stored = segment.append(chunk, self._record_count)
+        except SegmentFullError:
+            segment = self._roll_segment()
+            stored = segment.append(chunk, self._record_count)
+        self._record_count += chunk.record_count
+        self.index.add(stored)
+        return stored
+
+    def close(self) -> None:
+        """Seal every segment; the group accepts no further appends."""
+        self._closed = True
+        for segment in self.segments:
+            if not segment.sealed:
+                segment.seal()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- read path ------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def chunk_count(self) -> int:
+        return sum(len(s.entries) for s in self.segments)
+
+    def chunks(self) -> Iterator[StoredChunk]:
+        """All stored chunks in append order (durable or not)."""
+        for segment in self.segments:
+            yield from segment.entries
+
+    def chunk_at(self, index: int) -> StoredChunk:
+        """O(1) access to the group's ``index``-th chunk in append order
+        (backed by the offset index — this is the consumer hot path)."""
+        return self.index._chunks[index]
+
+    def durable_chunks(self) -> Iterator[StoredChunk]:
+        """Stored chunks consumers may read, in append order."""
+        for segment in self.segments:
+            yield from segment.durable_entries()
+            if segment.durable_head < segment.head:
+                break
+
+    def durable_record_count(self) -> int:
+        count = 0
+        for stored in self.durable_chunks():
+            count += stored.record_count
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Group(s{self.stream_id}/l{self.streamlet_id}/g{self.group_id}, "
+            f"entry={self.entry}, segments={len(self.segments)}, "
+            f"records={self._record_count}, closed={self._closed})"
+        )

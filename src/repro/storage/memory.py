@@ -1,0 +1,65 @@
+"""Segment memory management.
+
+``A broker manages the main memory of a server`` (paper, Section II-A).
+The allocator is the single place segments are created: it enforces an
+optional memory budget and tracks usage statistics, which the evaluation
+uses to show the virtual log's *replication capacity / memory* trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StorageError
+from repro.storage.config import StorageConfig
+from repro.storage.segment import Segment
+
+
+class SegmentAllocator:
+    """Creates segments against a byte budget and keeps usage stats."""
+
+    __slots__ = ("config", "budget_bytes", "_allocated", "_live_bytes", "_peak_bytes")
+
+    def __init__(self, config: StorageConfig, budget_bytes: int | None = None) -> None:
+        self.config = config
+        self.budget_bytes = budget_bytes
+        self._allocated = 0
+        self._live_bytes = 0
+        self._peak_bytes = 0
+
+    @property
+    def segments_allocated(self) -> int:
+        return self._allocated
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    def allocate(
+        self, *, stream_id: int, streamlet_id: int, group_id: int, segment_id: int
+    ) -> Segment:
+        size = self.config.segment_size
+        if self.budget_bytes is not None and self._live_bytes + size > self.budget_bytes:
+            raise StorageError(
+                f"segment allocation of {size} bytes exceeds memory budget "
+                f"({self._live_bytes}/{self.budget_bytes} in use)"
+            )
+        self._allocated += 1
+        self._live_bytes += size
+        self._peak_bytes = max(self._peak_bytes, self._live_bytes)
+        return Segment(
+            stream_id=stream_id,
+            streamlet_id=streamlet_id,
+            group_id=group_id,
+            segment_id=segment_id,
+            capacity=size,
+            materialize=self.config.materialize,
+        )
+
+    def free(self, segment: Segment) -> None:
+        """Return a segment's memory (data evicted to secondary storage)."""
+        if self._live_bytes < segment.buffer.capacity:
+            raise StorageError("freeing more segment memory than allocated")
+        self._live_bytes -= segment.buffer.capacity

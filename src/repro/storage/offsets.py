@@ -1,0 +1,136 @@
+"""Lightweight offset indexing.
+
+KerA's second core idea is ``lightweight offset indexing (i.e., reduced
+stream offset management overhead) optimized for sequential record
+access`` (paper, Section IV). Instead of a dense per-record index (Kafka
+keeps index files per log segment), each group maintains only the
+cumulative record count per stored chunk; locating a logical record
+offset is a binary search over that array, and sequential consumption is
+a cursor walk that never touches the index at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.storage.segment import StoredChunk
+    from repro.storage.streamlet import Streamlet
+
+
+class GroupOffsetIndex:
+    """Maps logical record offsets within a group to stored chunks."""
+
+    __slots__ = ("_cumulative", "_chunks")
+
+    def __init__(self) -> None:
+        # _cumulative[i] = records in chunks [0, i] inclusive.
+        self._cumulative: list[int] = []
+        self._chunks: list["StoredChunk"] = []
+
+    def add(self, stored: "StoredChunk") -> None:
+        total = (self._cumulative[-1] if self._cumulative else 0) + stored.record_count
+        self._cumulative.append(total)
+        self._chunks.append(stored)
+
+    @property
+    def record_count(self) -> int:
+        return self._cumulative[-1] if self._cumulative else 0
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def locate(self, record_offset: int) -> "StoredChunk":
+        """Return the chunk containing the record at ``record_offset``."""
+        if record_offset < 0 or record_offset >= self.record_count:
+            raise StorageError(
+                f"record offset {record_offset} outside [0, {self.record_count})"
+            )
+        idx = bisect_right(self._cumulative, record_offset)
+        return self._chunks[idx]
+
+    def chunks_from(self, record_offset: int) -> Iterator["StoredChunk"]:
+        """Iterate chunks starting with the one containing ``record_offset``."""
+        if record_offset >= self.record_count:
+            return iter(())
+        idx = bisect_right(self._cumulative, record_offset) if record_offset > 0 else 0
+        return iter(self._chunks[idx:])
+
+
+@dataclass
+class StreamletCursor:
+    """A consumer's position within one streamlet.
+
+    Consumers read groups in creation order within their assigned active
+    entry, chunks in append order within a group, and only below the
+    durable head — ``consumers only pull durably replicated data``
+    (paper, Section V-A). POSIX-style seeks are supported by resetting
+    ``group_pos``/``chunk_pos`` via :meth:`seek_record`.
+    """
+
+    streamlet: "Streamlet"
+    entry: int
+    group_pos: int = 0
+    chunk_pos: int = 0
+    records_read: int = field(default=0)
+
+    def _entry_groups(self) -> list:
+        return self.streamlet.groups_for_entry(self.entry)
+
+    def next_chunks(self, max_chunks: int) -> list["StoredChunk"]:
+        """Pull up to ``max_chunks`` durable chunks, advancing the cursor.
+
+        O(1) per chunk returned: chunks are addressed by index through the
+        group's offset index and checked against the durable head, never
+        by materializing the group's durable prefix.
+        """
+        if max_chunks <= 0:
+            return []
+        out: list["StoredChunk"] = []
+        groups = self._entry_groups()
+        while len(out) < max_chunks and self.group_pos < len(groups):
+            group = groups[self.group_pos]
+            total = group.index.chunk_count
+            while self.chunk_pos < total and len(out) < max_chunks:
+                stored = group.chunk_at(self.chunk_pos)
+                if not stored.is_durable:
+                    return out
+                out.append(stored)
+                self.chunk_pos += 1
+                self.records_read += stored.record_count
+            if group.closed and self.chunk_pos >= total:
+                # Fully consumed a closed group: move on.
+                self.group_pos += 1
+                self.chunk_pos = 0
+            else:
+                break
+        return out
+
+    def seek_record(self, record_offset: int) -> None:
+        """Position the cursor at the chunk containing ``record_offset``
+        (offset counted across this entry's groups in order)."""
+        remaining = record_offset
+        groups = self._entry_groups()
+        for gi, group in enumerate(groups):
+            if remaining < group.record_count:
+                stored = group.index.locate(remaining)
+                self.group_pos = gi
+                # Chunk position = chunks before this one within the group.
+                count = 0
+                for s in group.segments:
+                    if s is stored.segment:
+                        count += s.entries.index(stored)
+                        break
+                    count += len(s.entries)
+                self.chunk_pos = count
+                self.records_read = record_offset - (remaining - stored.base_record_offset)
+                return
+            remaining -= group.record_count
+        raise StorageError(
+            f"record offset {record_offset} beyond streamlet entry contents"
+        )

@@ -1,0 +1,117 @@
+"""Streams: named collections of streamlets on one broker.
+
+A stream has up to M streamlets spread over N <= M brokers; a broker
+instance of :class:`Stream` holds only the streamlets it leads. An
+*object* in KerA's unified model is simply a bounded stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.common.errors import StorageError, UnknownStreamError
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.segment import StoredChunk
+from repro.storage.streamlet import GroupListener, Streamlet
+from repro.wire.chunk import Chunk
+
+
+class Stream:
+    """The broker-local portion of a stream."""
+
+    __slots__ = ("stream_id", "config", "allocator", "_streamlets", "_on_group_open")
+
+    def __init__(
+        self,
+        *,
+        stream_id: int,
+        streamlet_ids: Iterable[int],
+        config: StorageConfig,
+        allocator: SegmentAllocator,
+        on_group_open: GroupListener | None = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.config = config
+        self.allocator = allocator
+        self._on_group_open = on_group_open
+        self._streamlets: dict[int, Streamlet] = {}
+        for sid in streamlet_ids:
+            self.add_streamlet(sid)
+
+    def add_streamlet(self, streamlet_id: int) -> Streamlet:
+        """Register a streamlet led by this broker (also used when a
+        recovered streamlet migrates here)."""
+        if streamlet_id in self._streamlets:
+            raise StorageError(
+                f"streamlet {streamlet_id} already exists on stream {self.stream_id}"
+            )
+        streamlet = Streamlet(
+            stream_id=self.stream_id,
+            streamlet_id=streamlet_id,
+            config=self.config,
+            allocator=self.allocator,
+            on_group_open=self._on_group_open,
+        )
+        self._streamlets[streamlet_id] = streamlet
+        return streamlet
+
+    def streamlet(self, streamlet_id: int) -> Streamlet:
+        try:
+            return self._streamlets[streamlet_id]
+        except KeyError:
+            raise StorageError(
+                f"stream {self.stream_id} has no local streamlet {streamlet_id}"
+            ) from None
+
+    @property
+    def streamlet_ids(self) -> list[int]:
+        return sorted(self._streamlets)
+
+    @property
+    def streamlets(self) -> list[Streamlet]:
+        return [self._streamlets[k] for k in sorted(self._streamlets)]
+
+    def append(self, chunk: Chunk) -> StoredChunk:
+        """Route a chunk to its streamlet and append."""
+        return self.streamlet(chunk.streamlet_id).append(chunk)
+
+    def chunks(self) -> Iterator[StoredChunk]:
+        for streamlet in self.streamlets:
+            yield from streamlet.chunks()
+
+    @property
+    def record_count(self) -> int:
+        return sum(s.record_count for s in self.streamlets)
+
+    def durable_record_count(self) -> int:
+        return sum(s.durable_record_count() for s in self.streamlets)
+
+
+class StreamRegistry:
+    """All broker-local streams, keyed by stream id."""
+
+    __slots__ = ("_streams",)
+
+    def __init__(self) -> None:
+        self._streams: dict[int, Stream] = {}
+
+    def add(self, stream: Stream) -> None:
+        if stream.stream_id in self._streams:
+            raise StorageError(f"stream {stream.stream_id} already registered")
+        self._streams[stream.stream_id] = stream
+
+    def get(self, stream_id: int) -> Stream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise UnknownStreamError(stream_id) from None
+
+    def __contains__(self, stream_id: int) -> bool:
+        return stream_id in self._streams
+
+    def __iter__(self) -> Iterator[Stream]:
+        return iter(self._streams.values())
+
+    def __len__(self) -> int:
+        return len(self._streams)

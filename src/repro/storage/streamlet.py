@@ -1,0 +1,145 @@
+"""Streamlets: the stream's logical partitions.
+
+``A stream is composed of logical partitions called streamlets ... To
+increase write and read parallelism, a streamlet is further divided into
+fixed-size sub-partitions (groups of segments), with each group created
+dynamically as data arrives`` (paper, Section IV-A, Figure 4). Up to Q
+groups are active at a time; a producer appends to the active group at
+entry ``producer_id % Q``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.common.errors import GroupFullError
+from repro.common.idgen import IdGenerator
+from repro.storage.config import StorageConfig
+from repro.storage.group import Group
+from repro.storage.memory import SegmentAllocator
+from repro.storage.offsets import StreamletCursor
+from repro.storage.segment import StoredChunk
+from repro.wire.chunk import Chunk
+
+#: Callback invoked when a fresh group is opened: ``(streamlet, group)``.
+GroupListener = Callable[["Streamlet", Group], None]
+
+
+class Streamlet:
+    """One logical partition of a stream, on one broker."""
+
+    __slots__ = (
+        "stream_id",
+        "streamlet_id",
+        "config",
+        "allocator",
+        "_active",
+        "_groups",
+        "_groups_by_entry",
+        "_group_ids",
+        "_on_group_open",
+    )
+
+    def __init__(
+        self,
+        *,
+        stream_id: int,
+        streamlet_id: int,
+        config: StorageConfig,
+        allocator: SegmentAllocator,
+        on_group_open: GroupListener | None = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.streamlet_id = streamlet_id
+        self.config = config
+        self.allocator = allocator
+        #: Active group per entry (None until first append hits the entry).
+        self._active: list[Group | None] = [None] * config.q_active_groups
+        #: Every group ever created, in creation order.
+        self._groups: list[Group] = []
+        #: Creation-ordered groups per entry (consumer hot path).
+        self._groups_by_entry: list[list[Group]] = [
+            [] for _ in range(config.q_active_groups)
+        ]
+        self._group_ids = IdGenerator()
+        self._on_group_open = on_group_open
+
+    # -- partitioning ------------------------------------------------------
+
+    @property
+    def q(self) -> int:
+        return self.config.q_active_groups
+
+    def entry_for_producer(self, producer_id: int) -> int:
+        """``producer identifier modulo Q`` (paper, Figure 3)."""
+        return producer_id % self.q
+
+    def _open_group(self, entry: int) -> Group:
+        group = Group(
+            stream_id=self.stream_id,
+            streamlet_id=self.streamlet_id,
+            group_id=self._group_ids.next(),
+            entry=entry,
+            config=self.config,
+            allocator=self.allocator,
+        )
+        self._active[entry] = group
+        self._groups.append(group)
+        self._groups_by_entry[entry].append(group)
+        if self._on_group_open is not None:
+            self._on_group_open(self, group)
+        return group
+
+    # -- write path -----------------------------------------------------------
+
+    def append(self, chunk: Chunk, producer_id: int | None = None) -> StoredChunk:
+        """Append a chunk to the producer's active group.
+
+        Creates the group (and its first segment) lazily; when the group's
+        quota is exhausted it is closed and a fresh group opened in the
+        same entry — ``each append operation can lead to creating a new
+        segment or a new group`` (paper, Section IV-B).
+        """
+        pid = chunk.producer_id if producer_id is None else producer_id
+        entry = self.entry_for_producer(pid)
+        group = self._active[entry]
+        if group is None:
+            group = self._open_group(entry)
+        try:
+            return group.append(chunk)
+        except GroupFullError:
+            group.close()
+            group = self._open_group(entry)
+            return group.append(chunk)
+
+    # -- read path ------------------------------------------------------------
+
+    @property
+    def groups(self) -> list[Group]:
+        return list(self._groups)
+
+    def groups_for_entry(self, entry: int) -> list[Group]:
+        return self._groups_by_entry[entry]
+
+    def active_group(self, entry: int) -> Group | None:
+        return self._active[entry]
+
+    def cursor(self, entry: int = 0) -> StreamletCursor:
+        return StreamletCursor(streamlet=self, entry=entry)
+
+    def chunks(self) -> Iterator[StoredChunk]:
+        for group in self._groups:
+            yield from group.chunks()
+
+    @property
+    def record_count(self) -> int:
+        return sum(g.record_count for g in self._groups)
+
+    def durable_record_count(self) -> int:
+        return sum(g.durable_record_count() for g in self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Streamlet(s{self.stream_id}/l{self.streamlet_id}, Q={self.q}, "
+            f"groups={len(self._groups)}, records={self.record_count})"
+        )

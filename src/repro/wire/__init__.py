@@ -1,0 +1,66 @@
+"""Binary wire format: records, chunks, framing, append-only buffers.
+
+This package implements the paper's data model (Section IV-A, Figure 3):
+
+* **records** — multi-key-value entries with a checksummed entry header,
+  after RAMCloud's SLIK format;
+* **chunks** — fixed-capacity batches of records built by producers, tagged
+  with the producer identifier and a per-(producer, streamlet) sequence
+  number for exactly-once semantics, plus broker-assigned ``[group,
+  segment]`` attributes used at recovery time;
+* **framing** — back-to-back chunk encoding used for replication batches
+  and backup segment scans;
+* **buffers** — the append-only in-memory buffer with *head* and *durable
+  head* offsets that underlies both physical and replicated segments.
+
+Chunks can carry real payload bytes or only their byte length
+(``payload=None``): the storage and replication engines treat both
+identically, which lets the discrete-event benchmarks skip payload memcpy
+while tests pin byte-level behaviour.
+"""
+
+from repro.wire.record import (
+    Record,
+    RECORD_FIXED_HEADER,
+    encode_record,
+    decode_record,
+    decode_records,
+    iter_records,
+    encode_records,
+    make_uniform_payload,
+)
+from repro.wire.chunk import (
+    Chunk,
+    ChunkBuilder,
+    CHUNK_HEADER_SIZE,
+    CHUNK_MAGIC,
+    GROUP_UNASSIGNED,
+    SEGMENT_UNASSIGNED,
+    encode_chunk,
+    decode_chunk,
+)
+from repro.wire.framing import encode_chunks, decode_chunks, iter_chunk_views
+from repro.wire.buffers import AppendBuffer
+
+__all__ = [
+    "Record",
+    "RECORD_FIXED_HEADER",
+    "encode_record",
+    "decode_record",
+    "decode_records",
+    "iter_records",
+    "encode_records",
+    "make_uniform_payload",
+    "Chunk",
+    "ChunkBuilder",
+    "CHUNK_HEADER_SIZE",
+    "CHUNK_MAGIC",
+    "GROUP_UNASSIGNED",
+    "SEGMENT_UNASSIGNED",
+    "encode_chunk",
+    "decode_chunk",
+    "encode_chunks",
+    "decode_chunks",
+    "iter_chunk_views",
+    "AppendBuffer",
+]

@@ -1,0 +1,119 @@
+"""Append-only buffer with head and durable-head offsets.
+
+Both physical segments and backup replicated segments are ``append-only
+in-memory buffers`` (paper, Section III). Each keeps two attributes: the
+*head* (next free offset) and the *durable head* (offset up to which data
+has been durably replicated / flushed); consumers may only read below the
+durable head. The buffer enforces ``0 <= durable_head <= head <=
+capacity`` at all times.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SegmentFullError, SegmentSealedError, StorageError
+
+
+class AppendBuffer:
+    """Fixed-capacity append-only byte buffer.
+
+    When constructed with ``materialize=False`` the buffer performs all
+    offset accounting but stores no bytes — the metadata-only fidelity
+    used by the discrete-event benchmarks. Reads are then unavailable.
+    """
+
+    __slots__ = ("capacity", "_data", "_head", "_durable_head", "_sealed")
+
+    def __init__(self, capacity: int, *, materialize: bool = True) -> None:
+        if capacity <= 0:
+            raise StorageError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._data: bytearray | None = bytearray(capacity) if materialize else None
+        self._head = 0
+        self._durable_head = 0
+        self._sealed = False
+
+    @property
+    def head(self) -> int:
+        """Next free offset (bytes appended so far)."""
+        return self._head
+
+    @property
+    def durable_head(self) -> int:
+        """Offset up to which data is durable; never exceeds :attr:`head`."""
+        return self._durable_head
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def materialized(self) -> bool:
+        return self._data is not None
+
+    def remaining(self) -> int:
+        return self.capacity - self._head
+
+    def fits(self, length: int) -> bool:
+        return length <= self.remaining()
+
+    def append(self, data: bytes | bytearray | memoryview) -> int:
+        """Append bytes; return the offset they were written at."""
+        if self._sealed:
+            raise SegmentSealedError("append on sealed buffer")
+        length = len(data)
+        if not self.fits(length):
+            raise SegmentFullError(
+                f"append of {length} bytes exceeds remaining {self.remaining()}"
+            )
+        offset = self._head
+        if self._data is not None:
+            self._data[offset : offset + length] = data
+        self._head += length
+        return offset
+
+    def reserve(self, length: int) -> int:
+        """Account for an append without storing bytes (metadata fidelity)."""
+        if self._sealed:
+            raise SegmentSealedError("reserve on sealed buffer")
+        if not self.fits(length):
+            raise SegmentFullError(
+                f"reserve of {length} bytes exceeds remaining {self.remaining()}"
+            )
+        offset = self._head
+        self._head += length
+        return offset
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of previously appended bytes."""
+        if self._data is None:
+            raise StorageError("buffer is metadata-only; no bytes to view")
+        if offset < 0 or offset + length > self._head:
+            raise StorageError(
+                f"view [{offset}, {offset + length}) outside appended range [0, {self._head})"
+            )
+        return memoryview(self._data)[offset : offset + length]
+
+    def advance_durable(self, new_durable_head: int) -> None:
+        """Move the durable head forward (monotone, bounded by head)."""
+        if new_durable_head < self._durable_head:
+            raise StorageError(
+                f"durable head may not move backwards ({self._durable_head} -> {new_durable_head})"
+            )
+        if new_durable_head > self._head:
+            raise StorageError(
+                f"durable head {new_durable_head} may not pass head {self._head}"
+            )
+        self._durable_head = new_durable_head
+
+    def seal(self) -> None:
+        """Make the buffer immutable (a closed segment)."""
+        self._sealed = True
+
+    def __len__(self) -> int:
+        return self._head
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AppendBuffer(head={self._head}, durable={self._durable_head}, "
+            f"capacity={self.capacity}, sealed={self._sealed})"
+        )

@@ -1,0 +1,309 @@
+"""Chunk format and builder.
+
+Producers group record entries into *chunks* of configurable fixed
+capacity (e.g. 1 KB or 16 KB). Each chunk is tagged with the producer
+identifier and a per-(producer, streamlet) sequence number — the broker
+uses the pair for exactly-once de-duplication — and with ``[group,
+segment]`` attributes assigned at broker append time, which recovery uses
+to reconstruct each group consistently (paper, Section IV-B).
+
+Header layout (little-endian, 40 bytes)::
+
+    u16  magic          0xCE7A
+    u8   fmt_version    1
+    u8   flags          bit0: payload present
+    u32  stream_id
+    u32  streamlet_id
+    u32  producer_id
+    u32  chunk_seq      per (producer, streamlet) sequence number
+    u32  group_id       broker-assigned (GROUP_UNASSIGNED from producers)
+    u32  segment_id     broker-assigned (SEGMENT_UNASSIGNED from producers)
+    u32  record_count
+    u32  payload_len
+    u32  payload_crc    CRC-32C over the record entries
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.checksum import crc32c
+from repro.common.errors import WireFormatError, ChecksumError
+from repro.wire.record import Record, encode_record, decode_records
+
+CHUNK_MAGIC = 0xCE7A
+CHUNK_FMT_VERSION = 1
+#: Sentinel for the broker-assigned attributes before append.
+GROUP_UNASSIGNED = 0xFFFFFFFF
+SEGMENT_UNASSIGNED = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<HBBIIIIIIIII")
+#: Size of the chunk header in bytes.
+CHUNK_HEADER_SIZE = _HEADER.size
+assert CHUNK_HEADER_SIZE == 40
+
+_FLAG_PAYLOAD = 0x01
+
+
+@dataclass
+class Chunk:
+    """A batch of records, the unit of ingestion and replication.
+
+    ``payload`` holds the back-to-back encoded record entries, or ``None``
+    for metadata-only chunks (simulation benches), in which case
+    ``payload_len`` still records the byte length the records would
+    occupy. All storage-engine accounting works off ``payload_len`` so the
+    two fidelities follow one code path.
+    """
+
+    stream_id: int
+    streamlet_id: int
+    producer_id: int
+    chunk_seq: int
+    record_count: int
+    payload_len: int
+    payload: bytes | None = field(default=None, repr=False)
+    payload_crc: int = 0
+    group_id: int = GROUP_UNASSIGNED
+    segment_id: int = SEGMENT_UNASSIGNED
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            if len(self.payload) != self.payload_len:
+                raise WireFormatError(
+                    f"payload_len {self.payload_len} != len(payload) {len(self.payload)}"
+                )
+            if self.payload_crc == 0:
+                self.payload_crc = crc32c(self.payload)
+
+    @classmethod
+    def meta(
+        cls,
+        *,
+        stream_id: int,
+        streamlet_id: int,
+        producer_id: int,
+        chunk_seq: int,
+        record_count: int,
+        payload_len: int,
+    ) -> "Chunk":
+        """Build a metadata-only chunk (no payload bytes)."""
+        return cls(
+            stream_id=stream_id,
+            streamlet_id=streamlet_id,
+            producer_id=producer_id,
+            chunk_seq=chunk_seq,
+            record_count=record_count,
+            payload_len=payload_len,
+        )
+
+    @property
+    def size(self) -> int:
+        """Total wire size: header plus payload."""
+        return CHUNK_HEADER_SIZE + self.payload_len
+
+    @property
+    def has_payload(self) -> bool:
+        return self.payload is not None
+
+    def records(self, *, verify: bool = True) -> list[Record]:
+        """Decode the chunk's records (requires a payload)."""
+        if self.payload is None:
+            raise WireFormatError("metadata-only chunk has no records to decode")
+        return decode_records(self.payload, verify=verify)
+
+    def dedup_key(self) -> tuple[int, int, int]:
+        """Identity used for exactly-once de-duplication at the broker."""
+        return (self.streamlet_id, self.producer_id, self.chunk_seq)
+
+    def assigned(self, group_id: int, segment_id: int) -> "Chunk":
+        """Copy of this chunk with broker-assigned placement attributes.
+
+        Hand-rolled rather than :func:`dataclasses.replace` — this sits on
+        the per-chunk append path and ``replace`` re-runs validation that
+        already held.
+        """
+        clone = object.__new__(Chunk)
+        clone.stream_id = self.stream_id
+        clone.streamlet_id = self.streamlet_id
+        clone.producer_id = self.producer_id
+        clone.chunk_seq = self.chunk_seq
+        clone.record_count = self.record_count
+        clone.payload_len = self.payload_len
+        clone.payload = self.payload
+        clone.payload_crc = self.payload_crc
+        clone.group_id = group_id
+        clone.segment_id = segment_id
+        return clone
+
+    def verify_payload(self) -> None:
+        """Check the payload CRC; raise :class:`ChecksumError` on corruption."""
+        if self.payload is None:
+            return
+        actual = crc32c(self.payload)
+        if actual != self.payload_crc:
+            raise ChecksumError(self.payload_crc, actual, "chunk payload")
+
+
+def encode_chunk(chunk: Chunk) -> bytes:
+    """Serialize header + payload. Metadata-only chunks encode the header
+    followed by ``payload_len`` zero bytes so framing stays self-describing."""
+    flags = _FLAG_PAYLOAD if chunk.payload is not None else 0
+    header = _HEADER.pack(
+        CHUNK_MAGIC,
+        CHUNK_FMT_VERSION,
+        flags,
+        chunk.stream_id,
+        chunk.streamlet_id,
+        chunk.producer_id,
+        chunk.chunk_seq,
+        chunk.group_id,
+        chunk.segment_id,
+        chunk.record_count,
+        chunk.payload_len,
+        chunk.payload_crc,
+    )
+    if chunk.payload is not None:
+        return header + chunk.payload
+    return header + b"\x00" * chunk.payload_len
+
+
+def decode_chunk(
+    buf: bytes | bytearray | memoryview, offset: int = 0, *, verify: bool = True
+) -> tuple[Chunk, int]:
+    """Decode one chunk at ``offset``; return ``(chunk, next_offset)``."""
+    view = memoryview(buf)
+    if offset + CHUNK_HEADER_SIZE > len(view):
+        raise WireFormatError(f"truncated chunk header at offset {offset}")
+    (
+        magic,
+        fmt_version,
+        flags,
+        stream_id,
+        streamlet_id,
+        producer_id,
+        chunk_seq,
+        group_id,
+        segment_id,
+        record_count,
+        payload_len,
+        payload_crc,
+    ) = _HEADER.unpack_from(view, offset)
+    if magic != CHUNK_MAGIC:
+        raise WireFormatError(f"bad chunk magic {magic:#06x} at offset {offset}")
+    if fmt_version != CHUNK_FMT_VERSION:
+        raise WireFormatError(f"unsupported chunk format version {fmt_version}")
+    start = offset + CHUNK_HEADER_SIZE
+    end = start + payload_len
+    if end > len(view):
+        raise WireFormatError(f"truncated chunk payload at offset {offset}")
+    payload = bytes(view[start:end]) if flags & _FLAG_PAYLOAD else None
+    if payload is not None and verify:
+        actual = crc32c(payload)
+        if actual != payload_crc:
+            raise ChecksumError(payload_crc, actual, f"chunk at offset {offset}")
+    chunk = Chunk(
+        stream_id=stream_id,
+        streamlet_id=streamlet_id,
+        producer_id=producer_id,
+        chunk_seq=chunk_seq,
+        record_count=record_count,
+        payload_len=payload_len,
+        payload=payload,
+        payload_crc=payload_crc,
+        group_id=group_id,
+        segment_id=segment_id,
+    )
+    return chunk, end
+
+
+class ChunkBuilder:
+    """Accumulates records into a chunk of bounded byte capacity.
+
+    Producers keep one builder per streamlet; the source thread appends
+    records until the chunk fills or the linger timeout fires, then the
+    requests thread seals it with :meth:`build` (paper, Figure 6).
+    """
+
+    __slots__ = (
+        "capacity",
+        "stream_id",
+        "streamlet_id",
+        "producer_id",
+        "_parts",
+        "_size",
+        "_count",
+    )
+
+    def __init__(
+        self, capacity: int, *, stream_id: int, streamlet_id: int, producer_id: int
+    ) -> None:
+        if capacity <= 0:
+            raise WireFormatError("chunk capacity must be positive")
+        self.capacity = capacity
+        self.stream_id = stream_id
+        self.streamlet_id = streamlet_id
+        self.producer_id = producer_id
+        self._parts: list[bytes] = []
+        self._size = 0
+        self._count = 0
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def payload_size(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def remaining(self) -> int:
+        return self.capacity - self._size
+
+    def try_append(self, record: Record) -> bool:
+        """Append if the encoded record fits; return whether it did.
+
+        A record larger than an *empty* chunk's capacity is a hard error —
+        it could never be shipped.
+        """
+        encoded = encode_record(record)
+        if len(encoded) > self.capacity:
+            raise WireFormatError(
+                f"record of {len(encoded)} bytes exceeds chunk capacity {self.capacity}"
+            )
+        if self._size + len(encoded) > self.capacity:
+            return False
+        self._parts.append(encoded)
+        self._size += len(encoded)
+        self._count += 1
+        return True
+
+    def try_append_encoded(self, encoded: bytes, count: int = 1) -> bool:
+        """Append pre-encoded record bytes (vectorized workload path)."""
+        if self._size + len(encoded) > self.capacity:
+            return False
+        self._parts.append(encoded)
+        self._size += len(encoded)
+        self._count += count
+        return True
+
+    def build(self, chunk_seq: int) -> Chunk:
+        """Seal the accumulated records into a chunk and reset the builder."""
+        payload = b"".join(self._parts)
+        chunk = Chunk(
+            stream_id=self.stream_id,
+            streamlet_id=self.streamlet_id,
+            producer_id=self.producer_id,
+            chunk_seq=chunk_seq,
+            record_count=self._count,
+            payload_len=len(payload),
+            payload=payload,
+        )
+        self._parts.clear()
+        self._size = 0
+        self._count = 0
+        return chunk

@@ -1,0 +1,36 @@
+"""Back-to-back chunk framing.
+
+Replication batches ship several chunks in one RPC; backup segments store
+chunks back to back and are scanned at recovery time. Chunk headers are
+self-describing (they carry ``payload_len``), so the frame is simply the
+concatenation of encoded chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.wire.chunk import Chunk, encode_chunk, decode_chunk
+
+
+def encode_chunks(chunks: Sequence[Chunk]) -> bytes:
+    """Concatenate the encoded chunks."""
+    return b"".join(encode_chunk(c) for c in chunks)
+
+
+def iter_chunk_views(
+    buf: bytes | bytearray | memoryview, *, verify: bool = True
+) -> Iterator[Chunk]:
+    """Decode chunks back to back until the buffer is exhausted."""
+    view = memoryview(buf)
+    offset = 0
+    while offset < len(view):
+        chunk, offset = decode_chunk(view, offset, verify=verify)
+        yield chunk
+
+
+def decode_chunks(
+    buf: bytes | bytearray | memoryview, *, verify: bool = True
+) -> list[Chunk]:
+    """Decode every chunk in ``buf``."""
+    return list(iter_chunk_views(buf, verify=verify))

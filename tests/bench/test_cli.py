@@ -1,0 +1,36 @@
+"""The `python -m repro.bench` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list_shows_every_figure(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for fig_id in ("fig08", "fig21", "abl_consolidation", "abl_dispatch"):
+        assert fig_id in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig08" in capsys.readouterr().out
+
+
+def test_unknown_figure_rejected(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_runs_figure_and_saves(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "0.02")
+    out_path = tmp_path / "series.json"
+    # fig12 trimmed is 9 tiny points — the fastest real figure.
+    assert main(["fig12", "--save", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out
+    payload = json.loads(out_path.read_text())
+    assert payload[0]["fig_id"] == "fig12"
+    assert payload[0]["series"]

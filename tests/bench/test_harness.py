@@ -1,0 +1,80 @@
+"""Benchmark harness tests: specs are well-formed, reports render."""
+
+import json
+
+import pytest
+
+from repro.bench import FIGURES, run_figure
+from repro.bench.figures import FigureResult, FigureSpec
+from repro.bench.report import figure_to_dict, format_figure, save_results
+from repro.bench.workload import bench_duration, kafka_point, kera_point
+
+
+def test_registry_covers_every_figure_and_ablation():
+    expected = {f"fig{n:02d}" for n in range(8, 22)} | {
+        "abl_consolidation",
+        "abl_dispatch",
+    }
+    assert set(FIGURES) == expected
+
+
+@pytest.mark.parametrize("fig_id", sorted(FIGURES))
+def test_specs_are_well_formed(fig_id):
+    spec = FIGURES[fig_id]()
+    assert isinstance(spec, FigureSpec)
+    assert spec.fig_id == fig_id
+    assert spec.points, "a figure needs datapoints"
+    assert spec.paper_claim
+    labels = [(p.series, p.x) for p in spec.points]
+    assert len(labels) == len(set(labels)), "duplicate (series, x) point"
+
+
+def test_point_runs_and_reports(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "0.02")
+    point = kera_point(series="KerA R1", x=8, streams=8, producers=1, r=1, vlogs=1)
+    pr = point.run()
+    assert pr.mrps > 0
+    assert pr.result.records_acked > 0
+
+
+def test_kafka_point_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "0.02")
+    point = kafka_point(series="Kafka R2", x=8, streams=8, producers=1, r=2)
+    pr = point.run()
+    assert pr.mrps > 0
+
+
+def test_bench_duration_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "0.33")
+    assert bench_duration() == pytest.approx(0.33)
+    monkeypatch.delenv("REPRO_BENCH_DURATION")
+    assert bench_duration() == pytest.approx(0.15)
+
+
+def test_format_and_save(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DURATION", "0.02")
+    spec = FigureSpec(
+        "figXX",
+        "toy",
+        "claim",
+        [
+            kera_point(series="A", x=4, streams=4, producers=1, r=1, vlogs=1),
+            kera_point(series="A", x=8, streams=8, producers=1, r=1, vlogs=1),
+        ],
+    )
+    result = FigureResult(spec=spec, results=[p.run() for p in spec.points])
+    text = format_figure(result)
+    assert "figXX" in text and "A" in text and "claim" in text
+    out = tmp_path / "results.json"
+    save_results([result], out)
+    payload = json.loads(out.read_text())
+    assert payload[0]["fig_id"] == "figXX"
+    assert len(payload[0]["series"]["A"]) == 2
+
+
+def test_full_axis_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    full = FIGURES["fig14"]()
+    monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+    trimmed = FIGURES["fig14"]()
+    assert len(full.points) > len(trimmed.points)

@@ -1,0 +1,66 @@
+"""Unit and property tests for the CRC-32C substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.checksum import crc32c, crc32c_update, crc32c_combine, verify_crc32c
+from repro.common.errors import ChecksumError
+
+# Known-answer tests from RFC 3720 (iSCSI) appendix B.4.
+KNOWN = [
+    (b"", 0x00000000),
+    (b"\x00" * 32, 0x8A9136AA),
+    (b"\xff" * 32, 0x62A8AB43),
+    (bytes(range(32)), 0x46DD794E),
+    (bytes(range(31, -1, -1)), 0x113FDB5C),
+    (b"123456789", 0xE3069283),
+]
+
+
+@pytest.mark.parametrize("data,expected", KNOWN)
+def test_known_answers(data, expected):
+    assert crc32c(data) == expected
+
+
+def test_incremental_equals_oneshot():
+    data = bytes(range(256)) * 7
+    whole = crc32c(data)
+    crc = 0
+    for i in range(0, len(data), 13):
+        crc = crc32c_update(crc, data[i : i + 13])
+    assert crc == whole
+
+
+@given(st.binary(max_size=512), st.binary(max_size=512))
+def test_combine_matches_concatenation(a, b):
+    assert crc32c_combine(crc32c(a), crc32c(b), len(b)) == crc32c(a + b)
+
+
+@given(st.binary(min_size=1, max_size=256), st.integers(0, 255))
+def test_single_byte_corruption_detected(data, flip):
+    # Flipping any byte to a different value must change the checksum.
+    idx = flip % len(data)
+    mutated = bytearray(data)
+    mutated[idx] ^= 0xA5
+    assert crc32c(data) != crc32c(bytes(mutated))
+
+
+def test_verify_raises_with_context():
+    with pytest.raises(ChecksumError) as exc:
+        verify_crc32c(b"hello", 0xDEADBEEF, context="unit test")
+    assert "unit test" in str(exc.value)
+    assert exc.value.expected == 0xDEADBEEF
+
+
+def test_verify_passes():
+    verify_crc32c(b"hello", crc32c(b"hello"))
+
+
+@given(st.binary(max_size=1024))
+def test_accepts_memoryview_and_bytearray(data):
+    assert crc32c(memoryview(data)) == crc32c(bytearray(data)) == crc32c(data)
+
+
+def test_combine_empty_suffix_is_identity():
+    c = crc32c(b"abc")
+    assert crc32c_combine(c, 0, 0) == c

@@ -1,0 +1,26 @@
+"""Formatting helpers: the edges not covered by the basic unit tests."""
+
+from repro.common.units import GB, fmt_bytes, fmt_rate, fmt_time
+
+
+def test_fmt_bytes_large_units():
+    assert fmt_bytes(3 * GB) == "3.0 GiB"
+    assert fmt_bytes(5 * 1024 * GB) == "5.0 TiB"
+    # Beyond TiB stays in TiB rather than inventing units.
+    assert fmt_bytes(5000 * 1024 * GB).endswith("TiB")
+
+
+def test_fmt_bytes_zero_and_negative():
+    assert fmt_bytes(0) == "0 B"
+    assert fmt_bytes(-512) == "-512 B"
+
+
+def test_fmt_rate_boundaries():
+    assert fmt_rate(1e6) == "1.00 Mrec/s"
+    assert fmt_rate(999_999).endswith("Krec/s")
+    assert fmt_rate(1000).endswith("Krec/s")
+    assert fmt_rate(999.4) == "999 rec/s"
+
+
+def test_fmt_time_negative():
+    assert fmt_time(-2.0) == "-2.000 s"

@@ -1,0 +1,79 @@
+"""ThroughputMeter and LatencyReservoir tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import LatencyReservoir, ThroughputMeter
+
+
+class TestThroughputMeter:
+    def test_rate_over_window(self):
+        meter = ThroughputMeter()
+        for t in range(10):
+            meter.add(100, t * 0.1)
+        # Window [0.3, 0.8): events at 0.3..0.7 -> 500 events / 0.5 s.
+        assert meter.rate(0.3, 0.8) == pytest.approx(1000.0)
+        assert meter.total == 1000
+        assert len(meter) == 10
+
+    def test_empty_meter(self):
+        meter = ThroughputMeter()
+        assert meter.rate(0.0, 1.0) == 0.0
+        assert meter.total == 0
+
+    def test_degenerate_window_rejected(self):
+        meter = ThroughputMeter()
+        with pytest.raises(ConfigError):
+            meter.rate(1.0, 1.0)
+
+    def test_per_second_series(self):
+        meter = ThroughputMeter()
+        meter.add(10, 0.5)
+        meter.add(20, 1.5)
+        meter.add(30, 1.9)
+        series = meter.per_second_series(0.0, 2.0)
+        assert list(series) == [10.0, 50.0]
+
+    def test_per_second_series_empty(self):
+        meter = ThroughputMeter()
+        assert meter.per_second_series(0.0, 3.0).tolist() == [0.0, 0.0, 0.0]
+
+
+class TestLatencyReservoir:
+    def test_percentiles(self):
+        res = LatencyReservoir()
+        for v in range(1, 101):
+            res.add(float(v))
+        assert res.percentile(50) == pytest.approx(50.5)
+        assert res.mean() == pytest.approx(50.5)
+        summary = res.summary()
+        assert set(summary) == {"mean", "p50", "p95", "p99"}
+        assert res.count == 100
+
+    def test_empty_reservoir_nan(self):
+        res = LatencyReservoir()
+        assert np.isnan(res.percentile(50))
+        assert np.isnan(res.mean())
+
+    def test_decimation_bounds_memory(self):
+        res = LatencyReservoir(capacity=64)
+        for v in range(10_000):
+            res.add(float(v))
+        assert len(res._samples) < 128
+        assert res.count == 10_000
+        # Percentiles remain sane after decimation.
+        assert 3000 < res.percentile(50) < 7000
+
+    def test_deterministic(self):
+        def build():
+            res = LatencyReservoir(capacity=32)
+            for v in range(1000):
+                res.add(v * 0.001)
+            return res.summary()
+
+        assert build() == build()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            LatencyReservoir(capacity=0)

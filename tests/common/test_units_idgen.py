@@ -1,0 +1,54 @@
+"""Tests for unit helpers and identifier generation."""
+
+import pytest
+
+from repro.common.units import KB, MB, GB, USEC, MSEC, fmt_bytes, fmt_rate, fmt_time
+from repro.common.idgen import IdGenerator
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * 1024
+    assert GB == 1024**3
+
+
+def test_time_constants():
+    assert MSEC == pytest.approx(1e-3)
+    assert USEC == pytest.approx(1e-6)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(100) == "100 B"
+    assert fmt_bytes(16 * KB) == "16.0 KiB"
+    assert fmt_bytes(8 * MB) == "8.0 MiB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(4_200_000) == "4.20 Mrec/s"
+    assert fmt_rate(12_500) == "12.5 Krec/s"
+    assert fmt_rate(900) == "900 rec/s"
+
+
+def test_fmt_time():
+    assert fmt_time(0) == "0 s"
+    assert fmt_time(2.5) == "2.500 s"
+    assert fmt_time(1.5e-3) == "1.500 ms"
+    assert fmt_time(250e-6) == "250.0 us"
+    assert fmt_time(30e-9) == "30.0 ns"
+
+
+def test_idgen_sequential():
+    gen = IdGenerator()
+    assert [gen.next() for _ in range(3)] == [0, 1, 2]
+    assert gen.peek() == 3
+    assert gen.next() == 3
+
+
+def test_idgen_start_and_reserve():
+    gen = IdGenerator(start=10)
+    block = gen.reserve(4)
+    assert list(block) == [10, 11, 12, 13]
+    assert gen.next() == 14
+    assert list(gen.reserve(0)) == []
+    with pytest.raises(ValueError):
+        gen.reserve(-1)

@@ -1,0 +1,83 @@
+"""Every example script must keep running end to end.
+
+The slow simulation examples are patched down to tiny workloads — these
+tests pin correctness and API stability, not performance.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "crash_recovery",
+            "kafka_vs_kera",
+            "replication_capacity",
+            "unified_storage",
+        }:
+            del sys.modules[name]
+
+
+def test_quickstart(capsys):
+    module = importlib.import_module("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "quickstart OK" in out
+
+
+def test_crash_recovery(capsys):
+    module = importlib.import_module("crash_recovery")
+    module.main()
+    out = capsys.readouterr().out
+    assert "recovery OK" in out
+
+
+def test_unified_storage(capsys):
+    module = importlib.import_module("unified_storage")
+    module.main()
+    out = capsys.readouterr().out
+    assert "unified storage OK" in out
+
+
+def test_kafka_vs_kera_small(capsys):
+    module = importlib.import_module("kafka_vs_kera")
+    module.STREAMS = 16
+    module.DURATION = 0.03
+    module.main()
+    out = capsys.readouterr().out
+    assert "replication factor 3" in out
+    assert "KerA/Kafka at R3" in out
+
+
+def test_replication_capacity_small(capsys, monkeypatch):
+    module = importlib.import_module("replication_capacity")
+    module.STREAMS = 32
+    module.DURATION = 0.03
+    # Trim the sweep for test time.
+    original_run = module.run
+    monkeypatch.setattr(
+        module, "run", lambda vlogs: original_run(vlogs)
+    )
+    original_main = module.main
+
+    def small_main():
+        print(f"{module.STREAMS} streams")
+        for vlogs in (1, 4):
+            result = module.run(vlogs)
+            assert result.producer_rate > 0
+        print("optimum: ok")
+
+    monkeypatch.setattr(module, "main", small_main)
+    module.main()
+    out = capsys.readouterr().out
+    assert "optimum" in out

@@ -1,0 +1,159 @@
+"""End-to-end simulated cluster runs: both systems, key invariants.
+
+These are short deterministic simulations (tens of milliseconds of
+simulated time) checking conservation laws and qualitative behaviours the
+paper relies on — not absolute throughput, which belongs to benchmarks.
+"""
+
+import pytest
+
+from repro.common.units import KB
+from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.sim.costmodel import CostModel
+from repro.storage.config import StorageConfig
+from repro.kafka import KafkaConfig, SimKafkaCluster
+from repro.kera import KeraConfig, SimKeraCluster
+from repro.simdriver import SimWorkload
+
+
+def kera_config(r=3, vlogs=2, q=1, policy=PolicyMode.SHARED, chunk_kb=1):
+    return KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(materialize=False, q_active_groups=q),
+        replication=ReplicationConfig(
+            replication_factor=r, vlogs_per_broker=vlogs, policy=policy
+        ),
+        chunk_size=chunk_kb * KB,
+    )
+
+
+def small_workload(streams=16, producers=2, consumers=2, duration=0.05):
+    return SimWorkload.many_streams(
+        streams, num_producers=producers, num_consumers=consumers,
+        duration=duration, warmup=duration / 5,
+    )
+
+
+def run_kera(config=None, workload=None, cost=None):
+    return SimKeraCluster(
+        config or kera_config(), workload or small_workload(), cost or CostModel()
+    ).run()
+
+
+class TestKeraSim:
+    def test_data_flows_and_is_conserved(self):
+        cluster = SimKeraCluster(kera_config(), small_workload())
+        result = cluster.run()
+        assert result.records_acked > 0
+        assert result.records_consumed > 0
+        # Ingested records on brokers match what producers got acked plus
+        # whatever is still in flight (never less).
+        ingested = sum(c.records_ingested for c in cluster.broker_cores.values())
+        assert ingested >= result.records_acked
+        # Backups hold R-1 copies of every shipped chunk, modulo batches
+        # still in flight when the simulation horizon cut.
+        shipped = sum(
+            c.manager.total_chunks_shipped() for c in cluster.broker_cores.values()
+        )
+        pending = sum(c.pending_chunks() for c in cluster.broker_cores.values())
+        received = sum(
+            b.store.chunks_received for b in cluster.backup_cores.values()
+        )
+        assert received <= 2 * shipped  # R=3 -> 2 backup copies
+        assert received >= 2 * (shipped - pending)
+
+    def test_deterministic_runs(self):
+        r1 = run_kera()
+        r2 = run_kera()
+        assert r1.records_acked == r2.records_acked
+        assert r1.producer_rate == r2.producer_rate
+        assert r1.rpc_calls == r2.rpc_calls
+
+    def test_r1_skips_replication(self):
+        result = run_kera(config=kera_config(r=1))
+        assert result.replication_rpcs == 0
+        assert result.records_acked > 0
+
+    def test_replication_factor_costs_throughput(self):
+        r1 = run_kera(config=kera_config(r=1))
+        r3 = run_kera(config=kera_config(r=3))
+        assert r3.producer_rate < r1.producer_rate
+
+    def test_consolidation_batches_multiple_chunks(self):
+        # Many partitions over few virtual logs -> batches well above 1.
+        result = run_kera(
+            config=kera_config(vlogs=1),
+            workload=small_workload(streams=64),
+        )
+        assert result.avg_replication_batch_chunks > 2.0
+
+    def test_per_subpartition_policy_unbatched(self):
+        result = run_kera(
+            config=kera_config(policy=PolicyMode.PER_SUBPARTITION),
+            workload=small_workload(streams=16),
+        )
+        # One virtual log per sub-partition: close to one chunk per RPC.
+        assert result.avg_replication_batch_chunks < 3.0
+
+    def test_consumers_never_outrun_producers(self):
+        result = run_kera()
+        assert result.records_consumed <= result.records_acked * 1.05 + 1000
+
+    def test_sim_requires_metadata_storage(self):
+        from repro.common.errors import ConfigError
+
+        config = KeraConfig(
+            num_brokers=4,
+            storage=StorageConfig(materialize=True),
+            replication=ReplicationConfig(replication_factor=2),
+        )
+        with pytest.raises(ConfigError):
+            SimKeraCluster(config, small_workload())
+
+
+class TestKafkaSim:
+    def kafka_config(self, r=3, chunk_kb=1):
+        return KafkaConfig(num_brokers=4, replication_factor=r, chunk_size=chunk_kb * KB)
+
+    def test_data_flows(self):
+        cluster = SimKafkaCluster(self.kafka_config(), small_workload())
+        result = cluster.run()
+        assert result.records_acked > 0
+        assert result.records_consumed > 0
+        assert result.replication_rpcs > 0
+        # Followers hold both copies of everything the HW covers.
+        fetched = sum(
+            c.replica_batches_fetched for c in cluster.broker_cores.values()
+        )
+        assert fetched > 0
+
+    def test_deterministic(self):
+        a = SimKafkaCluster(self.kafka_config(), small_workload()).run()
+        b = SimKafkaCluster(self.kafka_config(), small_workload()).run()
+        assert a.records_acked == b.records_acked
+        assert a.rpc_calls == b.rpc_calls
+
+    def test_r1_no_followers(self):
+        result = SimKafkaCluster(self.kafka_config(r=1), small_workload()).run()
+        assert result.replication_rpcs == 0
+        assert result.records_acked > 0
+
+    def test_acks_all_costs_throughput(self):
+        r1 = SimKafkaCluster(self.kafka_config(r=1), small_workload()).run()
+        r3 = SimKafkaCluster(self.kafka_config(r=3), small_workload()).run()
+        assert r3.producer_rate < r1.producer_rate
+
+
+class TestPaperHeadline:
+    def test_kera_beats_kafka_at_r3_many_streams(self):
+        """The paper's core claim: with hundreds of streams and R=3,
+        virtual-log KerA out-ingests per-partition-log Kafka."""
+        workload = small_workload(streams=64, producers=4, consumers=4, duration=0.08)
+        kera = SimKeraCluster(kera_config(r=3, vlogs=4), workload).run()
+        kafka = SimKafkaCluster(
+            KafkaConfig(num_brokers=4, replication_factor=3, chunk_size=1 * KB),
+            workload,
+        ).run()
+        assert kera.producer_rate > kafka.producer_rate
+        # And it does so with far fewer replication RPCs per chunk.
+        assert kera.avg_replication_batch_chunks > 1.0

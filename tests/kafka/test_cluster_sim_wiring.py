@@ -1,0 +1,84 @@
+"""Kafka sim-driver wiring: topology, fetcher assignment, wake plumbing."""
+
+import pytest
+
+from repro.common.units import KB
+from repro.kafka import KafkaConfig, SimKafkaCluster
+from repro.simdriver import SimWorkload
+
+
+def make_cluster(r=3, streams=8, fetchers=1):
+    config = KafkaConfig(
+        num_brokers=4,
+        replication_factor=r,
+        chunk_size=1 * KB,
+        num_replica_fetchers=fetchers,
+    )
+    workload = SimWorkload.many_streams(
+        streams, num_producers=2, num_consumers=2, duration=0.02, warmup=0.005
+    )
+    return SimKafkaCluster(config, workload)
+
+
+def test_followers_are_next_brokers_round_robin():
+    cluster = make_cluster()
+    assert cluster._followers_of(0) == (1, 2)
+    assert cluster._followers_of(3) == (0, 1)
+
+
+def test_every_partition_has_leader_and_replicas():
+    cluster = make_cluster(streams=8)
+    leaders = 0
+    replicas = 0
+    for core in cluster.broker_cores.values():
+        leaders += len(core.leader_logs)
+        replicas += len(core.replica_logs)
+    assert leaders == 8
+    assert replicas == 16  # R-1 = 2 per partition
+
+
+def test_follow_map_covers_all_pairs():
+    cluster = make_cluster(streams=8)
+    # Every (follower, leader) pair that shares partitions appears once,
+    # and each partition is tracked by exactly its two followers.
+    tracked = {}
+    for (follower, leader), partitions in cluster._follow_map.items():
+        assert follower != leader
+        for p in partitions:
+            tracked[p] = tracked.get(p, 0) + 1
+    assert set(tracked.values()) == {2}
+
+
+def test_r1_has_no_followers():
+    cluster = make_cluster(r=1)
+    assert cluster._follow_map == {}
+    for core in cluster.broker_cores.values():
+        for log in core.leader_logs.values():
+            assert log.followers == ()
+
+
+def test_multiple_fetchers_split_partitions():
+    cluster = make_cluster(streams=8, fetchers=2)
+    cluster._spawn_system_processes()
+    # Two fetcher processes per non-empty pair; their partition slices
+    # partition the pair's set.
+    for (follower, leader), partitions in cluster._follow_map.items():
+        slices = [partitions[i::2] for i in range(2)]
+        merged = sorted(slices[0] + slices[1])
+        assert merged == sorted(partitions)
+
+
+def test_wake_event_plumbing():
+    cluster = make_cluster()
+    event = cluster._follower_wait_event(leader=0, follower=1)
+    assert not event.triggered
+    cluster._wake_followers(leader=0)
+    assert event.triggered
+    # Waking again with no parked fetch is a no-op.
+    cluster._wake_followers(leader=0)
+
+
+def test_kafka_uses_q1():
+    cluster = make_cluster()
+    assert cluster.q_active_groups == 1
+    assert cluster.broker_service == "kafka"

@@ -1,0 +1,71 @@
+"""Configuration validation across the system configs."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kafka.config import KafkaConfig
+from repro.kera.config import KeraConfig
+
+
+class TestStorageConfig:
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigError):
+            StorageConfig(segment_size=0)
+        with pytest.raises(ConfigError):
+            StorageConfig(segments_per_group=0)
+        with pytest.raises(ConfigError):
+            StorageConfig(q_active_groups=0)
+
+    def test_group_capacity(self):
+        config = StorageConfig(segment_size=1000, segments_per_group=3)
+        assert config.group_capacity == 3000
+
+
+class TestReplicationConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ReplicationConfig(replication_factor=0)
+        with pytest.raises(ConfigError):
+            ReplicationConfig(vlogs_per_broker=0)
+        with pytest.raises(ConfigError):
+            ReplicationConfig(virtual_segment_size=0)
+        with pytest.raises(ConfigError):
+            ReplicationConfig(max_batch_chunks=-1)
+
+    def test_backup_copies(self):
+        assert ReplicationConfig(replication_factor=1).num_backup_copies == 0
+        assert ReplicationConfig(replication_factor=3).num_backup_copies == 2
+
+
+class TestKeraConfig:
+    def test_replication_needs_enough_brokers(self):
+        with pytest.raises(ConfigError):
+            KeraConfig(
+                num_brokers=2,
+                replication=ReplicationConfig(replication_factor=3),
+            )
+
+    def test_rejects_bad_client_params(self):
+        with pytest.raises(ConfigError):
+            KeraConfig(chunk_size=0)
+        with pytest.raises(ConfigError):
+            KeraConfig(linger=-1.0)
+        with pytest.raises(ConfigError):
+            KeraConfig(num_brokers=0)
+
+
+class TestKafkaConfig:
+    def test_replication_bounds(self):
+        with pytest.raises(ConfigError):
+            KafkaConfig(num_brokers=2, replication_factor=3)
+        with pytest.raises(ConfigError):
+            KafkaConfig(replication_factor=0)
+
+    def test_fetcher_and_wait_validation(self):
+        with pytest.raises(ConfigError):
+            KafkaConfig(num_replica_fetchers=0)
+        with pytest.raises(ConfigError):
+            KafkaConfig(replica_fetch_wait_max=-1.0)
+        assert KafkaConfig(replication_factor=3).num_followers == 2

@@ -1,0 +1,71 @@
+"""Coordinator catalog and recovery planning tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError, RecoveryError, StorageError
+from repro.kera.coordinator import Coordinator
+
+
+def test_round_robin_assignment():
+    coord = Coordinator([0, 1, 2, 3])
+    meta = coord.create_stream(0, 8)
+    # 8 streamlets over 4 brokers: 2 each.
+    counts = [len(meta.streamlets_on(b)) for b in range(4)]
+    assert counts == [2, 2, 2, 2]
+
+
+def test_single_partition_streams_spread_by_stream_id():
+    coord = Coordinator([0, 1, 2, 3])
+    for stream_id in range(8):
+        coord.create_stream(stream_id, 1)
+    loads = [len(coord.partitions_on(b)) for b in range(4)]
+    assert loads == [2, 2, 2, 2]
+
+
+def test_duplicate_stream_rejected():
+    coord = Coordinator([0, 1])
+    coord.create_stream(0, 1)
+    with pytest.raises(StorageError):
+        coord.create_stream(0, 1)
+
+
+def test_invalid_args():
+    with pytest.raises(ConfigError):
+        Coordinator([])
+    coord = Coordinator([0])
+    with pytest.raises(ConfigError):
+        coord.create_stream(0, 0)
+    with pytest.raises(StorageError):
+        coord.stream(99)
+
+
+def test_recovery_plan_reassigns_to_survivors():
+    coord = Coordinator([0, 1, 2, 3])
+    coord.create_stream(0, 8)
+    before = coord.partitions_on(1)
+    plan = coord.plan_recovery(1)
+    assert plan.failed_broker == 1
+    assert plan.survivors == [0, 2, 3]
+    assert set(plan.reassignments) == set(before)
+    for (stream, sid), target in plan.reassignments.items():
+        assert target in plan.survivors
+        assert coord.stream(stream).leaders[sid] == target
+    assert coord.partitions_on(1) == []
+    assert coord.live_brokers == [0, 2, 3]
+
+
+def test_recovery_twice_rejected():
+    coord = Coordinator([0, 1, 2])
+    coord.create_stream(0, 3)
+    coord.plan_recovery(0)
+    with pytest.raises(RecoveryError):
+        coord.plan_recovery(0)
+    with pytest.raises(RecoveryError):
+        coord.plan_recovery(42)
+
+
+def test_streams_created_after_failure_avoid_dead_broker():
+    coord = Coordinator([0, 1, 2, 3])
+    coord.plan_recovery(2)
+    meta = coord.create_stream(0, 6)
+    assert 2 not in meta.leaders.values()

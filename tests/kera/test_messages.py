@@ -1,0 +1,71 @@
+"""Wire-size accounting of the RPC messages (what the network charges)."""
+
+from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE
+from repro.kera.messages import (
+    ChunkAssignment,
+    FetchEntry,
+    FetchPosition,
+    FetchRequest,
+    FetchResponse,
+    ProduceRequest,
+    ProduceResponse,
+    ReplicateRequest,
+    ReplicateResponse,
+)
+
+
+def meta_chunk(n=4, size=400, seq=0):
+    return Chunk.meta(
+        stream_id=0, streamlet_id=0, producer_id=0, chunk_seq=seq,
+        record_count=n, payload_len=size,
+    )
+
+
+def test_produce_request_accounting():
+    chunks = [meta_chunk(seq=0), meta_chunk(seq=1, size=100, n=1)]
+    request = ProduceRequest(request_id=1, producer_id=0, chunks=chunks)
+    expected = 32 + (CHUNK_HEADER_SIZE + 400) + (CHUNK_HEADER_SIZE + 100)
+    assert request.payload_bytes() == expected
+    assert request.record_count == 5
+
+
+def test_produce_response_scales_with_assignments():
+    empty = ProduceResponse(request_id=1, assignments=[])
+    one = ProduceResponse(
+        request_id=1,
+        assignments=[ChunkAssignment(0, 0, 0, 0, 0)],
+    )
+    assert one.payload_bytes() - empty.payload_bytes() == 24
+
+
+def test_fetch_request_scales_with_positions():
+    pos = FetchPosition(stream_id=0, streamlet_id=0, entry=0)
+    one = FetchRequest(request_id=0, consumer_id=0, positions=[pos])
+    two = FetchRequest(request_id=0, consumer_id=0, positions=[pos, pos])
+    assert two.payload_bytes() - one.payload_bytes() == 24
+
+
+def test_fetch_response_carries_chunk_bytes():
+    pos = FetchPosition(stream_id=0, streamlet_id=0, entry=0)
+    chunk = meta_chunk()
+    entry = FetchEntry(position=pos, chunks=[chunk], next_position=pos)
+    response = FetchResponse(request_id=0, entries=[entry])
+    assert response.payload_bytes() == 32 + 24 + chunk.size
+    assert response.record_count == 4
+    assert response.chunk_count == 1
+
+
+def test_replicate_request_includes_ref_metadata():
+    from repro.replication.chunk_ref import CHUNK_REF_WIRE_SIZE
+
+    chunks = [meta_chunk(seq=i) for i in range(3)]
+    request = ReplicateRequest(
+        src_broker=0, vlog_id=1, vseg_id=2, vseg_capacity=8192,
+        batch_checksum=0, chunks=chunks,
+    )
+    expected = 32 + sum(c.size + CHUNK_REF_WIRE_SIZE for c in chunks)
+    assert request.payload_bytes() == expected
+
+
+def test_replicate_response_fixed_size():
+    assert ReplicateResponse().payload_bytes() == 16

@@ -1,0 +1,127 @@
+"""Streamlet migration and consumer offset management tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError, StorageError
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import (
+    InprocKeraCluster,
+    KeraConfig,
+    KeraConsumer,
+    KeraProducer,
+    migrate_streamlet,
+)
+
+
+def make_cluster(q=1):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(segment_size=64 * KB, q_active_groups=q),
+        replication=ReplicationConfig(replication_factor=3, vlogs_per_broker=2),
+        chunk_size=1 * KB,
+    )
+    return InprocKeraCluster(config)
+
+
+def ingest(cluster, count=300, streamlets=4):
+    cluster.create_stream(0, streamlets)
+    producer = KeraProducer(cluster, producer_id=0)
+    for i in range(count):
+        producer.send(0, f"{i:05d}".encode(), streamlet_id=i % streamlets)
+    producer.flush()
+
+
+class TestMigration:
+    def test_migrated_data_readable_from_new_leader(self):
+        cluster = make_cluster()
+        ingest(cluster)
+        source = cluster.leader_of(0, 1)
+        target = (source + 1) % 4
+        report = migrate_streamlet(cluster, 0, 1, target)
+        assert report.source == source
+        assert report.target == target
+        assert report.records_moved == 75
+        assert cluster.leader_of(0, 1) == target
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        records = consumer.drain()
+        assert len(records) == 300
+
+    def test_order_preserved_after_migration(self):
+        cluster = make_cluster()
+        ingest(cluster)
+        source = cluster.leader_of(0, 2)
+        migrate_streamlet(cluster, 0, 2, (source + 2) % 4)
+        records = KeraConsumer(cluster, consumer_id=0, stream_ids=[0]).drain()
+        streamlet2 = sorted(
+            int(r.value) for r in records if int(r.value) % 4 == 2
+        )
+        in_order = [int(r.value) for r in records if int(r.value) % 4 == 2]
+        assert in_order == streamlet2
+
+    def test_migrated_data_re_replicated(self):
+        cluster = make_cluster()
+        ingest(cluster)
+        source = cluster.leader_of(0, 0)
+        target = (source + 1) % 4
+        before = sum(b.store.chunks_received for b in cluster.backups.values())
+        report = migrate_streamlet(cluster, 0, 0, target)
+        after = sum(b.store.chunks_received for b in cluster.backups.values())
+        assert after == before + 2 * report.chunks_moved
+
+    def test_invalid_targets_rejected(self):
+        cluster = make_cluster()
+        ingest(cluster)
+        leader = cluster.leader_of(0, 0)
+        with pytest.raises(StorageError):
+            migrate_streamlet(cluster, 0, 0, leader)  # already there
+        with pytest.raises(StorageError):
+            migrate_streamlet(cluster, 0, 99, 1)  # no such streamlet
+        with pytest.raises(StorageError):
+            migrate_streamlet(cluster, 0, 0, 42)  # no such broker
+
+    def test_new_writes_go_to_new_leader(self):
+        cluster = make_cluster()
+        ingest(cluster, count=100)
+        source = cluster.leader_of(0, 3)
+        target = (source + 1) % 4
+        migrate_streamlet(cluster, 0, 3, target)
+        producer = KeraProducer(cluster, producer_id=5)
+        producer.send(0, b"post-migration", streamlet_id=3)
+        producer.flush()
+        target_records = cluster.brokers[target].registry.get(0).streamlet(3)
+        assert target_records.record_count == 25 + 1
+
+
+class TestConsumerPositions:
+    def test_snapshot_and_resume(self):
+        cluster = make_cluster()
+        ingest(cluster, count=200)
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        first = consumer.poll(max_chunks_per_entry=2)
+        committed = consumer.positions()
+        rest = consumer.drain()
+        assert len(first) + len(rest) == 200
+        # A "restarted" consumer resumes from the committed snapshot.
+        resumed = KeraConsumer(cluster, consumer_id=1, stream_ids=[0])
+        resumed.seek(committed)
+        replayed = resumed.drain()
+        assert len(replayed) == len(rest)
+
+    def test_rewind_rereads_everything(self):
+        cluster = make_cluster()
+        ingest(cluster, count=120)
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        assert len(consumer.drain()) == 120
+        consumer.rewind()
+        assert len(consumer.drain()) == 120
+
+    def test_seek_unknown_assignment_rejected(self):
+        cluster = make_cluster()
+        ingest(cluster)
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        from repro.kera.messages import FetchPosition
+
+        with pytest.raises(ConfigError):
+            consumer.seek({(9, 9, 9): FetchPosition(9, 9, 9)})

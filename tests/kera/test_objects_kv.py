@@ -1,0 +1,152 @@
+"""Unified-API tests: objects as bounded streams, the KV view."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import StorageError
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import InprocKeraCluster, KeraConfig, KVTable, ObjectStore, recover_broker
+
+
+def make_cluster(r=3, chunk_size=1 * KB):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(segment_size=64 * KB),
+        replication=ReplicationConfig(replication_factor=r, vlogs_per_broker=2),
+        chunk_size=chunk_size,
+    )
+    return InprocKeraCluster(config)
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self):
+        store = ObjectStore(make_cluster())
+        data = bytes(range(256)) * 40  # ~10 KB, spans many parts
+        info = store.put("blob-a", data)
+        assert info.size == len(data)
+        assert info.parts > 1
+        assert store.get("blob-a") == data
+
+    def test_empty_object(self):
+        store = ObjectStore(make_cluster())
+        info = store.put("empty", b"")
+        assert info.parts == 1
+        assert store.get("empty") == b""
+
+    def test_multi_streamlet_object(self):
+        store = ObjectStore(make_cluster(), streamlets_per_object=4)
+        data = b"\xab" * 5000
+        store.put(b"wide", data)
+        assert store.get(b"wide") == data
+
+    def test_catalog_and_errors(self):
+        store = ObjectStore(make_cluster())
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert [o.name for o in store.list()] == [b"a", b"b"]
+        assert "a" in store and "zz" not in store
+        with pytest.raises(StorageError):
+            store.put("a", b"again")  # immutable
+        with pytest.raises(StorageError):
+            store.get("missing")
+        with pytest.raises(StorageError):
+            store.put("", b"x")
+
+    def test_objects_are_replicated(self):
+        cluster = make_cluster(r=3)
+        store = ObjectStore(cluster)
+        store.put("durable", b"d" * 3000)
+        copies = sum(b.store.chunks_received for b in cluster.backups.values())
+        assert copies > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=0, max_size=4000))
+    def test_roundtrip_property(self, data):
+        store = ObjectStore(make_cluster())
+        store.put("obj", data)
+        assert store.get("obj") == data
+
+
+class TestKVTable:
+    def test_put_get_latest(self):
+        table = KVTable(make_cluster(), stream_id=0)
+        assert table.put("k1", b"v1") == 0
+        assert table.put("k1", b"v2") == 1
+        assert table.get("k1") == b"v2"
+        assert table.get_versioned("k1").version == 1
+        assert len(table) == 1
+
+    def test_missing_key(self):
+        table = KVTable(make_cluster(), stream_id=0)
+        with pytest.raises(KeyError):
+            table.get("nope")
+        with pytest.raises(KeyError):
+            table.delete("nope")
+        with pytest.raises(StorageError):
+            table.put("", b"v")
+
+    def test_delete_tombstone(self):
+        table = KVTable(make_cluster(), stream_id=0)
+        table.put("k", b"v")
+        table.delete("k")
+        assert "k" not in table
+        with pytest.raises(KeyError):
+            table.get("k")
+        # A new put resurrects with a higher version.
+        version = table.put("k", b"v2")
+        assert version == 2
+        assert table.get("k") == b"v2"
+
+    def test_keys_listing(self):
+        table = KVTable(make_cluster(), stream_id=0)
+        for k in (b"b", b"a", b"c"):
+            table.put(k, b"x")
+        table.delete(b"b")
+        assert table.keys() == [b"a", b"c"]
+
+    def test_rebuild_reconstructs_index(self):
+        table = KVTable(make_cluster(), stream_id=0)
+        for i in range(30):
+            table.put(f"key-{i % 5}", f"value-{i}".encode())
+        table.delete("key-3")
+        snapshot = {k: table.get(k) for k in table.keys()}
+        # Blow the index away and replay the log.
+        table._index = {}
+        table._versions = {}
+        replayed = table.rebuild()
+        assert replayed == 31
+        assert {k: table.get(k) for k in table.keys()} == snapshot
+        assert "key-3" not in table
+
+    def test_rebuild_after_crash_recovery(self):
+        cluster = make_cluster()
+        table = KVTable(cluster, stream_id=0, num_streamlets=8)
+        for i in range(40):
+            table.put(f"k{i}", f"v{i}".encode())
+        recover_broker(cluster, failed_broker=1)
+        table.rebuild()
+        for i in range(40):
+            assert table.get(f"k{i}") == f"v{i}".encode()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.binary(min_size=1, max_size=30)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_latest_wins_property(self, ops):
+        table = KVTable(make_cluster(), stream_id=0)
+        expected = {}
+        for key_idx, value in ops:
+            key = f"key-{key_idx}".encode()
+            table.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert table.get(key) == value
+        table.rebuild()
+        for key, value in expected.items():
+            assert table.get(key) == value

@@ -1,0 +1,49 @@
+"""Shared fixtures for replication tests."""
+
+import pytest
+
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.streamlet import Streamlet
+from repro.wire.chunk import Chunk
+
+
+@pytest.fixture
+def storage_config():
+    return StorageConfig(
+        segment_size=4096, segments_per_group=4, q_active_groups=1, materialize=False
+    )
+
+
+@pytest.fixture
+def streamlet_factory(storage_config):
+    def make(stream_id=1, streamlet_id=0, config=None):
+        cfg = config or storage_config
+        return Streamlet(
+            stream_id=stream_id,
+            streamlet_id=streamlet_id,
+            config=cfg,
+            allocator=SegmentAllocator(cfg),
+        )
+
+    return make
+
+
+@pytest.fixture
+def chunk_factory():
+    counters = {}
+
+    def make(stream_id=1, streamlet_id=0, producer_id=0, payload_len=160, n=4):
+        key = (streamlet_id, producer_id)
+        seq = counters.get(key, 0)
+        counters[key] = seq + 1
+        return Chunk.meta(
+            stream_id=stream_id,
+            streamlet_id=streamlet_id,
+            producer_id=producer_id,
+            chunk_seq=seq,
+            record_count=n,
+            payload_len=payload_len,
+        )
+
+    return make

@@ -1,0 +1,138 @@
+"""Backup store: replicated segments, checksums, flush, recovery reads."""
+
+import pytest
+
+from repro.common.errors import ChecksumError, ReplicationError
+from repro.common.units import MB
+from repro.wire.chunk import Chunk
+from repro.wire.record import Record, encode_records
+from repro.replication.backup_store import BackupStore
+
+
+def meta_chunk(chunk_seq=0, streamlet_id=0, group_id=1, segment_id=0):
+    chunk = Chunk.meta(
+        stream_id=1,
+        streamlet_id=streamlet_id,
+        producer_id=0,
+        chunk_seq=chunk_seq,
+        record_count=4,
+        payload_len=160,
+    )
+    return chunk.assigned(group_id=group_id, segment_id=segment_id)
+
+
+def real_chunk(value=b"data", chunk_seq=0):
+    payload = encode_records([Record(value=value)])
+    return Chunk(
+        stream_id=1, streamlet_id=0, producer_id=0, chunk_seq=chunk_seq,
+        record_count=1, payload_len=len(payload), payload=payload,
+    )
+
+
+def test_append_batch_creates_segment():
+    store = BackupStore(node_id=2, materialize=False)
+    chunks = [meta_chunk(chunk_seq=i) for i in range(3)]
+    seg = store.append_batch(
+        src_broker=0, vlog_id=1, vseg_id=5, chunks=chunks, segment_capacity=1 * MB
+    )
+    assert seg.bytes_held == sum(c.size for c in chunks)
+    assert seg.chunks == chunks
+    assert store.segment_count == 1
+    assert store.chunks_received == 3
+    assert store.batches_received == 1
+
+
+def test_append_batch_accumulates_same_vseg():
+    store = BackupStore(node_id=2, materialize=False)
+    seg1 = store.append_batch(
+        src_broker=0, vlog_id=1, vseg_id=5, chunks=[meta_chunk(0)], segment_capacity=1 * MB
+    )
+    seg2 = store.append_batch(
+        src_broker=0, vlog_id=1, vseg_id=5, chunks=[meta_chunk(1)], segment_capacity=1 * MB
+    )
+    assert seg1 is seg2
+    assert len(seg1.chunks) == 2
+
+
+def test_corrupt_payload_rejected():
+    store = BackupStore(node_id=2)
+    chunk = real_chunk()
+    chunk.payload_crc ^= 0xFF  # corrupt the recorded checksum
+    with pytest.raises(ChecksumError):
+        store.append_batch(
+            src_broker=0, vlog_id=0, vseg_id=0, chunks=[chunk], segment_capacity=1 * MB
+        )
+
+
+def test_sealed_segment_rejects():
+    store = BackupStore(node_id=2, materialize=False)
+    store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(0)], segment_capacity=1 * MB
+    )
+    store.seal(0, 0, 0)
+    with pytest.raises(ReplicationError):
+        store.append_batch(
+            src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(1)], segment_capacity=1 * MB
+        )
+
+
+def test_flush_accounting():
+    store = BackupStore(node_id=2, materialize=False)
+    seg = store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(0)], segment_capacity=1 * MB
+    )
+    assert store.total_unflushed() == seg.bytes_held
+    taken = store.take_flush_work(seg)
+    assert taken == seg.bytes_held
+    assert seg.unflushed_bytes == 0
+    assert store.total_unflushed() == 0
+    # New data re-dirties the segment.
+    store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(1)], segment_capacity=1 * MB
+    )
+    assert seg.unflushed_bytes > 0
+
+
+def test_recovery_reads_ordered_by_vlog():
+    store = BackupStore(node_id=2, materialize=False)
+    store.append_batch(
+        src_broker=0, vlog_id=1, vseg_id=1, chunks=[meta_chunk(1)], segment_capacity=1 * MB
+    )
+    store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(0)], segment_capacity=1 * MB
+    )
+    store.append_batch(
+        src_broker=3, vlog_id=0, vseg_id=0, chunks=[meta_chunk(9)], segment_capacity=1 * MB
+    )
+    segs = store.segments_for_broker(0)
+    assert [(s.vlog_id, s.vseg_id) for s in segs] == [(0, 0), (1, 1)]
+    chunks = list(store.chunks_for_broker(0))
+    assert [c.chunk_seq for c in chunks] == [0, 1]
+    # Other broker's data untouched.
+    assert [c.chunk_seq for c in store.chunks_for_broker(3)] == [9]
+
+
+def test_drop_broker_frees():
+    store = BackupStore(node_id=2, materialize=False)
+    store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[meta_chunk(0)], segment_capacity=1 * MB
+    )
+    held = store.bytes_held
+    assert held > 0
+    freed = store.drop_broker(0)
+    assert freed == held
+    assert store.segment_count == 0
+    assert store.drop_broker(0) == 0
+
+
+def test_materialized_roundtrip():
+    store = BackupStore(node_id=2, materialize=True)
+    chunk = real_chunk(value=b"persisted")
+    seg = store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[chunk], segment_capacity=1 * MB
+    )
+    from repro.wire.framing import decode_chunks
+
+    stored_bytes = seg.buffer.view(0, seg.buffer.head)
+    (decoded,) = decode_chunks(stored_bytes)
+    assert decoded.records() == [Record(value=b"persisted")]

@@ -1,0 +1,55 @@
+"""Remaining replication edges: policy distribution quality, vseg ids."""
+
+from collections import Counter
+
+from repro.common.idgen import IdGenerator
+from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.replication.policy import BackupSelector, ReplicationPolicy, _mix64
+from repro.replication.virtual_log import VirtualLog
+
+
+def test_mix64_avalanche_on_residue_classes():
+    """Stream ids sharing a residue class (one broker's streams) must not
+    collapse onto one virtual log — the regression behind the original
+    multiplicative-hash bug."""
+    for vlogs in (2, 4, 8):
+        config = ReplicationConfig(vlogs_per_broker=vlogs)
+        policy = ReplicationPolicy(config)
+        # Streams a broker leads: ids congruent mod 4.
+        keys = Counter(policy.vlog_key(s, 0, 0) for s in range(0, 512, 4))
+        assert len(keys) == vlogs
+        # No vlog gets more than twice its fair share.
+        assert max(keys.values()) <= 2 * (128 / vlogs)
+
+
+def test_mix64_is_pure():
+    assert _mix64(12345) == _mix64(12345)
+    assert _mix64(12345) != _mix64(12346)
+    assert 0 <= _mix64(2**63) < 2**64
+
+
+def test_shared_vseg_ids_globally_ordered():
+    """Virtual logs sharing one id generator produce globally unique,
+    creation-ordered virtual segment ids — what recovery merges by."""
+    gen = IdGenerator()
+    config = ReplicationConfig(replication_factor=2, virtual_segment_size=1 << 20)
+    vlogs = [
+        VirtualLog(
+            vlog_id=i,
+            config=config,
+            selector=BackupSelector(primary=0, nodes=[0, 1, 2], copies=1),
+            vseg_ids=gen,
+        )
+        for i in range(3)
+    ]
+    ids = []
+    for vlog in vlogs:
+        vlog._roll_vseg()
+        ids.append(vlog.vsegs[0].vseg_id)
+    assert ids == [0, 1, 2]
+
+
+def test_per_subpartition_keys_dense():
+    policy = ReplicationPolicy(ReplicationConfig(policy=PolicyMode.PER_SUBPARTITION))
+    keys = [policy.vlog_key(0, sl, e) for sl in range(4) for e in range(4)]
+    assert sorted(keys) == list(range(16))

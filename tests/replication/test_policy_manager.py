@@ -1,0 +1,203 @@
+"""Replication policy, backup selection, and manager routing tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ReplicationError
+from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.replication.manager import ReplicationManager, wire_chunks
+from repro.replication.policy import BackupSelector, ReplicationPolicy
+
+
+class TestPolicy:
+    def test_shared_mode_bounded_and_deterministic(self):
+        config = ReplicationConfig(vlogs_per_broker=4, policy=PolicyMode.SHARED)
+        policy = ReplicationPolicy(config)
+        keys = {policy.vlog_key(s, l, 0) for s in range(50) for l in range(4)}
+        assert keys <= set(range(4))
+        assert policy.vlog_key(3, 1, 0) == policy.vlog_key(3, 1, 0)  # stable
+        # Sub-partitions of one streamlet spread over the shared logs too
+        # (Figure 21: 32 sub-partitions over N virtual logs).
+        entry_keys = {policy.vlog_key(0, 0, e) for e in range(16)}
+        assert len(entry_keys) > 1
+        assert policy.max_vlogs == 4
+
+    def test_per_subpartition_mode_unique_per_entry(self):
+        config = ReplicationConfig(policy=PolicyMode.PER_SUBPARTITION)
+        policy = ReplicationPolicy(config)
+        k1 = policy.vlog_key(1, 0, 0)
+        k2 = policy.vlog_key(1, 0, 1)
+        k3 = policy.vlog_key(1, 1, 0)
+        assert len({k1, k2, k3}) == 3
+        assert policy.vlog_key(1, 0, 0) == k1  # stable
+        assert policy.max_vlogs is None
+
+
+class TestBackupSelector:
+    def test_selects_distinct_non_primary(self):
+        sel = BackupSelector(primary=0, nodes=[0, 1, 2, 3], copies=2)
+        for _ in range(10):
+            chosen = sel.select()
+            assert len(chosen) == 2
+            assert 0 not in chosen
+            assert len(set(chosen)) == 2
+
+    def test_rotation_covers_all_candidates(self):
+        sel = BackupSelector(primary=0, nodes=[0, 1, 2, 3], copies=1)
+        seen = {sel.select()[0] for _ in range(6)}
+        assert seen == {1, 2, 3}
+
+    def test_zero_copies(self):
+        sel = BackupSelector(primary=0, nodes=[0, 1], copies=0)
+        assert sel.select() == ()
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ReplicationError):
+            BackupSelector(primary=0, nodes=[0, 1], copies=2)
+
+    def test_negative_copies_rejected(self):
+        with pytest.raises(ConfigError):
+            BackupSelector(primary=0, nodes=[0, 1], copies=-1)
+
+    def test_replace_swaps_failed(self):
+        sel = BackupSelector(primary=0, nodes=[0, 1, 2, 3, 4], copies=2)
+        backups = sel.select()
+        repaired = sel.replace(backups, backups[0])
+        assert backups[0] not in repaired
+        assert backups[1] in repaired
+        assert len(set(repaired)) == 2
+        with pytest.raises(ReplicationError):
+            sel.replace(repaired, 99)
+
+    def test_remove_candidate_shrinks_pool(self):
+        sel = BackupSelector(primary=0, nodes=[0, 1, 2, 3], copies=2)
+        sel.remove_candidate(3)
+        for _ in range(5):
+            assert 3 not in sel.select()
+        with pytest.raises(ReplicationError):
+            sel.remove_candidate(2)  # would leave too few
+
+
+class TestManager:
+    def make(self, r=3, vlogs=2, policy=PolicyMode.SHARED, on_durable=None):
+        config = ReplicationConfig(
+            replication_factor=r, vlogs_per_broker=vlogs, policy=policy
+        )
+        return ReplicationManager(
+            broker_id=0, nodes=[0, 1, 2, 3], config=config, on_durable=on_durable
+        )
+
+    def test_r1_short_circuits(self, streamlet_factory, chunk_factory):
+        durable = []
+        mgr = self.make(r=1, on_durable=durable.append)
+        streamlet = streamlet_factory()
+        stored = streamlet.append(chunk_factory())
+        assert mgr.replicate(stored, entry=0) is None
+        assert stored.is_durable
+        assert durable == [stored]
+        assert mgr.vlog_count == 0
+        assert mgr.collect_batches() == []
+
+    def test_routing_creates_bounded_vlogs(self, streamlet_factory, chunk_factory):
+        mgr = self.make(vlogs=2)
+        for streamlet_id in range(8):
+            streamlet = streamlet_factory(streamlet_id=streamlet_id)
+            stored = streamlet.append(chunk_factory(streamlet_id=streamlet_id))
+            ref = mgr.replicate(stored, entry=0)
+            assert ref is not None
+        assert mgr.vlog_count <= 2
+        assert mgr.pending_chunks() == 8
+
+    def test_full_cycle_fires_durability_listener(
+        self, streamlet_factory, chunk_factory
+    ):
+        durable = []
+        mgr = self.make(on_durable=durable.append)
+        streamlet = streamlet_factory()
+        stored = [streamlet.append(chunk_factory()) for _ in range(3)]
+        for s in stored:
+            mgr.replicate(s, entry=0)
+        batches = mgr.collect_batches()
+        assert len(batches) == 1  # one dirty vlog
+        for b in batches:
+            mgr.complete_batch(b)
+        assert durable == stored
+        assert mgr.pending_chunks() == 0
+        assert mgr.total_batches() == 1
+        assert mgr.total_chunks_shipped() == 3
+
+    def test_unknown_batch_rejected(self, streamlet_factory, chunk_factory):
+        mgr = self.make()
+        other = self.make()
+        streamlet = streamlet_factory()
+        stored = streamlet.append(chunk_factory())
+        other.replicate(stored, entry=0)
+        (batch,) = other.collect_batches()
+        batch_alien = batch
+        # Forge a vlog id the first manager does not know.
+        batch_alien.vlog_id = 12345
+        with pytest.raises(ReplicationError):
+            mgr.complete_batch(batch_alien)
+
+    def test_backup_failure_propagates_to_all_vlogs(
+        self, streamlet_factory, chunk_factory
+    ):
+        mgr = self.make(vlogs=2)
+        for streamlet_id in range(8):
+            streamlet = streamlet_factory(streamlet_id=streamlet_id)
+            stored = streamlet.append(chunk_factory(streamlet_id=streamlet_id))
+            mgr.replicate(stored, entry=0)
+        for batch in mgr.collect_batches():
+            mgr.complete_batch(batch)
+        repairs = mgr.handle_backup_failure(2)
+        for repair in repairs:
+            assert repair.repair
+            assert 2 not in repair.backups
+        for vlog in mgr.vlogs:
+            for vseg in vlog.vsegs:
+                assert 2 not in vseg.backups
+
+
+def test_wire_chunks_meta_mode(streamlet_factory, chunk_factory):
+    config = ReplicationConfig(replication_factor=2, vlogs_per_broker=1)
+    mgr = ReplicationManager(broker_id=0, nodes=[0, 1], config=config)
+    streamlet = streamlet_factory()
+    stored = [streamlet.append(chunk_factory(n=4)) for _ in range(2)]
+    for s in stored:
+        mgr.replicate(s, entry=0)
+    (batch,) = mgr.collect_batches()
+    wires = list(wire_chunks(batch))
+    assert len(wires) == 2
+    for wire, s in zip(wires, stored):
+        # Broker-assigned placement tags travel with the chunk.
+        assert wire.group_id == s.group_id
+        assert wire.segment_id == s.segment_id
+        assert wire.payload_len == s.payload_len
+        assert wire.record_count == s.record_count
+        assert wire.payload is None
+
+
+def test_wire_chunks_materialized_mode():
+    from repro.storage.config import StorageConfig
+    from repro.storage.memory import SegmentAllocator
+    from repro.storage.streamlet import Streamlet
+    from repro.wire.chunk import Chunk
+    from repro.wire.record import Record, encode_records
+
+    cfg = StorageConfig(segment_size=4096, materialize=True)
+    streamlet = Streamlet(
+        stream_id=1, streamlet_id=0, config=cfg, allocator=SegmentAllocator(cfg)
+    )
+    payload = encode_records([Record(value=b"hello world")])
+    chunk = Chunk(
+        stream_id=1, streamlet_id=0, producer_id=0, chunk_seq=0,
+        record_count=1, payload_len=len(payload), payload=payload,
+    )
+    stored = streamlet.append(chunk)
+    config = ReplicationConfig(replication_factor=2, vlogs_per_broker=1)
+    mgr = ReplicationManager(broker_id=0, nodes=[0, 1], config=config)
+    mgr.replicate(stored, entry=0)
+    (batch,) = mgr.collect_batches()
+    (wire,) = list(wire_chunks(batch))
+    assert wire.payload is not None
+    assert wire.records() == [Record(value=b"hello world")]
+    assert wire.group_id == stored.group_id

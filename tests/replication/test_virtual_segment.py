@@ -1,0 +1,82 @@
+"""Virtual segment invariants: headers, checksum, atomic replication."""
+
+import struct
+
+import pytest
+
+from repro.common.checksum import crc32c
+from repro.common.errors import ReplicationError, SegmentFullError, SegmentSealedError
+from repro.replication.virtual_segment import VirtualSegment
+
+
+def make_vseg(capacity=4096, backups=(1, 2)):
+    return VirtualSegment(vlog_id=0, vseg_id=0, capacity=capacity, backups=backups)
+
+
+def store_chunks(streamlet_factory, chunk_factory, count, **chunk_kwargs):
+    streamlet = streamlet_factory()
+    return [streamlet.append(chunk_factory(**chunk_kwargs)) for _ in range(count)]
+
+
+def test_header_accumulates_chunk_lengths(streamlet_factory, chunk_factory):
+    vseg = make_vseg()
+    stored = store_chunks(streamlet_factory, chunk_factory, 3)
+    refs = [vseg.append_ref(s) for s in stored]
+    assert refs[0].virtual_offset == 0
+    assert refs[1].virtual_offset == stored[0].length
+    assert vseg.header == sum(s.length for s in stored)
+    assert [r.ref_index for r in refs] == [0, 1, 2]
+
+
+def test_virtual_space_exhaustion(streamlet_factory, chunk_factory):
+    stored = store_chunks(streamlet_factory, chunk_factory, 3)
+    vseg = make_vseg(capacity=stored[0].length * 2)
+    vseg.append_ref(stored[0])
+    vseg.append_ref(stored[1])
+    with pytest.raises(SegmentFullError):
+        vseg.append_ref(stored[2])
+    assert len(vseg.refs) == 2
+
+
+def test_sealed_rejects_appends(streamlet_factory, chunk_factory):
+    vseg = make_vseg()
+    (stored,) = store_chunks(streamlet_factory, chunk_factory, 1)
+    vseg.seal()
+    with pytest.raises(SegmentSealedError):
+        vseg.append_ref(stored)
+
+
+def test_checksum_covers_chunk_checksums(streamlet_factory, chunk_factory):
+    vseg = make_vseg()
+    stored = store_chunks(streamlet_factory, chunk_factory, 3)
+    for s in stored:
+        vseg.append_ref(s)
+    expected = crc32c(b"".join(struct.pack("<I", s.payload_crc) for s in stored))
+    assert vseg.checksum == expected
+
+
+def test_durable_header_tracks_atomic_chunks(streamlet_factory, chunk_factory):
+    vseg = make_vseg()
+    stored = store_chunks(streamlet_factory, chunk_factory, 4)
+    for s in stored:
+        vseg.append_ref(s)
+    assert vseg.durable_header == 0
+    assert vseg.durable_index == 0
+    done = vseg.mark_replicated(2)
+    assert [r.stored for r in done] == stored[:2]
+    assert vseg.durable_index == 2
+    assert vseg.durable_header == stored[0].length + stored[1].length
+    assert not vseg.fully_replicated
+    assert [r.stored for r in vseg.unreplicated()] == stored[2:]
+    vseg.mark_replicated(2)
+    assert vseg.fully_replicated
+
+
+def test_mark_replicated_bounds(streamlet_factory, chunk_factory):
+    vseg = make_vseg()
+    (stored,) = store_chunks(streamlet_factory, chunk_factory, 1)
+    vseg.append_ref(stored)
+    with pytest.raises(ReplicationError):
+        vseg.mark_replicated(2)
+    with pytest.raises(ReplicationError):
+        vseg.mark_replicated(-1)

@@ -1,0 +1,131 @@
+"""Property-based tests of the virtual-log replication invariants.
+
+Random interleavings of appends and batch completions must preserve:
+
+* chunks become durable exactly once, in append order per virtual log;
+* physical segments' durable heads advance contiguously;
+* every reference is shipped in exactly one (non-repair) batch;
+* virtual offsets partition the virtual space without gaps.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.replication.policy import BackupSelector
+from repro.replication.virtual_log import VirtualLog
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.streamlet import Streamlet
+from repro.wire.chunk import Chunk
+
+
+def make_streamlet():
+    config = StorageConfig(
+        segment_size=4 * KB, segments_per_group=64, materialize=False
+    )
+    return Streamlet(
+        stream_id=1, streamlet_id=0, config=config, allocator=SegmentAllocator(config)
+    )
+
+
+def make_vlog(vseg_capacity):
+    selector = BackupSelector(primary=0, nodes=[0, 1, 2, 3], copies=2)
+    config = ReplicationConfig(
+        replication_factor=3, virtual_segment_size=vseg_capacity
+    )
+    return VirtualLog(vlog_id=0, config=config, selector=selector)
+
+
+# An op sequence: True = append a chunk, False = try ship+complete a batch.
+ops_strategy = st.lists(st.booleans(), min_size=1, max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy, vseg_chunks=st.integers(1, 7))
+def test_interleaved_appends_and_batches(ops, vseg_chunks):
+    streamlet = make_streamlet()
+    # Chunk wire length is 40 + 160 = 200 bytes; capacity in chunks.
+    vlog = make_vlog(vseg_capacity=200 * vseg_chunks)
+    appended = []
+    durable = []
+    shipped_refs = 0
+    seq = 0
+    for do_append in ops:
+        if do_append:
+            chunk = Chunk.meta(
+                stream_id=1, streamlet_id=0, producer_id=0, chunk_seq=seq,
+                record_count=2, payload_len=160,
+            )
+            seq += 1
+            stored = streamlet.append(chunk)
+            vlog.append(stored)
+            appended.append(stored)
+        else:
+            batch = vlog.next_batch()
+            if batch is not None:
+                shipped_refs += len(batch.refs)
+                durable.extend(vlog.complete_batch(batch))
+    # Drain the remainder.
+    while True:
+        batch = vlog.next_batch()
+        if batch is None:
+            break
+        shipped_refs += len(batch.refs)
+        durable.extend(vlog.complete_batch(batch))
+
+    # Exactly-once, in order.
+    assert durable == appended
+    assert shipped_refs == len(appended)
+    assert all(s.is_durable for s in appended)
+    # Virtual segments: single open one, contiguous virtual offsets, and
+    # capacity respected.
+    open_count = sum(1 for v in vlog.vsegs if not v.sealed)
+    assert open_count <= 1
+    for vseg in vlog.vsegs:
+        assert vseg.header <= vseg.capacity
+        offset = 0
+        for ref in vseg.refs:
+            assert ref.virtual_offset == offset
+            offset += ref.length
+        assert vseg.fully_replicated
+    # Physical segments: durable heads reached their write heads.
+    for group in streamlet.groups:
+        for segment in group.segments:
+            assert segment.durable_head == segment.head
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    chunk_counts=st.lists(st.integers(1, 5), min_size=1, max_size=20),
+    cap_chunks=st.integers(1, 4),
+)
+def test_batch_caps_respected(chunk_counts, cap_chunks):
+    streamlet = make_streamlet()
+    selector = BackupSelector(primary=0, nodes=[0, 1, 2], copies=1)
+    config = ReplicationConfig(
+        replication_factor=2,
+        virtual_segment_size=64 * KB,
+        max_batch_chunks=cap_chunks,
+    )
+    vlog = VirtualLog(vlog_id=0, config=config, selector=selector)
+    seq = 0
+    total = 0
+    for n in chunk_counts:
+        for _ in range(n):
+            chunk = Chunk.meta(
+                stream_id=1, streamlet_id=0, producer_id=0, chunk_seq=seq,
+                record_count=1, payload_len=60,
+            )
+            seq += 1
+            vlog.append(streamlet.append(chunk))
+            total += 1
+    shipped = 0
+    while True:
+        batch = vlog.next_batch()
+        if batch is None:
+            break
+        assert 1 <= batch.chunk_count <= cap_chunks
+        shipped += batch.chunk_count
+        vlog.complete_batch(batch)
+    assert shipped == total

@@ -1,0 +1,81 @@
+"""call_inline: the process-free RPC path used by client loops."""
+
+import pytest
+
+from repro.rpc.fabric import RpcFabric, Service
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Environment
+
+
+class Doubler(Service):
+    def __init__(self, env):
+        self.env = env
+
+    def handle(self, method, request):
+        yield self.env.timeout(1e-6)
+        return request * 2, 8
+
+
+def make():
+    env = Environment()
+    fabric = RpcFabric(env, 2, CostModel())
+    fabric.register(1, "svc", Doubler(env))
+    return env, fabric
+
+
+def test_inline_returns_response():
+    env, fabric = make()
+
+    def caller(env):
+        result = yield from fabric.call_inline(0, 1, "svc", "m", 21, 100)
+        return result
+
+    assert env.run(env.process(caller(env))) == 42
+
+
+def test_inline_and_process_paths_agree_on_timing():
+    env1, fabric1 = make()
+
+    def inline_caller(env):
+        yield from fabric1.call_inline(0, 1, "svc", "m", 1, 100)
+        return env.now
+
+    t_inline = env1.run(env1.process(inline_caller(env1)))
+
+    env2, fabric2 = make()
+
+    def process_caller(env):
+        yield fabric2.call(0, 1, "svc", "m", 1, 100)
+        return env.now
+
+    t_process = env2.run(env2.process(process_caller(env2)))
+    assert t_inline == pytest.approx(t_process)
+
+
+def test_inline_propagates_handler_errors():
+    env = Environment()
+    fabric = RpcFabric(env, 2, CostModel())
+
+    class Boom(Service):
+        def handle(self, method, request):
+            raise RuntimeError("inline boom")
+            yield  # pragma: no cover
+
+    fabric.register(1, "svc", Boom())
+
+    def caller(env):
+        yield from fabric.call_inline(0, 1, "svc", "m", None, 10)
+
+    with pytest.raises(RuntimeError, match="inline boom"):
+        env.run(env.process(caller(env)))
+
+
+def test_inline_records_stats():
+    env, fabric = make()
+
+    def caller(env):
+        yield from fabric.call_inline(0, 1, "svc", "m", 1, 123)
+
+    env.run(env.process(caller(env)))
+    assert fabric.stats.calls[("svc", "m")] == 1
+    assert fabric.stats.request_bytes[("svc", "m")] == 123

@@ -1,0 +1,158 @@
+"""RPC fabric tests: routing, costs, worker release, nested RPCs."""
+
+import pytest
+
+from repro.common.errors import RpcError
+from repro.common.units import USEC
+from repro.rpc.fabric import RpcFabric, Service, RELEASE_WORKER
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Environment
+
+
+class EchoService(Service):
+    def __init__(self, env, work_time=0.0):
+        self.env = env
+        self.work_time = work_time
+        self.handled = 0
+
+    def handle(self, method, request):
+        if self.work_time:
+            yield self.env.timeout(self.work_time)
+        self.handled += 1
+        return (method, request), 64
+
+
+def make_fabric(num_nodes=2, **overrides):
+    env = Environment()
+    cost = CostModel().scaled(**overrides)
+    return env, RpcFabric(env, num_nodes, cost)
+
+
+def test_basic_call_roundtrip():
+    env, fabric = make_fabric()
+    echo = EchoService(env)
+    fabric.register(1, "echo", echo)
+    rpc = fabric.call(0, 1, "echo", "ping", {"x": 1}, request_bytes=100)
+    assert env.run(rpc) == ("ping", {"x": 1})
+    assert echo.handled == 1
+    assert env.now > 0
+
+
+def test_call_time_accounts_for_all_stages():
+    env, fabric = make_fabric(
+        link_bandwidth=1e9,
+        net_latency=10 * USEC,
+        dispatch_cost=5 * USEC,
+        rpc_overhead_bytes=0,
+    )
+    fabric.register(1, "echo", EchoService(env, work_time=100 * USEC))
+    rpc = fabric.call(0, 1, "echo", "m", None, request_bytes=100_000)
+    env.run(rpc)
+    # send dispatch 5 + tx 100 + lat 10 + rx 100 + recv dispatch 5
+    # + work 100 + reply dispatch 5 + tx 0.064 + lat 10 + rx 0.064 + dispatch 5
+    expected = (5 + 100 + 10 + 100 + 5 + 100 + 5 + 0.064 + 10 + 0.064 + 5) * USEC
+    assert env.now == pytest.approx(expected, rel=1e-6)
+
+
+def test_unknown_service_raises():
+    env, fabric = make_fabric()
+    rpc = fabric.call(0, 1, "missing", "m", None, 10)
+    with pytest.raises(RpcError):
+        env.run(rpc)
+
+
+def test_double_registration_rejected():
+    env, fabric = make_fabric()
+    fabric.register(1, "echo", EchoService(env))
+    with pytest.raises(RpcError):
+        fabric.register(1, "echo", EchoService(env))
+
+
+def test_worker_pool_limits_concurrency():
+    env, fabric = make_fabric(cores_per_node=3, dispatch_cores=1)  # 2 workers
+    svc = EchoService(env, work_time=1.0)
+    fabric.register(1, "echo", svc)
+    rpcs = [fabric.call(0, 1, "echo", "m", i, 10) for i in range(4)]
+    for rpc in rpcs:
+        env.run(rpc)
+    # 4 requests over 2 workers at 1 s each: the last finishes after >= 2 s.
+    assert env.now >= 2.0
+    assert svc.handled == 4
+
+
+def test_release_worker_frees_capacity():
+    env, fabric = make_fabric(cores_per_node=2, dispatch_cores=1)  # 1 worker
+
+    class ParkingService(Service):
+        def __init__(self, env):
+            self.env = env
+            self.order = []
+
+        def handle(self, method, request):
+            self.order.append(("enter", request, self.env.now))
+            yield RELEASE_WORKER
+            yield self.env.timeout(1.0)  # parked without a worker
+            self.order.append(("exit", request, self.env.now))
+            return request, 8
+
+    svc = ParkingService(env)
+    fabric.register(1, "park", svc)
+    rpcs = [fabric.call(0, 1, "park", "m", i, 10) for i in range(3)]
+    for rpc in rpcs:
+        env.run(rpc)
+    # All three must enter well before 1 s has elapsed per request: the
+    # single worker is released during the park.
+    enters = [t for kind, _, t in svc.order if kind == "enter"]
+    assert max(enters) < 1.0
+
+
+def test_nested_rpc_from_handler():
+    env, fabric = make_fabric(num_nodes=3)
+
+    class BackupService(Service):
+        def __init__(self, env):
+            self.env = env
+
+        def handle(self, method, request):
+            yield self.env.timeout(10 * USEC)
+            return "backed-up", 16
+
+    class BrokerService(Service):
+        def __init__(self, env, fabric):
+            self.env = env
+            self.fabric = fabric
+
+        def handle(self, method, request):
+            ack = yield self.fabric.call(1, 2, "backup", "replicate", request, 500)
+            return ("stored", ack), 32
+
+    fabric.register(2, "backup", BackupService(env))
+    fabric.register(1, "broker", BrokerService(env, fabric))
+    rpc = fabric.call(0, 1, "broker", "produce", b"data", 1000)
+    assert env.run(rpc) == ("stored", "backed-up")
+
+
+def test_handler_exception_propagates():
+    env, fabric = make_fabric()
+
+    class Exploding(Service):
+        def handle(self, method, request):
+            raise ValueError("kaput")
+            yield  # pragma: no cover
+
+    fabric.register(1, "boom", Exploding())
+    rpc = fabric.call(0, 1, "boom", "m", None, 10)
+    with pytest.raises(ValueError, match="kaput"):
+        env.run(rpc)
+
+
+def test_stats_accounting():
+    env, fabric = make_fabric()
+    fabric.register(1, "echo", EchoService(env))
+    for _ in range(3):
+        env.run(fabric.call(0, 1, "echo", "ping", None, 200))
+    assert fabric.stats.calls[("echo", "ping")] == 3
+    assert fabric.stats.request_bytes[("echo", "ping")] == 600
+    assert fabric.stats.total_calls() == 3
+    assert fabric.stats.total_calls("echo") == 3
+    assert fabric.stats.total_calls("other") == 0

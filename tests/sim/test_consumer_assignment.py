@@ -1,0 +1,56 @@
+"""Consumer partition assignment: balance and completeness."""
+
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import KeraConfig, SimKeraCluster
+from repro.simdriver import SimWorkload
+
+
+def make_cluster(streams=16, consumers=4, q=1, streamlets=None):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(materialize=False, q_active_groups=q),
+        replication=ReplicationConfig(replication_factor=2, vlogs_per_broker=2),
+        chunk_size=1 * KB,
+    )
+    kwargs = dict(num_producers=consumers, num_consumers=consumers,
+                  duration=0.02, warmup=0.005)
+    workload = (SimWorkload.many_streams(streams, **kwargs) if streamlets is None
+                else SimWorkload.one_stream(streamlets, **kwargs))
+    return SimKeraCluster(config, workload)
+
+
+def collect_assignments(cluster, consumers):
+    all_triples = []
+    for idx in range(consumers):
+        for broker, positions in cluster._consumer_assignment(idx).items():
+            for pos in positions:
+                assert cluster.coordinator.stream(pos.stream_id).leaders[
+                    pos.streamlet_id
+                ] == broker
+                all_triples.append((idx, pos.stream_id, pos.streamlet_id, pos.entry))
+    return all_triples
+
+
+def test_every_subpartition_assigned_exactly_once():
+    cluster = make_cluster(streams=16, consumers=4)
+    triples = collect_assignments(cluster, 4)
+    keys = [(s, l, e) for _, s, l, e in triples]
+    assert len(keys) == len(set(keys)) == 16  # 16 streams x 1 streamlet x Q1
+
+
+def test_assignment_balanced():
+    cluster = make_cluster(streams=16, consumers=4)
+    triples = collect_assignments(cluster, 4)
+    loads = {}
+    for idx, *_ in triples:
+        loads[idx] = loads.get(idx, 0) + 1
+    assert set(loads.values()) == {4}
+
+
+def test_q_entries_all_covered():
+    cluster = make_cluster(consumers=4, q=4, streams=None, streamlets=8)
+    triples = collect_assignments(cluster, 4)
+    keys = {(s, l, e) for _, s, l, e in triples}
+    assert len(keys) == 8 * 4  # 8 streamlets x 4 entries

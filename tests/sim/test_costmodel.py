@@ -1,0 +1,47 @@
+"""Cost-model arithmetic and override tests."""
+
+import pytest
+
+from repro.common.units import GB, USEC
+from repro.sim.costmodel import CostModel
+
+
+def test_worker_cores_excludes_dispatch():
+    cost = CostModel(cores_per_node=16, dispatch_cores=1)
+    assert cost.worker_cores == 15
+
+
+def test_scaled_overrides_one_field():
+    base = CostModel()
+    doubled = base.scaled(dispatch_cost=base.dispatch_cost * 2)
+    assert doubled.dispatch_cost == pytest.approx(base.dispatch_cost * 2)
+    assert doubled.link_bandwidth == base.link_bandwidth
+    # The original is frozen and untouched.
+    assert base.dispatch_cost != doubled.dispatch_cost
+
+
+def test_wire_size_adds_framing():
+    cost = CostModel(rpc_overhead_bytes=128)
+    assert cost.wire_size(1000) == 1128
+    assert cost.wire_size(0) == 128
+
+
+def test_transfer_time():
+    cost = CostModel().scaled(link_bandwidth=1 * GB)
+    assert cost.transfer_time(1 * GB) == pytest.approx(1.0)
+
+
+def test_record_cost_grows_with_partitions():
+    cost = CostModel(producer_record_cost=0.4 * USEC, producer_cache_partitions=64)
+    small = cost.record_cost_for(1)
+    at_knee = cost.record_cost_for(64)
+    large = cost.record_cost_for(512)
+    assert small < at_knee < large
+    assert at_knee == pytest.approx(2 * cost.producer_record_cost)
+    assert large == pytest.approx(9 * cost.producer_record_cost)
+
+
+def test_frozen():
+    cost = CostModel()
+    with pytest.raises(AttributeError):
+        cost.dispatch_cost = 0.0

@@ -1,0 +1,286 @@
+"""Discrete-event engine semantics tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.5)
+        return env.now
+
+    p = env.process(proc(env))
+    result = env.run(p)
+    assert result == 1.5
+    assert env.now == 1.5
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def trigger(env):
+        yield env.timeout(3.0)
+        gate.succeed("go")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert seen == [(3.0, "go")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        with pytest.raises(ValueError, match="boom"):
+            yield gate
+        return "handled"
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    p = env.process(waiter(env))
+    env.process(trigger(env))
+    assert env.run(p) == "handled"
+
+
+def test_process_failure_propagates_to_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("dead")
+
+    p = env.process(bad(env))
+    with pytest.raises(RuntimeError, match="dead"):
+        env.run(p)
+
+
+def test_yield_on_already_processed_event():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(42)
+    env.run()  # process the event so it is 'processed'
+    assert gate.processed
+
+    def late(env):
+        value = yield gate
+        return value
+
+    p = env.process(late(env))
+    assert env.run(p) == 42
+
+
+def test_nested_processes():
+    env = Environment()
+
+    def child(env, delay):
+        yield env.timeout(delay)
+        return delay * 10
+
+    def parent(env):
+        result = yield env.process(child(env, 2.0))
+        return result + 1
+
+    assert env.run(env.process(parent(env))) == 21.0
+    assert env.now == 2.0
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+
+    def proc(env):
+        values = yield env.all_of([env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+        return (env.now, values)
+
+    assert env.run(env.process(proc(env))) == (3.0, ["a", "b"])
+
+
+def test_all_of_fails_fast():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(KeyError("x"))
+
+    def proc(env):
+        with pytest.raises(KeyError):
+            yield env.all_of([gate, env.timeout(100.0)])
+        return env.now
+
+    env.process(failer(env))
+    assert env.run(env.process(proc(env))) == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        values = yield env.all_of([])
+        return (env.now, values)
+
+    assert env.run(env.process(proc(env))) == (0.0, [])
+
+
+def test_any_of_first_wins():
+    env = Environment()
+
+    def proc(env):
+        event, value = yield env.any_of([env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+        return (env.now, value)
+
+    assert env.run(env.process(proc(env))) == (1.0, "fast")
+
+
+def test_interrupt_wakes_blocked_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+        yield env.timeout(1.0)
+        return "recovered"
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(victim) == "recovered"
+    assert log == [(2.0, "wake up")]
+    assert env.now == 3.0
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    p = env.process(quick(env))
+    env.run(p)
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+            fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=4.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    assert env.now == 4.5
+    env.run(until=10.5)
+    assert len(fired) == 10
+
+
+def test_run_backwards_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    gate = env.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_deadlock_detected():
+    env = Environment()
+    gate = env.event()
+
+    def stuck(env):
+        yield gate
+
+    p = env.process(stuck(env))
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(p)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield "not an event"
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run(p)
+
+
+def test_determinism_same_trace():
+    def build():
+        env = Environment()
+        trace = []
+
+        def proc(env, tag, delay):
+            for i in range(3):
+                yield env.timeout(delay)
+                trace.append((env.now, tag, i))
+
+        for tag in range(4):
+            env.process(proc(env, tag, 0.5 + tag * 0.25))
+        env.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_process_return_value_via_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+    assert p.ok

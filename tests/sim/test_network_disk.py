@@ -1,0 +1,113 @@
+"""Network and disk model tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.units import USEC
+from repro.sim.costmodel import CostModel
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Environment
+from repro.sim.network import NetworkModel, LOOPBACK_LATENCY
+
+
+def make_net(num_nodes=2, **cost_overrides):
+    env = Environment()
+    cost = CostModel().scaled(**cost_overrides)
+    return env, NetworkModel(env, num_nodes, cost)
+
+
+def test_transfer_time_components():
+    env, net = make_net(
+        link_bandwidth=1e9, net_latency=10 * USEC, rpc_overhead_bytes=0
+    )
+    payload = 10**6  # 1 MB at 1 GB/s = 1 ms per side
+
+    def sender(env):
+        yield from net.transfer(0, 1, payload)
+        return env.now
+
+    elapsed = env.run(env.process(sender(env)))
+    assert elapsed == pytest.approx(1e-3 + 10e-6 + 1e-3)
+
+
+def test_loopback_is_cheap():
+    env, net = make_net()
+
+    def sender(env):
+        yield from net.transfer(0, 0, 10**9)
+        return env.now
+
+    assert env.run(env.process(sender(env))) == pytest.approx(LOOPBACK_LATENCY)
+
+
+def test_nic_serializes_concurrent_sends():
+    env, net = make_net(
+        link_bandwidth=1e9, net_latency=0.0, rpc_overhead_bytes=0
+    )
+    done = []
+
+    def sender(env, tag):
+        yield from net.transfer(0, 1, 10**6)
+        done.append((round(env.now, 9), tag))
+
+    env.process(sender(env, "a"))
+    env.process(sender(env, "b"))
+    env.run()
+    # Sender tx serializes: second message leaves 1 ms after the first.
+    # Receive side pipelines behind it.
+    assert done[0][1] == "a"
+    assert done[1][0] >= done[0][0] + 1e-3 - 1e-12
+
+
+def test_transfer_accounting_includes_overhead():
+    env, net = make_net(rpc_overhead_bytes=128)
+
+    def sender(env):
+        yield from net.transfer(0, 1, 1000)
+
+    env.process(sender(env))
+    env.run()
+    assert net.bytes_sent == 1128
+    assert net.messages_sent == 1
+
+
+def test_unknown_node_rejected():
+    env, net = make_net(num_nodes=2)
+
+    def sender(env):
+        yield from net.transfer(0, 7, 10)
+
+    p = env.process(sender(env))
+    with pytest.raises(SimulationError):
+        env.run(p)
+
+
+def test_disk_write_and_read_times():
+    env = Environment()
+    cost = CostModel().scaled(disk_bandwidth=100e6, disk_seek=1e-3)
+    disk = DiskModel(env, cost)
+
+    def flusher(env):
+        yield from disk.write(10**7)  # 100 ms + 1 ms seek
+        yield from disk.read(10**7)
+        return env.now
+
+    assert env.run(env.process(flusher(env))) == pytest.approx(2 * (0.1 + 1e-3))
+    assert disk.bytes_written == 10**7
+    assert disk.bytes_read == 10**7
+    assert disk.flush_count == 1
+
+
+def test_disk_fifo_queue():
+    env = Environment()
+    disk = DiskModel(env, CostModel())
+    order = []
+
+    def flusher(env, tag):
+        yield from disk.write(1000)
+        order.append(tag)
+
+    for tag in range(3):
+        env.process(flusher(env, tag))
+    env.run()
+    assert order == [0, 1, 2]

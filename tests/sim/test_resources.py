@@ -1,0 +1,147 @@
+"""Resource and Store semantics tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, 2)
+    done = []
+
+    def worker(env, tag):
+        yield res.acquire()
+        yield env.timeout(1.0)
+        res.release()
+        done.append((env.now, tag))
+
+    for tag in range(4):
+        env.process(worker(env, tag))
+    env.run()
+    # Two run in [0,1], the next two in [1,2].
+    assert done == [(1.0, 0), (1.0, 1), (2.0, 2), (2.0, 3)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, 1)
+    order = []
+
+    def worker(env, tag):
+        yield res.acquire()
+        order.append(tag)
+        yield env.timeout(0.1)
+        res.release()
+
+    for tag in range(5):
+        env.process(worker(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_use_helper():
+    env = Environment()
+    res = Resource(env, 1)
+
+    def worker(env):
+        yield from res.use(2.5)
+        return env.now
+
+    assert env.run(env.process(worker(env))) == 2.5
+    assert res.in_use == 0
+
+
+def test_release_without_acquire_rejected():
+    env = Environment()
+    res = Resource(env, 1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_utilization_accounting():
+    env = Environment()
+    res = Resource(env, 2)
+
+    def worker(env):
+        yield from res.use(4.0)
+
+    env.process(worker(env))
+    env.run(until=8.0)
+    # One of two units busy for 4 of 8 seconds -> 25%.
+    assert res.utilization(8.0) == pytest.approx(0.25)
+
+
+def test_capacity_positive():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, 0)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+
+    def consumer(env):
+        first = yield store.get()
+        second = yield store.get()
+        return [first, second]
+
+    assert env.run(env.process(consumer(env))) == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(2.0)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(2.0, "late")]
+
+
+def test_store_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    for tag in range(3):
+        env.process(consumer(env, tag))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        for item in "abc":
+            store.put(item)
+
+    env.process(producer(env))
+    env.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_store_nowait_and_drain():
+    env = Environment()
+    store = Store(env)
+    with pytest.raises(SimulationError):
+        store.get_nowait()
+    store.put(1)
+    store.put(2)
+    assert store.get_nowait() == 1
+    assert store.drain() == [2]
+    assert len(store) == 0

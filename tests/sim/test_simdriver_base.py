@@ -1,0 +1,103 @@
+"""SimWorkload/SimResult validation and fluid-producer behaviours."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.simdriver import SimResult, SimWorkload
+from repro.kera import KeraConfig, SimKeraCluster
+
+
+class TestSimWorkload:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SimWorkload(num_producers=0)
+        with pytest.raises(ConfigError):
+            SimWorkload(streams=())
+        with pytest.raises(ConfigError):
+            SimWorkload(record_size=0)
+        with pytest.raises(ConfigError):
+            SimWorkload(duration=0.1, warmup=0.1)
+
+    def test_builders(self):
+        many = SimWorkload.many_streams(5)
+        assert many.streams == ((0, 1), (1, 1), (2, 1), (3, 1), (4, 1))
+        one = SimWorkload.one_stream(32)
+        assert one.streams == ((0, 32),)
+
+
+class TestSimResult:
+    def test_unit_properties(self):
+        result = SimResult(
+            producer_rate=2_500_000,
+            consumer_rate=1_000_000,
+            records_acked=1,
+            records_consumed=1,
+            latency={},
+            duration=1.0,
+            warmup=0.1,
+        )
+        assert result.mrecords_per_sec == pytest.approx(2.5)
+        assert result.consumer_mrecords_per_sec == pytest.approx(1.0)
+
+
+def run_cluster(chunk_kb=1, streams=8, producers=2, duration=0.04, linger=1e-3):
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(materialize=False),
+        replication=ReplicationConfig(replication_factor=2, vlogs_per_broker=2),
+        chunk_size=int(chunk_kb * KB),
+        linger=linger,
+    )
+    workload = SimWorkload.many_streams(
+        streams, num_producers=producers, num_consumers=0,
+        duration=duration, warmup=duration / 4,
+    )
+    cluster = SimKeraCluster(config, workload)
+    return cluster, cluster.run()
+
+
+class TestFluidProducer:
+    def test_chunk_size_scaling(self):
+        """Bigger chunks amortize per-chunk costs: throughput rises."""
+        _, small = run_cluster(chunk_kb=1)
+        _, big = run_cluster(chunk_kb=16)
+        assert big.producer_rate > small.producer_rate
+
+    def test_linger_pacing_bounds_request_rate(self):
+        # With 512 partitions a full per-partition load takes far longer
+        # than the linger to fill, so the pacing path governs: at most
+        # ~one request per linger per (producer, broker) pair.
+        cluster, result = run_cluster(streams=512, duration=0.05)
+        produces = result.rpc_calls.get(("broker", "produce"), 0)
+        pairs = 2 * 4
+        assert produces <= pairs * (0.05 / 1e-3) * 1.5
+
+    def test_more_producers_more_throughput(self):
+        _, two = run_cluster(producers=2)
+        _, four = run_cluster(producers=4)
+        assert four.producer_rate > two.producer_rate * 1.3
+
+    def test_chunks_carry_at_most_capacity(self):
+        cluster, _ = run_cluster(chunk_kb=1)
+        cap = cluster.chunk_capacity_records
+        for core in cluster.broker_cores.values():
+            for stream in core.registry:
+                for stored in stream.chunks():
+                    assert 1 <= stored.record_count <= cap
+
+    def test_sequences_dense_per_partition(self):
+        """Chunk sequence numbers per (partition, producer) have no gaps —
+        the invariant exactly-once de-duplication relies on."""
+        cluster, _ = run_cluster()
+        seqs: dict[tuple, list[int]] = {}
+        for core in cluster.broker_cores.values():
+            for stream in core.registry:
+                for stored in stream.chunks():
+                    key = (stream.stream_id, stored.streamlet_id, stored.producer_id)
+                    seqs.setdefault(key, []).append(stored.chunk_seq)
+        assert seqs
+        for key, values in seqs.items():
+            assert sorted(values) == list(range(len(values))), key

@@ -1,0 +1,243 @@
+"""Group rolling, streamlet entry routing, stream registry tests."""
+
+import pytest
+
+from repro.common.errors import GroupFullError, StorageError, UnknownStreamError
+from repro.storage.config import StorageConfig
+from repro.storage.group import Group
+from repro.storage.memory import SegmentAllocator
+from repro.storage.stream import Stream, StreamRegistry
+from repro.storage.streamlet import Streamlet
+from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE
+
+
+def meta_chunk(payload_len=160, producer_id=0, chunk_seq=0, streamlet_id=0, n=4):
+    return Chunk.meta(
+        stream_id=7,
+        streamlet_id=streamlet_id,
+        producer_id=producer_id,
+        chunk_seq=chunk_seq,
+        record_count=n,
+        payload_len=payload_len,
+    )
+
+
+def small_config(segment_size=512, segments_per_group=2, q=1):
+    return StorageConfig(
+        segment_size=segment_size,
+        segments_per_group=segments_per_group,
+        q_active_groups=q,
+        materialize=False,
+    )
+
+
+def make_group(config=None):
+    config = config or small_config()
+    return Group(
+        stream_id=7,
+        streamlet_id=0,
+        group_id=0,
+        entry=0,
+        config=config,
+        allocator=SegmentAllocator(config),
+    )
+
+
+class TestGroup:
+    def test_rolls_segments_until_quota(self):
+        # Each chunk is 40 + 160 = 200 bytes; a 512-byte segment fits 2.
+        group = make_group()
+        for i in range(4):
+            group.append(meta_chunk(chunk_seq=i))
+        assert len(group.segments) == 2
+        assert group.segments[0].sealed
+        with pytest.raises(GroupFullError):
+            group.append(meta_chunk(chunk_seq=4))
+
+    def test_closed_group_rejects(self):
+        group = make_group()
+        group.append(meta_chunk())
+        group.close()
+        assert group.closed
+        assert all(s.sealed for s in group.segments)
+        with pytest.raises(GroupFullError):
+            group.append(meta_chunk(chunk_seq=1))
+
+    def test_oversized_chunk_hard_error(self):
+        group = make_group()
+        with pytest.raises(StorageError):
+            group.append(meta_chunk(payload_len=600))
+
+    def test_record_accounting_and_index(self):
+        group = make_group(small_config(segment_size=4096, segments_per_group=4))
+        for i in range(5):
+            group.append(meta_chunk(chunk_seq=i, n=4))
+        assert group.record_count == 20
+        assert group.chunk_count == 5
+        located = group.index.locate(9)  # records 8..11 are chunk 2
+        assert located.chunk_seq == 2
+        assert located.base_record_offset == 8
+        with pytest.raises(StorageError):
+            group.index.locate(20)
+
+    def test_durable_chunks_stop_at_watermark(self):
+        group = make_group(small_config(segment_size=4096))
+        stored = [group.append(meta_chunk(chunk_seq=i)) for i in range(3)]
+        assert list(group.durable_chunks()) == []
+        stored[0].segment.mark_chunk_durable(stored[0])
+        assert list(group.durable_chunks()) == [stored[0]]
+        assert group.durable_record_count() == 4
+
+
+class TestStreamlet:
+    def make(self, q=2, segment_size=512, segments_per_group=2):
+        config = small_config(segment_size, segments_per_group, q)
+        return Streamlet(
+            stream_id=7,
+            streamlet_id=0,
+            config=config,
+            allocator=SegmentAllocator(config),
+        )
+
+    def test_producer_modulo_routing(self):
+        streamlet = self.make(q=2)
+        a = streamlet.append(meta_chunk(producer_id=0))
+        b = streamlet.append(meta_chunk(producer_id=1))
+        c = streamlet.append(meta_chunk(producer_id=2, chunk_seq=1))
+        assert a.group_id != b.group_id  # different entries
+        assert c.group_id == a.group_id  # 2 % 2 == 0: same entry, same group
+        assert streamlet.entry_for_producer(5) == 1
+
+    def test_group_rollover_on_quota(self):
+        streamlet = self.make(q=1)
+        # 4 chunks fill a group (2 segments x 2 chunks); the 5th rolls.
+        stored = [streamlet.append(meta_chunk(chunk_seq=i)) for i in range(5)]
+        group_ids = [s.group_id for s in stored]
+        assert group_ids == [0, 0, 0, 0, 1]
+        groups = streamlet.groups
+        assert len(groups) == 2
+        assert groups[0].closed and not groups[1].closed
+
+    def test_group_open_listener(self):
+        opened = []
+        config = small_config()
+        streamlet = Streamlet(
+            stream_id=7,
+            streamlet_id=0,
+            config=config,
+            allocator=SegmentAllocator(config),
+            on_group_open=lambda sl, g: opened.append(g.group_id),
+        )
+        for i in range(5):
+            streamlet.append(meta_chunk(chunk_seq=i))
+        assert opened == [0, 1]
+
+    def test_groups_for_entry(self):
+        streamlet = self.make(q=2)
+        streamlet.append(meta_chunk(producer_id=0))
+        streamlet.append(meta_chunk(producer_id=1))
+        assert [g.entry for g in streamlet.groups_for_entry(0)] == [0]
+        assert [g.entry for g in streamlet.groups_for_entry(1)] == [1]
+
+
+class TestCursor:
+    def test_sequential_pull_respects_durability(self):
+        config = small_config(segment_size=4096)
+        streamlet = Streamlet(
+            stream_id=7, streamlet_id=0, config=config, allocator=SegmentAllocator(config)
+        )
+        stored = [streamlet.append(meta_chunk(chunk_seq=i)) for i in range(3)]
+        cursor = streamlet.cursor(entry=0)
+        assert cursor.next_chunks(10) == []
+        for s in stored[:2]:
+            s.segment.mark_chunk_durable(s)
+        pulled = cursor.next_chunks(10)
+        assert [c.chunk_seq for c in pulled] == [0, 1]
+        stored[2].segment.mark_chunk_durable(stored[2])
+        assert [c.chunk_seq for c in cursor.next_chunks(10)] == [2]
+        assert cursor.records_read == 12
+
+    def test_cursor_crosses_groups(self):
+        streamlet = Streamlet(
+            stream_id=7,
+            streamlet_id=0,
+            config=small_config(),
+            allocator=SegmentAllocator(small_config()),
+        )
+        stored = [streamlet.append(meta_chunk(chunk_seq=i)) for i in range(6)]
+        for s in stored:
+            s.segment.mark_chunk_durable(s)
+        cursor = streamlet.cursor(entry=0)
+        # Pull two at a time across the group boundary at chunk 4.
+        seqs = []
+        while True:
+            batch = cursor.next_chunks(2)
+            if not batch:
+                break
+            seqs.extend(c.chunk_seq for c in batch)
+        assert seqs == [0, 1, 2, 3, 4, 5]
+
+    def test_seek_record(self):
+        config = small_config(segment_size=4096)
+        streamlet = Streamlet(
+            stream_id=7, streamlet_id=0, config=config, allocator=SegmentAllocator(config)
+        )
+        stored = [streamlet.append(meta_chunk(chunk_seq=i, n=4)) for i in range(4)]
+        for s in stored:
+            s.segment.mark_chunk_durable(s)
+        cursor = streamlet.cursor(entry=0)
+        cursor.seek_record(9)  # chunk 2 holds records 8..11
+        pulled = cursor.next_chunks(10)
+        assert [c.chunk_seq for c in pulled] == [2, 3]
+        with pytest.raises(StorageError):
+            cursor.seek_record(1000)
+
+
+class TestStreamAndRegistry:
+    def test_stream_routes_by_streamlet(self):
+        config = small_config(q=1)
+        stream = Stream(
+            stream_id=7,
+            streamlet_ids=[0, 3],
+            config=config,
+            allocator=SegmentAllocator(config),
+        )
+        stream.append(meta_chunk(streamlet_id=0))
+        stream.append(meta_chunk(streamlet_id=3))
+        assert stream.streamlet_ids == [0, 3]
+        assert stream.record_count == 8
+        with pytest.raises(StorageError):
+            stream.append(meta_chunk(streamlet_id=1))
+        with pytest.raises(StorageError):
+            stream.add_streamlet(0)
+
+    def test_registry(self):
+        config = small_config()
+        registry = StreamRegistry()
+        stream = Stream(
+            stream_id=1, streamlet_ids=[0], config=config, allocator=SegmentAllocator(config)
+        )
+        registry.add(stream)
+        assert registry.get(1) is stream
+        assert 1 in registry and 2 not in registry
+        assert len(registry) == 1
+        with pytest.raises(UnknownStreamError):
+            registry.get(2)
+        with pytest.raises(StorageError):
+            registry.add(stream)
+
+
+class TestAllocator:
+    def test_budget_enforced(self):
+        config = small_config(segment_size=512)
+        allocator = SegmentAllocator(config, budget_bytes=1024)
+        seg1 = allocator.allocate(stream_id=1, streamlet_id=0, group_id=0, segment_id=0)
+        allocator.allocate(stream_id=1, streamlet_id=0, group_id=0, segment_id=1)
+        with pytest.raises(StorageError):
+            allocator.allocate(stream_id=1, streamlet_id=0, group_id=0, segment_id=2)
+        assert allocator.live_bytes == 1024
+        assert allocator.peak_bytes == 1024
+        allocator.free(seg1)
+        assert allocator.live_bytes == 512
+        allocator.allocate(stream_id=1, streamlet_id=0, group_id=0, segment_id=2)
+        assert allocator.segments_allocated == 3

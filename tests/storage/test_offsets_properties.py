@@ -1,0 +1,131 @@
+"""Property tests for the lightweight offset index and cursors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import KB
+from repro.storage.config import StorageConfig
+from repro.storage.memory import SegmentAllocator
+from repro.storage.streamlet import Streamlet
+from repro.wire.chunk import Chunk
+
+
+def build_streamlet(record_counts, q=1, segment_size=2 * KB, segments_per_group=3):
+    config = StorageConfig(
+        segment_size=segment_size,
+        segments_per_group=segments_per_group,
+        q_active_groups=q,
+        materialize=False,
+    )
+    streamlet = Streamlet(
+        stream_id=0, streamlet_id=0, config=config, allocator=SegmentAllocator(config)
+    )
+    stored = []
+    for seq, n in enumerate(record_counts):
+        chunk = Chunk.meta(
+            stream_id=0, streamlet_id=0, producer_id=0, chunk_seq=seq,
+            record_count=n, payload_len=n * 100,
+        )
+        stored.append(streamlet.append(chunk))
+    return streamlet, stored
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(1, 8), min_size=1, max_size=40))
+def test_locate_agrees_with_linear_scan(record_counts):
+    streamlet, stored = build_streamlet(record_counts)
+    for group in streamlet.groups:
+        # Brute-force expected mapping within the group.
+        flat = []
+        for chunk_idx, sc in enumerate(group.chunks()):
+            flat.extend([chunk_idx] * sc.record_count)
+        for offset, expected_chunk in enumerate(flat):
+            located = group.index.locate(offset)
+            assert located is group.chunk_at(expected_chunk)
+        assert group.index.record_count == len(flat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(1, 8), min_size=1, max_size=40),
+    st.integers(1, 7),
+)
+def test_cursor_yields_every_durable_chunk_once(record_counts, pull_size):
+    streamlet, stored = build_streamlet(record_counts)
+    for sc in stored:
+        sc.segment.mark_chunk_durable(sc)
+    cursor = streamlet.cursor(entry=0)
+    seen = []
+    while True:
+        batch = cursor.next_chunks(pull_size)
+        if not batch:
+            break
+        assert len(batch) <= pull_size
+        seen.extend(batch)
+    assert [c.chunk_seq for c in seen] == list(range(len(record_counts)))
+    assert cursor.records_read == sum(record_counts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(1, 8), min_size=2, max_size=30),
+    st.data(),
+)
+def test_seek_then_read_matches_suffix(record_counts, data):
+    streamlet, stored = build_streamlet(
+        record_counts, segment_size=64 * KB, segments_per_group=64
+    )
+    for sc in stored:
+        sc.segment.mark_chunk_durable(sc)
+    total = sum(record_counts)
+    target = data.draw(st.integers(0, total - 1))
+    cursor = streamlet.cursor(entry=0)
+    cursor.seek_record(target)
+    suffix = cursor.next_chunks(len(stored))
+    # The first returned chunk must contain the target record.
+    first = suffix[0]
+    assert first.base_record_offset <= target < first.base_record_offset + first.record_count
+    # And the suffix continues to the end without gaps.
+    seqs = [c.chunk_seq for c in suffix]
+    assert seqs == list(range(seqs[0], len(record_counts)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(1, 6)), min_size=1, max_size=40),
+    st.integers(2, 4),
+)
+def test_q_entries_are_independent(appends, q):
+    """Chunks from different producers land in disjoint per-entry group
+    chains and each entry's cursor sees exactly its own chunks."""
+    config = StorageConfig(
+        segment_size=2 * KB, segments_per_group=2, q_active_groups=q,
+        materialize=False,
+    )
+    streamlet = Streamlet(
+        stream_id=0, streamlet_id=0, config=config, allocator=SegmentAllocator(config)
+    )
+    per_entry_expected: dict[int, int] = {}
+    seqs: dict[int, int] = {}
+    for producer, n in appends:
+        seq = seqs.get(producer, 0)
+        seqs[producer] = seq + 1
+        chunk = Chunk.meta(
+            stream_id=0, streamlet_id=0, producer_id=producer, chunk_seq=seq,
+            record_count=n, payload_len=n * 100,
+        )
+        stored = streamlet.append(chunk)
+        stored.segment.mark_chunk_durable(stored)
+        entry = producer % q
+        assert stored.segment.group_id in {
+            g.group_id for g in streamlet.groups_for_entry(entry)
+        }
+        per_entry_expected[entry] = per_entry_expected.get(entry, 0) + n
+    for entry in range(q):
+        cursor = streamlet.cursor(entry=entry)
+        got = 0
+        while True:
+            batch = cursor.next_chunks(10)
+            if not batch:
+                break
+            got += sum(c.record_count for c in batch)
+        assert got == per_entry_expected.get(entry, 0)

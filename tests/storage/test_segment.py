@@ -1,0 +1,120 @@
+"""Segment append/durability/scan tests."""
+
+import pytest
+
+from repro.common.errors import SegmentFullError, StorageError
+from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE
+from repro.wire.record import Record, encode_records
+from repro.storage.segment import Segment
+
+
+def make_chunk(n_records=3, producer_id=1, chunk_seq=0, value_size=20):
+    payload = encode_records([Record(value=b"v" * value_size)] * n_records)
+    return Chunk(
+        stream_id=1,
+        streamlet_id=2,
+        producer_id=producer_id,
+        chunk_seq=chunk_seq,
+        record_count=n_records,
+        payload_len=len(payload),
+        payload=payload,
+    )
+
+
+def make_segment(capacity=4096, materialize=True):
+    return Segment(
+        stream_id=1,
+        streamlet_id=2,
+        group_id=3,
+        segment_id=0,
+        capacity=capacity,
+        materialize=materialize,
+    )
+
+
+def test_append_places_and_tags():
+    seg = make_segment()
+    chunk = make_chunk()
+    stored = seg.append(chunk, base_record_offset=0)
+    assert stored.offset == 0
+    assert stored.length == CHUNK_HEADER_SIZE + chunk.payload_len
+    assert stored.group_id == 3
+    assert stored.segment_id == 0
+    assert seg.record_count == 3
+    # The encoded bytes carry the broker-assigned [group, segment] tags.
+    decoded = stored.to_chunk(verify=True)
+    assert (decoded.group_id, decoded.segment_id) == (3, 0)
+    assert decoded.records() == [Record(value=b"v" * 20)] * 3
+
+
+def test_appends_are_contiguous():
+    seg = make_segment()
+    first = seg.append(make_chunk(chunk_seq=0), 0)
+    second = seg.append(make_chunk(chunk_seq=1), 3)
+    assert second.offset == first.end_offset
+    assert second.base_record_offset == 3
+
+
+def test_full_segment_rejects():
+    chunk = make_chunk()
+    seg = make_segment(capacity=chunk.size + 10)
+    seg.append(chunk, 0)
+    with pytest.raises(SegmentFullError):
+        seg.append(make_chunk(chunk_seq=1), 3)
+    assert seg.chunk_count == 1  # state untouched
+
+
+def test_durability_in_order():
+    seg = make_segment()
+    a = seg.append(make_chunk(chunk_seq=0), 0)
+    b = seg.append(make_chunk(chunk_seq=1), 3)
+    assert not a.is_durable and not b.is_durable
+    assert seg.durable_entries() == []
+    with pytest.raises(StorageError):
+        seg.mark_chunk_durable(b)  # out of order
+    seg.mark_chunk_durable(a)
+    assert a.is_durable and not b.is_durable
+    assert seg.durable_entries() == [a]
+    seg.mark_chunk_durable(b)
+    assert seg.durable_entries() == [a, b]
+
+
+def test_mark_durable_wrong_segment_rejected():
+    seg1, seg2 = make_segment(), make_segment()
+    stored = seg1.append(make_chunk(), 0)
+    with pytest.raises(StorageError):
+        seg2.mark_chunk_durable(stored)
+
+
+def test_scan_roundtrip():
+    seg = make_segment()
+    for i in range(4):
+        seg.append(make_chunk(chunk_seq=i), i * 3)
+    scanned = list(seg.scan(verify=True))
+    assert [c.chunk_seq for c in scanned] == [0, 1, 2, 3]
+    assert all(c.group_id == 3 and c.segment_id == 0 for c in scanned)
+
+
+def test_metadata_only_mode():
+    seg = make_segment(materialize=False)
+    meta = Chunk.meta(
+        stream_id=1, streamlet_id=2, producer_id=1, chunk_seq=0,
+        record_count=10, payload_len=1000,
+    )
+    stored = seg.append(meta, 0)
+    assert stored.length == CHUNK_HEADER_SIZE + 1000
+    assert seg.head == stored.length
+    with pytest.raises(StorageError):
+        list(seg.scan())
+    # Durability accounting still works.
+    seg.mark_chunk_durable(stored)
+    assert stored.is_durable
+
+
+def test_seal_blocks_appends():
+    seg = make_segment()
+    seg.append(make_chunk(), 0)
+    seg.seal()
+    assert seg.sealed
+    with pytest.raises(StorageError):
+        seg.append(make_chunk(chunk_seq=1), 3)

@@ -1,0 +1,94 @@
+"""AppendBuffer invariant tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SegmentFullError, SegmentSealedError, StorageError
+from repro.wire.buffers import AppendBuffer
+
+
+def test_append_and_view():
+    buf = AppendBuffer(64)
+    off1 = buf.append(b"hello")
+    off2 = buf.append(b"world")
+    assert (off1, off2) == (0, 5)
+    assert bytes(buf.view(0, 5)) == b"hello"
+    assert bytes(buf.view(5, 5)) == b"world"
+    assert buf.head == 10
+    assert len(buf) == 10
+
+
+def test_full_append_rejected():
+    buf = AppendBuffer(8)
+    buf.append(b"123456")
+    assert not buf.fits(3)
+    with pytest.raises(SegmentFullError):
+        buf.append(b"789")
+    # Failed append leaves state untouched.
+    assert buf.head == 6
+
+
+def test_seal_blocks_appends():
+    buf = AppendBuffer(8)
+    buf.append(b"a")
+    buf.seal()
+    assert buf.sealed
+    with pytest.raises(SegmentSealedError):
+        buf.append(b"b")
+    with pytest.raises(SegmentSealedError):
+        buf.reserve(1)
+
+
+def test_durable_head_monotone_and_bounded():
+    buf = AppendBuffer(16)
+    buf.append(b"abcdefgh")
+    buf.advance_durable(4)
+    assert buf.durable_head == 4
+    with pytest.raises(StorageError):
+        buf.advance_durable(3)  # backwards
+    with pytest.raises(StorageError):
+        buf.advance_durable(9)  # past head
+    buf.advance_durable(8)
+    assert buf.durable_head == 8
+
+
+def test_metadata_only_mode():
+    buf = AppendBuffer(100, materialize=False)
+    off = buf.reserve(40)
+    assert off == 0
+    assert buf.head == 40
+    # Appends still do accounting without storing.
+    buf.append(b"x" * 10)
+    assert buf.head == 50
+    with pytest.raises(StorageError):
+        buf.view(0, 10)
+
+
+def test_view_bounds_checked():
+    buf = AppendBuffer(32)
+    buf.append(b"abc")
+    with pytest.raises(StorageError):
+        buf.view(0, 4)  # beyond head
+    with pytest.raises(StorageError):
+        buf.view(-1, 1)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(StorageError):
+        AppendBuffer(0)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=20), max_size=30))
+def test_invariant_head_durable_order(parts):
+    buf = AppendBuffer(256)
+    written = []
+    for part in parts:
+        if buf.fits(len(part)):
+            buf.append(part)
+            written.append(part)
+    joined = b"".join(written)
+    assert buf.head == len(joined)
+    if joined:
+        assert bytes(buf.view(0, buf.head)) == joined
+    buf.advance_durable(buf.head)
+    assert 0 <= buf.durable_head <= buf.head <= buf.capacity

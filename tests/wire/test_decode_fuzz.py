@@ -1,0 +1,82 @@
+"""Decoder robustness: arbitrary bytes never crash, only raise wire errors.
+
+A storage system scans backup segments during recovery; a corrupted or
+truncated region must surface as a structured error, never as an
+IndexError/struct.error/MemoryError blow-up.
+"""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.common.errors import WireFormatError
+from repro.wire.chunk import decode_chunk, encode_chunk, Chunk
+from repro.wire.framing import decode_chunks, encode_chunks
+from repro.wire.record import decode_record, decode_records, encode_record, Record
+
+
+@given(st.binary(max_size=300))
+def test_record_decoder_total(data):
+    try:
+        decode_record(data)
+    except WireFormatError:
+        pass  # includes ChecksumError
+
+
+@given(st.binary(max_size=300))
+def test_chunk_decoder_total(data):
+    try:
+        decode_chunk(data)
+    except WireFormatError:
+        pass
+
+
+@given(st.binary(min_size=1, max_size=200), st.integers(0, 199))
+def test_bitflip_in_valid_record_detected_or_rejected(value, position):
+    encoded = bytearray(encode_record(Record(value=value)))
+    position %= len(encoded)
+    encoded[position] ^= 0x01
+    if bytes(encoded) == encode_record(Record(value=value)):
+        return  # no-op flip cannot happen with xor, but keep the guard
+    try:
+        record, end = decode_record(bytes(encoded))
+    except WireFormatError:
+        return
+    # A flip in the checksum field itself is the only undetectable-by-
+    # content case — but then the checksum check must have caught it, so
+    # reaching here means the decode consumed a *different* framing; the
+    # decoder must at least not return the original record unchanged
+    # while claiming full consumption.
+    assert not (record == Record(value=value) and end == len(encoded))
+
+
+@given(
+    st.lists(
+        st.builds(
+            lambda v, n: Chunk.meta(
+                stream_id=0, streamlet_id=0, producer_id=0, chunk_seq=n,
+                record_count=1, payload_len=len(v),
+            ),
+            st.binary(max_size=50),
+            st.integers(0, 1000),
+        ),
+        max_size=5,
+    ),
+    st.integers(1, 20),
+)
+def test_truncated_frames_rejected(chunks, cut):
+    buf = encode_chunks(chunks)
+    if not buf:
+        return
+    truncated = buf[: max(0, len(buf) - cut)]
+    if len(truncated) == len(buf):
+        return
+    with pytest.raises(WireFormatError):
+        decode_chunks(truncated)
+
+
+@given(st.lists(st.binary(max_size=60), max_size=6))
+def test_records_concat_is_self_synchronizing(values):
+    records = [Record(value=v) for v in values]
+    buf = b"".join(encode_record(r) for r in records)
+    assert decode_records(buf) == records
