@@ -12,6 +12,8 @@ Most users want one of:
 * :class:`repro.kera.InprocKeraCluster` + :class:`repro.kera.KeraProducer`
   / :class:`repro.kera.KeraConsumer` — a live in-process cluster with real
   bytes end to end;
+* :class:`repro.kera.ThreadedKeraCluster` — the same data path under real
+  thread-level concurrency (one worker pool per node service);
 * :class:`repro.kera.SimKeraCluster` / :class:`repro.kafka.SimKafkaCluster`
   — simulated 4-broker experiments (the benchmark substrate);
 * :func:`repro.bench.run_figure` — regenerate a paper figure.
@@ -28,12 +30,14 @@ from repro.simdriver import SimWorkload, SimResult
 from repro.kera import (
     KeraConfig,
     InprocKeraCluster,
+    ThreadedKeraCluster,
     KeraProducer,
     KeraConsumer,
     SimKeraCluster,
     recover_broker,
 )
 from repro.kafka import KafkaConfig, SimKafkaCluster
+from repro.runtime import ClusterRuntime, InprocTransport, SimTransport, ThreadedTransport
 
 __version__ = "1.0.0"
 
@@ -51,6 +55,11 @@ __all__ = [
     "SimResult",
     "KeraConfig",
     "InprocKeraCluster",
+    "ThreadedKeraCluster",
+    "ClusterRuntime",
+    "InprocTransport",
+    "SimTransport",
+    "ThreadedTransport",
     "KeraProducer",
     "KeraConsumer",
     "SimKeraCluster",

@@ -11,28 +11,51 @@ bookkeeping).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.common.errors import ConfigError
 
 
 class ThroughputMeter:
-    """Time-stamped counters with windowed rate queries."""
+    """Time-stamped counters with windowed rate queries.
 
-    __slots__ = ("_times", "_counts")
+    Construct with ``thread_safe=True`` when many live-mode client
+    threads report into one meter: :meth:`add` and the queries then
+    synchronize on a lock. The default stays lock-free for the
+    single-threaded simulation hot path.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_times", "_counts", "_lock")
+
+    def __init__(self, *, thread_safe: bool = False) -> None:
         self._times: list[float] = []
         self._counts: list[int] = []
+        self._lock = threading.Lock() if thread_safe else None
 
     def add(self, count: int, timestamp: float) -> None:
         """Record ``count`` events completing at ``timestamp``."""
-        self._times.append(timestamp)
-        self._counts.append(count)
+        if self._lock is not None:
+            with self._lock:
+                self._times.append(timestamp)
+                self._counts.append(count)
+        else:
+            self._times.append(timestamp)
+            self._counts.append(count)
+
+    def _snapshot(self) -> tuple[list[float], list[int]]:
+        """A consistent (times, counts) view: copied under the lock in
+        thread-safe mode so concurrent adds can't skew a query."""
+        if self._lock is not None:
+            with self._lock:
+                return list(self._times), list(self._counts)
+        return self._times, self._counts
 
     @property
     def total(self) -> int:
-        return int(sum(self._counts))
+        _, counts = self._snapshot()
+        return int(sum(counts))
 
     def __len__(self) -> int:
         return len(self._times)
@@ -41,10 +64,11 @@ class ThroughputMeter:
         """Events per second completed in ``[start, end)``."""
         if end <= start:
             raise ConfigError(f"empty measurement window [{start}, {end})")
-        if not self._times:
+        raw_times, raw_counts = self._snapshot()
+        if not raw_times:
             return 0.0
-        times = np.asarray(self._times)
-        counts = np.asarray(self._counts, dtype=np.float64)
+        times = np.asarray(raw_times)
+        counts = np.asarray(raw_counts, dtype=np.float64)
         mask = (times >= start) & (times < end)
         return float(counts[mask].sum() / (end - start))
 
@@ -56,10 +80,11 @@ class ThroughputMeter:
         edges = np.arange(start, end + 1e-12, 1.0)
         if len(edges) < 2:
             edges = np.array([start, end])
-        if not self._times:
+        raw_times, raw_counts = self._snapshot()
+        if not raw_times:
             return np.zeros(len(edges) - 1)
-        times = np.asarray(self._times)
-        counts = np.asarray(self._counts, dtype=np.float64)
+        times = np.asarray(raw_times)
+        counts = np.asarray(raw_counts, dtype=np.float64)
         hist, _ = np.histogram(times, bins=edges, weights=counts)
         return hist
 

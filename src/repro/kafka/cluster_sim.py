@@ -23,13 +23,13 @@ from typing import Any, Generator
 
 from repro.common.errors import ConfigError
 from repro.rpc.fabric import RELEASE_WORKER, Service
+from repro.runtime.system import KafkaSystem
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Event
 from repro.sim.resources import Resource
 from repro.simdriver.base import BaseSimCluster, SimResult, SimWorkload
 from repro.kafka.broker import KafkaBrokerCore, ReplicaFetchItem
 from repro.kafka.config import KafkaConfig
-from repro.kera.coordinator import StreamMetadata
 from repro.kera.messages import FetchRequest, ProduceRequest
 
 __all__ = ["SimKafkaCluster", "SimWorkload", "SimResult"]
@@ -136,7 +136,7 @@ class SimKafkaCluster(BaseSimCluster):
         super().__init__(
             workload or SimWorkload(),
             cost or CostModel(),
-            num_brokers=self.config.num_brokers,
+            system=KafkaSystem(self.config),
             q_active_groups=1,  # Kafka: one append slot per partition
             chunk_size=self.config.chunk_size,
             linger=self.config.linger,
@@ -147,40 +147,23 @@ class SimKafkaCluster(BaseSimCluster):
 
     # -- system wiring ------------------------------------------------------------
 
-    def _setup_system(self) -> None:
-        self.broker_cores: dict[int, KafkaBrokerCore] = {}
+    @property
+    def broker_cores(self) -> dict[int, KafkaBrokerCore]:
+        return self.system.broker_cores
+
+    @property
+    def _follow_map(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
+        """(follower, leader) -> partitions the follower replicates."""
+        return self.system.follow_map
+
+    def _register_services(self) -> None:
         #: (leader, follower) -> parked long-poll wake event.
         self._repl_wakeups: dict[tuple[int, int], Event | None] = {}
-        #: (follower, leader) -> partitions the follower replicates.
-        self._follow_map: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for node in self.broker_nodes:
-            self.broker_cores[node] = KafkaBrokerCore(
-                broker_id=node,
-                config=self.config,
-                on_request_complete=self._make_completion_cb(node),
-            )
-            self.fabric.register(node, "kafka", _KafkaService(self, node))
+            self.transport.register(node, "kafka", _KafkaService(self, node))
 
     def _followers_of(self, leader: int) -> tuple[int, ...]:
-        B = len(self.broker_nodes)
-        return tuple(
-            self.broker_nodes[(leader + 1 + i) % B]
-            for i in range(self.config.num_followers)
-        )
-
-    def _on_stream_created(self, meta: StreamMetadata) -> None:
-        for partition, leader in meta.leaders.items():
-            followers = self._followers_of(leader)
-            self.broker_cores[leader].add_leader_partition(
-                meta.stream_id, partition, followers
-            )
-            for follower in followers:
-                self.broker_cores[follower].add_replica_partition(
-                    meta.stream_id, partition
-                )
-                self._follow_map.setdefault((follower, leader), []).append(
-                    (meta.stream_id, partition)
-                )
+        return self.system.followers_of(leader)
 
     # -- follower wake-up plumbing -----------------------------------------------------
 

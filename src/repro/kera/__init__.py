@@ -8,7 +8,13 @@ machines with no notion of time or transport. Two drivers execute them:
   the RPC fabric, with the calibrated cost model attached;
 * :mod:`repro.kera.inproc` — a synchronous in-process driver with real
   payload bytes end to end, used by the quickstart example and the
-  integration tests (produce → replicate → consume → decode).
+  integration tests (produce → replicate → consume → decode);
+* :mod:`repro.kera.threaded` — the concurrent live driver: every broker
+  and backup on its own worker threads behind bounded request queues,
+  with real concurrent producers and consumers.
+
+All three run on :class:`repro.runtime.ClusterRuntime`; only the
+transport differs.
 
 Crash recovery (:mod:`repro.kera.recovery`) re-ingests the failed broker's
 chunks from the backups' replicated segments into the surviving brokers,
@@ -31,7 +37,9 @@ from repro.kera.messages import (
 from repro.kera.broker import KeraBrokerCore, ProduceOutcome
 from repro.kera.backup import KeraBackupCore
 from repro.kera.coordinator import Coordinator, StreamMetadata
+from repro.kera.live import LiveKeraCluster
 from repro.kera.inproc import InprocKeraCluster
+from repro.kera.threaded import ThreadedKeraCluster
 from repro.kera.client import KeraProducer, KeraConsumer
 from repro.kera.recovery import recover_broker, RecoveryReport, merge_backup_copies
 from repro.kera.cluster_sim import SimKeraCluster, SimWorkload, SimResult
@@ -55,7 +63,9 @@ __all__ = [
     "KeraBackupCore",
     "Coordinator",
     "StreamMetadata",
+    "LiveKeraCluster",
     "InprocKeraCluster",
+    "ThreadedKeraCluster",
     "KeraProducer",
     "KeraConsumer",
     "recover_broker",

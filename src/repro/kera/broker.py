@@ -18,6 +18,7 @@ acknowledged only when the original becomes durable.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -93,9 +94,20 @@ class KeraBrokerCore:
         # Exactly-once state.
         self._last_durable_seq: dict[tuple[int, int, int], int] = {}
         self._inflight: dict[tuple[int, int, int, int], StoredChunk] = {}
-        # Ack bookkeeping: chunk identity -> waiting request ids.
-        self._chunk_waiters: dict[int, list[int]] = {}
+        # Ack bookkeeping: stable chunk identity (stream, streamlet,
+        # producer, chunk_seq) -> waiting request ids. Keyed by identity,
+        # not id(stored): durability events may fire on another thread.
+        self._chunk_waiters: dict[tuple[int, int, int, int], list[int]] = {}
         self._request_remaining: dict[int, int] = {}
+        # One lock serializes all structural mutation; reentrant because
+        # R=1 appends fire the durability callback inside handle_produce
+        # and batch completion fires it inside complete_batch. The lock
+        # keeps each produce request atomic (dup-check + append +
+        # replication registration + waiter registration), which is what
+        # guarantees vlog reference order matches segment append order
+        # and that a request's waiters are registered before any of its
+        # durability events can be observed.
+        self._mutex = threading.RLock()
         # Stats.
         self.records_ingested = 0
         self.chunks_ingested = 0
@@ -106,18 +118,23 @@ class KeraBrokerCore:
 
     def create_stream(self, stream_id: int, streamlet_ids: Iterable[int]) -> Stream:
         """Register the streamlets this broker leads for ``stream_id``."""
-        stream = Stream(
-            stream_id=stream_id,
-            streamlet_ids=streamlet_ids,
-            config=self.storage_config,
-            allocator=self.allocator,
-        )
-        self.registry.add(stream)
-        return stream
+        with self._mutex:
+            stream = Stream(
+                stream_id=stream_id,
+                streamlet_ids=streamlet_ids,
+                config=self.storage_config,
+                allocator=self.allocator,
+            )
+            self.registry.add(stream)
+            return stream
 
     # -- produce path ------------------------------------------------------------
 
     def handle_produce(self, request: ProduceRequest) -> ProduceOutcome:
+        with self._mutex:
+            return self._handle_produce(request)
+
+    def _handle_produce(self, request: ProduceRequest) -> ProduceOutcome:
         outcome = ProduceOutcome(
             request_id=request.request_id,
             response=ProduceResponse(request_id=request.request_id, assignments=[]),
@@ -187,36 +204,46 @@ class KeraBrokerCore:
             outcome.pending = True
             self._request_remaining[request.request_id] = len(wait_chunks)
             for stored in wait_chunks:
-                self._chunk_waiters.setdefault(id(stored), []).append(
-                    request.request_id
+                key4 = (
+                    stored.stream_id,
+                    stored.streamlet_id,
+                    stored.producer_id,
+                    stored.chunk_seq,
                 )
+                self._chunk_waiters.setdefault(key4, []).append(request.request_id)
         return outcome
 
     def _on_chunk_durable(self, stored: StoredChunk) -> None:
-        key3 = (stored.stream_id, stored.streamlet_id, stored.producer_id)
-        last = self._last_durable_seq.get(key3, -1)
-        if stored.chunk_seq > last:
-            self._last_durable_seq[key3] = stored.chunk_seq
-        self._inflight.pop(key3 + (stored.chunk_seq,), None)
-        for request_id in self._chunk_waiters.pop(id(stored), ()):  # noqa: B020
-            remaining = self._request_remaining.get(request_id)
-            if remaining is None:
-                raise ReplicationError(
-                    f"durability event for untracked request {request_id}"
-                )
-            remaining -= 1
-            if remaining == 0:
-                del self._request_remaining[request_id]
-                if self.on_request_complete is not None:
-                    self.on_request_complete(request_id)
-            else:
-                self._request_remaining[request_id] = remaining
+        with self._mutex:
+            key3 = (stored.stream_id, stored.streamlet_id, stored.producer_id)
+            last = self._last_durable_seq.get(key3, -1)
+            if stored.chunk_seq > last:
+                self._last_durable_seq[key3] = stored.chunk_seq
+            key4 = key3 + (stored.chunk_seq,)
+            self._inflight.pop(key4, None)
+            completed: list[int] = []
+            for request_id in self._chunk_waiters.pop(key4, ()):
+                remaining = self._request_remaining.get(request_id)
+                if remaining is None:
+                    raise ReplicationError(
+                        f"durability event for untracked request {request_id}"
+                    )
+                remaining -= 1
+                if remaining == 0:
+                    del self._request_remaining[request_id]
+                    completed.append(request_id)
+                else:
+                    self._request_remaining[request_id] = remaining
+        if self.on_request_complete is not None:
+            for request_id in completed:
+                self.on_request_complete(request_id)
 
     # -- replication driver interface -----------------------------------------------
 
     def collect_batches(self) -> list[ReplicationBatch]:
         """Ready-to-ship batches from virtual logs touched since last call."""
-        return self.manager.collect_batches()
+        with self._mutex:
+            return self.manager.collect_batches()
 
     def vlog_for_batch(self, batch: ReplicationBatch) -> VirtualLog:
         vlog = self.manager.vlog(batch.vlog_id)
@@ -225,12 +252,17 @@ class KeraBrokerCore:
         return vlog
 
     def complete_batch(self, batch: ReplicationBatch) -> list[StoredChunk]:
-        return self.manager.complete_batch(batch)
+        with self._mutex:
+            return self.manager.complete_batch(batch)
 
     # -- fetch path ----------------------------------------------------------------
 
     def handle_fetch(self, request: FetchRequest) -> FetchResponse:
         """Serve durably-replicated chunks from the requested positions."""
+        with self._mutex:
+            return self._handle_fetch(request)
+
+    def _handle_fetch(self, request: FetchRequest) -> FetchResponse:
         entries: list[FetchEntry] = []
         for pos in request.positions:
             stream = self.registry.get(pos.stream_id)
@@ -264,12 +296,14 @@ class KeraBrokerCore:
     # -- failure handling ----------------------------------------------------------
 
     def handle_backup_failure(self, failed_node: int) -> list[ReplicationBatch]:
-        return self.manager.handle_backup_failure(failed_node)
+        with self._mutex:
+            return self.manager.handle_backup_failure(failed_node)
 
     # -- introspection ----------------------------------------------------------------
 
     def pending_requests(self) -> int:
-        return len(self._request_remaining)
+        with self._mutex:
+            return len(self._request_remaining)
 
     def pending_chunks(self) -> int:
         return self.manager.pending_chunks()

@@ -18,7 +18,7 @@ from repro.common.errors import ConfigError
 from repro.common.idgen import IdGenerator
 from repro.wire.chunk import Chunk, ChunkBuilder
 from repro.wire.record import Record
-from repro.kera.inproc import InprocKeraCluster
+from repro.kera.live import LiveKeraCluster
 from repro.kera.messages import FetchPosition
 
 
@@ -36,7 +36,7 @@ class KeraProducer:
 
     def __init__(
         self,
-        cluster: InprocKeraCluster,
+        cluster: LiveKeraCluster,
         producer_id: int,
         *,
         chunk_size: int | None = None,
@@ -145,7 +145,7 @@ class KeraConsumer:
 
     def __init__(
         self,
-        cluster: InprocKeraCluster,
+        cluster: LiveKeraCluster,
         consumer_id: int,
         stream_ids: list[int],
     ) -> None:

@@ -1,6 +1,8 @@
 """The discrete-event KerA cluster driver.
 
-System-side behaviour on top of :class:`repro.simdriver.BaseSimCluster`:
+System-side behaviour on top of :class:`repro.simdriver.BaseSimCluster`
+(which assembles the cluster on :class:`repro.runtime.ClusterRuntime`
+with a :class:`repro.runtime.KeraSystem` adapter):
 
 * every broker node also runs a backup service;
 * the broker's produce handler appends chunks under per-sub-partition
@@ -9,9 +11,8 @@ System-side behaviour on top of :class:`repro.simdriver.BaseSimCluster`:
   the request is durable (active, push-based replication);
 * each virtual log keeps one replication RPC in flight to its backup set;
   whatever accumulated while the RPC travelled ships in the next batch
-  (group commit). Staging a batch consumes broker worker CPU serialized
-  per virtual log — the replication pipeline whose multiplicity is the
-  paper's *replication capacity* knob;
+  (group commit) — the pipeline lives in
+  :class:`repro.runtime.SimKeraReplication`;
 * backups verify, buffer, and asynchronously flush replicated segments;
   the produce path never waits on a disk.
 """
@@ -21,18 +22,16 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.common.errors import ConfigError
-from repro.replication.manager import wire_chunks
-from repro.replication.virtual_log import ReplicationBatch, VirtualLog
 from repro.rpc.fabric import RELEASE_WORKER, Service
+from repro.runtime.sim import SimKeraReplication
+from repro.runtime.system import KeraSystem
 from repro.sim.costmodel import CostModel
-from repro.sim.engine import Event
 from repro.sim.resources import Resource
 from repro.simdriver.base import BaseSimCluster, SimResult, SimWorkload
 from repro.kera.backup import KeraBackupCore
 from repro.kera.broker import KeraBrokerCore
 from repro.kera.config import KeraConfig
-from repro.kera.coordinator import StreamMetadata
-from repro.kera.messages import FetchRequest, ProduceRequest, ReplicateRequest
+from repro.kera.messages import FetchRequest, ProduceRequest
 
 __all__ = ["SimKeraCluster", "SimWorkload", "SimResult"]
 
@@ -82,7 +81,7 @@ class _BrokerService(Service):
             )
             yield from self._lock(key).use(work)
         outcome = self.core.handle_produce(request)
-        driver._start_shipments(self.node_id)
+        driver.replication.start_shipments(self.node_id)
         if outcome.pending:
             done = driver._completion_event(self.node_id, request.request_id)
             yield RELEASE_WORKER
@@ -146,7 +145,7 @@ class SimKeraCluster(BaseSimCluster):
         super().__init__(
             workload or SimWorkload(),
             cost or CostModel(),
-            num_brokers=self.config.num_brokers,
+            system=KeraSystem(self.config, zero_copy_fetch=True),
             q_active_groups=self.config.storage.q_active_groups,
             chunk_size=self.config.chunk_size,
             linger=self.config.linger,
@@ -155,81 +154,21 @@ class SimKeraCluster(BaseSimCluster):
 
     # -- system wiring -----------------------------------------------------------
 
-    def _setup_system(self) -> None:
-        self.broker_cores: dict[int, KeraBrokerCore] = {}
-        self.backup_cores: dict[int, KeraBackupCore] = {}
+    @property
+    def broker_cores(self) -> dict[int, KeraBrokerCore]:
+        return self.system.broker_cores
+
+    @property
+    def backup_cores(self) -> dict[int, KeraBackupCore]:
+        return self.system.backup_cores
+
+    def _register_services(self) -> None:
+        self.replication = SimKeraReplication(
+            self.env, self.fabric, self.cost, self.system
+        )
         for node in self.broker_nodes:
-            self.broker_cores[node] = KeraBrokerCore(
-                broker_id=node,
-                nodes=self.broker_nodes,
-                storage_config=self.config.storage,
-                replication_config=self.config.replication,
-                on_request_complete=self._make_completion_cb(node),
-                zero_copy_fetch=True,
-            )
-            self.backup_cores[node] = KeraBackupCore(
-                node_id=node,
-                materialize=False,
-                flush_threshold=self.config.flush_threshold,
-            )
-            self.fabric.register(node, "broker", _BrokerService(self, node))
-            self.fabric.register(node, "backup", _BackupService(self, node))
-
-    def _on_stream_created(self, meta: StreamMetadata) -> None:
-        for node in self.broker_nodes:
-            local = meta.streamlets_on(node)
-            if local:
-                self.broker_cores[node].create_stream(meta.stream_id, local)
-
-    # -- replication shipping --------------------------------------------------------
-
-    def _start_shipments(self, broker_id: int) -> None:
-        core = self.broker_cores[broker_id]
-        for batch in core.collect_batches():
-            vlog = core.vlog_for_batch(batch)
-            self.env.process(
-                self._ship_loop(broker_id, vlog, batch),
-                name=f"ship:b{broker_id}v{batch.vlog_id}",
-            )
-
-    def _ship_loop(
-        self, broker_id: int, vlog: VirtualLog, batch: ReplicationBatch | None
-    ) -> Generator[Event, Any, None]:
-        core = self.broker_cores[broker_id]
-        cost = self.cost
-        workers = self.fabric.nodes[broker_id].workers
-        while batch is not None:
-            # Staging the batch (reference walk, wire headers, checksum
-            # folding) consumes broker worker CPU and serializes per
-            # virtual log — the replication pipeline a single shared log
-            # provides, and the reason replication capacity is a knob.
-            yield from workers.use(
-                cost.repl_batch_send_cost
-                + batch.chunk_count * cost.repl_chunk_send_cost
-            )
-            request = ReplicateRequest(
-                src_broker=broker_id,
-                vlog_id=batch.vlog_id,
-                vseg_id=batch.vseg.vseg_id,
-                vseg_capacity=batch.vseg.capacity,
-                batch_checksum=batch.vseg.checksum,
-                chunks=list(wire_chunks(batch)),
-            )
-            nbytes = request.payload_bytes()
-            if len(batch.backups) == 1:
-                yield from self.fabric.call_inline(
-                    broker_id, batch.backups[0], "backup", "replicate", request, nbytes
-                )
-            else:
-                rpcs = [
-                    self.fabric.call(
-                        broker_id, backup, "backup", "replicate", request, nbytes
-                    )
-                    for backup in batch.backups
-                ]
-                yield self.env.all_of(rpcs)
-            core.complete_batch(batch)
-            batch = vlog.next_batch()
+            self.transport.register(node, "broker", _BrokerService(self, node))
+            self.transport.register(node, "backup", _BackupService(self, node))
 
     # -- result ------------------------------------------------------------------------
 

@@ -1,190 +1,63 @@
-"""In-process KerA cluster: the live, real-bytes driver.
+"""In-process KerA cluster: the live, real-bytes synchronous driver.
 
 Every core runs in this process and every call is synchronous; chunk
 payloads are real encoded records end to end (produce → segment bytes →
 replication RPC → backup segment bytes → fetch → decode). There is no
 timing here — this driver exists to prove the *data path* and to host the
 integration tests and examples; performance questions go to
-:mod:`repro.kera.cluster_sim`.
+:mod:`repro.kera.cluster_sim`, concurrency questions to
+:mod:`repro.kera.threaded`.
+
+The cluster assembly lives in :class:`repro.kera.live.LiveKeraCluster`
+on :class:`repro.runtime.ClusterRuntime`; this module contributes only
+the synchronous produce handler (append, pump replication to completion,
+ack) over :class:`repro.runtime.InprocTransport`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
-from repro.common.errors import ReplicationError, StorageError
-from repro.common.idgen import IdGenerator
-from repro.replication.manager import wire_chunks
-from repro.kera.backup import KeraBackupCore
-from repro.kera.broker import KeraBrokerCore
+from repro.common.errors import ConfigError, ReplicationError
+from repro.runtime.inproc import InprocTransport
+from repro.runtime.transport import LiveService
 from repro.kera.config import KeraConfig
-from repro.kera.coordinator import Coordinator
-from repro.kera.messages import (
-    FetchPosition,
-    FetchRequest,
-    FetchResponse,
-    ProduceRequest,
-    ProduceResponse,
-    ReplicateRequest,
-)
-from repro.wire.chunk import Chunk
+from repro.kera.live import LiveBackupService, LiveKeraCluster
+from repro.kera.messages import ProduceRequest
 
 
-class InprocKeraCluster:
+class _InprocBrokerService(LiveService):
+    """Synchronous broker wrapper: produce pumps replication inline."""
+
+    def __init__(self, cluster: "InprocKeraCluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.core = cluster.brokers[node_id]
+
+    def handle(self, method: str, request: object) -> object:
+        if method == "produce":
+            return self._produce(request)
+        if method == "fetch":
+            return self.core.handle_fetch(request)
+        raise ConfigError(f"unknown broker method {method!r}")
+
+    def _produce(self, request: ProduceRequest) -> object:
+        outcome = self.core.handle_produce(request)
+        self.cluster.pump_replication(self.node_id)
+        if outcome.pending and not self.cluster.runtime.completion.consume(
+            self.node_id, request.request_id
+        ):
+            raise ReplicationError(
+                f"request {request.request_id} not durable after replication pump"
+            )
+        return outcome.response
+
+
+class InprocKeraCluster(LiveKeraCluster):
     """A whole KerA cluster in one process."""
 
     def __init__(self, config: KeraConfig | None = None) -> None:
-        self.config = config or KeraConfig()
-        node_ids = list(range(self.config.num_brokers))
-        self.coordinator = Coordinator(node_ids)
-        self._completed: set[int] = set()
-        self.brokers: dict[int, KeraBrokerCore] = {
-            node: KeraBrokerCore(
-                broker_id=node,
-                nodes=node_ids,
-                storage_config=self.config.storage,
-                replication_config=self.config.replication,
-                on_request_complete=self._completed.add,
-            )
-            for node in node_ids
-        }
-        self.backups: dict[int, KeraBackupCore] = {
-            node: KeraBackupCore(
-                node_id=node,
-                materialize=self.config.storage.materialize,
-                flush_threshold=self.config.flush_threshold,
-                disk_dir=(
-                    f"{self.config.disk_dir}/node{node}"
-                    if self.config.disk_dir is not None
-                    else None
-                ),
-            )
-            for node in node_ids
-        }
-        self._request_ids = IdGenerator()
-        self._failed: set[int] = set()
-        self.flushes_scheduled = 0
+        super().__init__(config, InprocTransport())
 
-    # -- cluster management -----------------------------------------------------
-
-    def create_stream(self, stream_id: int, num_streamlets: int) -> None:
-        """Create a stream and register its streamlets on their leaders."""
-        meta = self.coordinator.create_stream(stream_id, num_streamlets)
-        for broker_id in self.coordinator.live_brokers:
-            local = meta.streamlets_on(broker_id)
-            if local:
-                self.brokers[broker_id].create_stream(stream_id, local)
-
-    def leader_of(self, stream_id: int, streamlet_id: int) -> int:
-        return self.coordinator.stream(stream_id).leaders[streamlet_id]
-
-    # -- produce path ----------------------------------------------------------------
-
-    def produce(self, chunks: list[Chunk], producer_id: int) -> list[ProduceResponse]:
-        """Route chunks to their leaders, append, replicate synchronously,
-        and return the (acknowledged) responses — one per broker touched."""
-        by_broker: dict[int, list[Chunk]] = defaultdict(list)
-        for chunk in chunks:
-            leader = self.leader_of(chunk.stream_id, chunk.streamlet_id)
-            by_broker[leader].append(chunk)
-        responses = []
-        for broker_id in sorted(by_broker):
-            request = ProduceRequest(
-                request_id=self._request_ids.next(),
-                producer_id=producer_id,
-                chunks=by_broker[broker_id],
-            )
-            broker = self.brokers[broker_id]
-            outcome = broker.handle_produce(request)
-            self.pump_replication(broker_id)
-            if outcome.pending and request.request_id not in self._completed:
-                raise ReplicationError(
-                    f"request {request.request_id} not durable after replication pump"
-                )
-            self._completed.discard(request.request_id)
-            responses.append(outcome.response)
-        return responses
-
-    def pump_replication(self, broker_id: int) -> int:
-        """Ship every ready replication batch of a broker to its backups,
-        synchronously, until the broker has nothing left to ship."""
-        broker = self.brokers[broker_id]
-        shipped = 0
-        while True:
-            batches = broker.collect_batches()
-            if not batches:
-                break
-            for batch in batches:
-                request = ReplicateRequest(
-                    src_broker=broker_id,
-                    vlog_id=batch.vlog_id,
-                    vseg_id=batch.vseg.vseg_id,
-                    vseg_capacity=batch.vseg.capacity,
-                    batch_checksum=batch.vseg.checksum,
-                    chunks=list(wire_chunks(batch)),
-                )
-                for backup_node in batch.backups:
-                    if backup_node in self._failed:
-                        raise ReplicationError(
-                            f"replication to failed node {backup_node}"
-                        )
-                    backup = self.backups[backup_node]
-                    _, flush = backup.handle_replicate(request)
-                    if flush is not None:
-                        self.flushes_scheduled += 1
-                        backup.persist(flush)
-                broker.complete_batch(batch)
-                shipped += 1
-        return shipped
-
-    # -- fetch path ---------------------------------------------------------------------
-
-    def fetch(
-        self,
-        positions: list[FetchPosition],
-        *,
-        consumer_id: int,
-        max_chunks_per_entry: int = 16,
-    ) -> list[FetchResponse]:
-        """Fetch durable chunks, grouping positions by leader."""
-        by_broker: dict[int, list[FetchPosition]] = defaultdict(list)
-        for pos in positions:
-            by_broker[self.leader_of(pos.stream_id, pos.streamlet_id)].append(pos)
-        responses = []
-        for broker_id in sorted(by_broker):
-            request = FetchRequest(
-                request_id=self._request_ids.next(),
-                consumer_id=consumer_id,
-                positions=by_broker[broker_id],
-                max_chunks_per_entry=max_chunks_per_entry,
-            )
-            responses.append(self.brokers[broker_id].handle_fetch(request))
-        return responses
-
-    # -- failure injection -------------------------------------------------------------------
-
-    def crash_broker(self, broker_id: int) -> None:
-        """Take a node down: its broker and backup stop responding."""
-        if broker_id not in self.brokers:
-            raise StorageError(f"unknown broker {broker_id}")
-        self._failed.add(broker_id)
-        for survivor_id, broker in self.brokers.items():
-            if survivor_id in self._failed:
-                continue
-            repairs = broker.handle_backup_failure(broker_id)
-            # Ship repair batches to the replacement backups.
-            for batch in repairs:
-                request = ReplicateRequest(
-                    src_broker=survivor_id,
-                    vlog_id=batch.vlog_id,
-                    vseg_id=batch.vseg.vseg_id,
-                    vseg_capacity=batch.vseg.capacity,
-                    batch_checksum=batch.vseg.checksum,
-                    chunks=list(wire_chunks(batch)),
-                )
-                for backup_node in batch.backups:
-                    self.backups[backup_node].handle_replicate(request)
-
-    @property
-    def live_broker_ids(self) -> list[int]:
-        return [b for b in sorted(self.brokers) if b not in self._failed]
+    def _register_services(self) -> None:
+        for node in self.system.node_ids:
+            self.transport.register(node, "broker", _InprocBrokerService(self, node))
+            self.transport.register(node, "backup", LiveBackupService(self, node))

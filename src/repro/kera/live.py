@@ -1,0 +1,230 @@
+"""Live KerA clusters: real payload bytes through a pluggable transport.
+
+:class:`LiveKeraCluster` is the transport-agnostic facade shared by the
+synchronous in-process driver (:mod:`repro.kera.inproc`) and the
+concurrent threaded driver (:mod:`repro.kera.threaded`). It assembles the
+cluster on :class:`repro.runtime.ClusterRuntime`, routes client requests
+to leaders over the transport, and exposes the surface recovery and
+migration drive (``brokers``/``backups``/``coordinator``/
+``pump_replication``/``crash_broker``).
+
+Subclasses register their transport-specific service wrappers in
+:meth:`_register_services`; the backup-side effect handler
+(:class:`LiveBackupService` — ingest a replicate RPC, schedule flushes)
+is shared.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from repro.common.errors import ConfigError, ReplicationError, StorageError
+from repro.common.idgen import IdGenerator
+from repro.runtime.runtime import ClusterRuntime
+from repro.runtime.system import KeraSystem
+from repro.runtime.transport import LiveService, Transport
+from repro.kera.backup import KeraBackupCore
+from repro.kera.broker import KeraBrokerCore
+from repro.kera.config import KeraConfig
+from repro.kera.messages import (
+    FetchPosition,
+    FetchRequest,
+    FetchResponse,
+    ProduceRequest,
+    ProduceResponse,
+)
+from repro.wire.chunk import Chunk
+
+#: Virtual node id for transport calls originating outside the cluster.
+CLIENT_NODE = -1
+
+
+class LiveBackupService(LiveService):
+    """Backup effect handler: ingest replicate RPCs, run flushes."""
+
+    def __init__(self, cluster: "LiveKeraCluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.core: KeraBackupCore = cluster.backups[node_id]
+        self._lock = threading.Lock()
+
+    def handle(self, method: str, request: object) -> object:
+        if method != "replicate":
+            raise ConfigError(f"unknown backup method {method!r}")
+        with self._lock:
+            response, flush = self.core.handle_replicate(request)
+            if flush is not None:
+                self.cluster._record_flush()
+                self.core.persist(flush)
+        return response
+
+
+class LiveKeraCluster:
+    """A whole KerA cluster in one process, behind one transport."""
+
+    def __init__(self, config: KeraConfig | None, transport: Transport) -> None:
+        self.config = config or KeraConfig()
+        self.system = KeraSystem(self.config)
+        self.transport = transport
+        self.runtime = ClusterRuntime(self.system, transport)
+        self.coordinator = self.runtime.coordinator
+        self._request_ids = IdGenerator()
+        self._id_lock = threading.Lock()
+        self._flush_lock = threading.Lock()
+        self.flushes_scheduled = 0
+        self._failed: set[int] = set()
+        self._register_services()
+        self.runtime.start()
+
+    # -- subclass hook -----------------------------------------------------------
+
+    def _register_services(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- core access --------------------------------------------------------------
+
+    @property
+    def brokers(self) -> dict[int, KeraBrokerCore]:
+        return self.system.broker_cores
+
+    @property
+    def backups(self) -> dict[int, KeraBackupCore]:
+        return self.system.backup_cores
+
+    def _next_request_id(self) -> int:
+        with self._id_lock:
+            return self._request_ids.next()
+
+    def _record_flush(self) -> None:
+        with self._flush_lock:
+            self.flushes_scheduled += 1
+
+    # -- cluster management --------------------------------------------------------
+
+    def create_stream(self, stream_id: int, num_streamlets: int) -> None:
+        """Create a stream and register its streamlets on their leaders."""
+        self.runtime.create_stream(stream_id, num_streamlets)
+
+    def leader_of(self, stream_id: int, streamlet_id: int) -> int:
+        return self.runtime.leader_of(stream_id, streamlet_id)
+
+    # -- produce path ----------------------------------------------------------------
+
+    def produce(self, chunks: list[Chunk], producer_id: int) -> list[ProduceResponse]:
+        """Route chunks to their leaders, append, replicate, and return
+        the (acknowledged) responses — one per broker touched."""
+        by_broker: dict[int, list[Chunk]] = defaultdict(list)
+        for chunk in chunks:
+            leader = self.leader_of(chunk.stream_id, chunk.streamlet_id)
+            by_broker[leader].append(chunk)
+        responses = []
+        for broker_id in sorted(by_broker):
+            request = ProduceRequest(
+                request_id=self._next_request_id(),
+                producer_id=producer_id,
+                chunks=by_broker[broker_id],
+            )
+            responses.append(
+                self.transport.call(
+                    CLIENT_NODE,
+                    broker_id,
+                    "broker",
+                    "produce",
+                    request,
+                    request.payload_bytes(),
+                )
+            )
+        return responses
+
+    # -- replication ------------------------------------------------------------------
+
+    def _replication_send(self, broker_id: int):
+        """The ``send`` effect for :meth:`KeraSystem.drive_replication`:
+        one replicate RPC over the transport, refusing failed nodes."""
+
+        def send(backup_node: int, request) -> None:
+            if backup_node in self._failed:
+                raise ReplicationError(f"replication to failed node {backup_node}")
+            self.transport.call(
+                broker_id,
+                backup_node,
+                "backup",
+                "replicate",
+                request,
+                request.payload_bytes(),
+            )
+
+        return send
+
+    def pump_replication(self, broker_id: int) -> int:
+        """Ship every ready replication batch of a broker to its backups,
+        synchronously, until the broker has nothing left to ship."""
+        return self.system.drive_replication(
+            broker_id, self._replication_send(broker_id)
+        )
+
+    # -- fetch path ---------------------------------------------------------------------
+
+    def fetch(
+        self,
+        positions: list[FetchPosition],
+        *,
+        consumer_id: int,
+        max_chunks_per_entry: int = 16,
+    ) -> list[FetchResponse]:
+        """Fetch durable chunks, grouping positions by leader."""
+        by_broker: dict[int, list[FetchPosition]] = defaultdict(list)
+        for pos in positions:
+            by_broker[self.leader_of(pos.stream_id, pos.streamlet_id)].append(pos)
+        responses = []
+        for broker_id in sorted(by_broker):
+            request = FetchRequest(
+                request_id=self._next_request_id(),
+                consumer_id=consumer_id,
+                positions=by_broker[broker_id],
+                max_chunks_per_entry=max_chunks_per_entry,
+            )
+            responses.append(
+                self.transport.call(
+                    CLIENT_NODE,
+                    broker_id,
+                    "broker",
+                    "fetch",
+                    request,
+                    request.payload_bytes(),
+                )
+            )
+        return responses
+
+    # -- failure injection -------------------------------------------------------------------
+
+    def crash_broker(self, broker_id: int) -> None:
+        """Take a node down: its broker and backup stop responding."""
+        if broker_id not in self.brokers:
+            raise StorageError(f"unknown broker {broker_id}")
+        self._failed.add(broker_id)
+        for survivor_id, broker in self.brokers.items():
+            if survivor_id in self._failed:
+                continue
+            repairs = broker.handle_backup_failure(broker_id)
+            # Ship repair batches to the replacement backups.
+            send = self._replication_send(survivor_id)
+            for batch in repairs:
+                request = self.system.replicate_request(survivor_id, batch)
+                for backup_node in batch.backups:
+                    send(backup_node, request)
+
+    @property
+    def live_broker_ids(self) -> list[int]:
+        return [b for b in sorted(self.brokers) if b not in self._failed]
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self.runtime.shutdown()
+
+    def __enter__(self) -> "LiveKeraCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,182 @@
+"""Threaded KerA cluster: the concurrent live mode.
+
+Every (node, service) binding runs on its own worker threads behind a
+bounded request queue (:class:`repro.runtime.ThreadedTransport`), each
+broker additionally drives push replication from a dedicated *shipper*
+thread, and real concurrent producers/consumers push real bytes — the
+configuration that proves the sans-IO cores are thread-safe under
+contention.
+
+Concurrency design, mirroring the simulator's model:
+
+* **per-sub-partition locks** in the broker service serialize whole
+  produce requests that touch the same ``(stream, streamlet, entry)``
+  sub-partition (Q > 1 lets distinct producers append in parallel) and,
+  because a producer's retransmissions land on the same sub-partition,
+  make duplicate detection race-free;
+* the broker core's internal mutex keeps each request's append +
+  replication registration atomic, so virtual-log reference order always
+  matches segment append order (the invariant
+  ``mark_chunk_durable`` enforces);
+* a produce handler whose chunks are not yet durable parks on a
+  completion event — registered with the runtime's
+  :class:`CompletionTracker`, fired by the shipper thread when the
+  replicate acks return; the backup service runs single-worker, keeping
+  each backup core single-threaded.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import ConfigError, ReplicationError
+from repro.runtime.threaded import ThreadedTransport
+from repro.runtime.transport import LiveService
+from repro.kera.config import KeraConfig
+from repro.kera.live import LiveBackupService, LiveKeraCluster
+from repro.kera.messages import ProduceRequest
+
+
+class _ReplicationShipper(threading.Thread):
+    """One per broker: drains ready batches to the backups."""
+
+    #: Idle re-poll period, a safety net should a kick ever be missed.
+    _IDLE_POLL = 0.05
+
+    def __init__(self, cluster: "ThreadedKeraCluster", broker_id: int) -> None:
+        super().__init__(name=f"kera-shipper-{broker_id}", daemon=True)
+        self.cluster = cluster
+        self.broker_id = broker_id
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self.error: BaseException | None = None
+
+    def kick(self) -> None:
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._wake.set()
+
+    def run(self) -> None:
+        while True:
+            self._wake.wait(timeout=self._IDLE_POLL)
+            if self._stopping.is_set():
+                return
+            self._wake.clear()
+            try:
+                self.cluster.pump_replication(self.broker_id)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to producers
+                self.error = exc
+                return
+
+
+class _ThreadedBrokerService(LiveService):
+    """Broker wrapper for worker threads: lock, append, kick, park."""
+
+    def __init__(self, cluster: "ThreadedKeraCluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.core = cluster.brokers[node_id]
+        self._locks: dict[tuple[int, int, int], threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+
+    def _lock(self, key: tuple[int, int, int]) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def handle(self, method: str, request: object) -> object:
+        if method == "produce":
+            return self._produce(request)
+        if method == "fetch":
+            return self.core.handle_fetch(request)
+        raise ConfigError(f"unknown broker method {method!r}")
+
+    def _produce(self, request: ProduceRequest) -> object:
+        # Per-sub-partition serialization, exactly as the sim driver
+        # models it: every (stream, streamlet, entry) sub-partition the
+        # request touches is locked — in sorted order, so two requests
+        # with overlapping footprints can never deadlock.
+        q = self.cluster.config.storage.q_active_groups
+        keys = sorted(
+            {(c.stream_id, c.streamlet_id, c.producer_id % q) for c in request.chunks}
+        )
+        locks = [self._lock(key) for key in keys]
+        for lock in locks:
+            lock.acquire()
+        try:
+            outcome = self.core.handle_produce(request)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        done: threading.Event | None = None
+        if outcome.pending:
+            done = threading.Event()
+            if self.cluster.runtime.completion.register(
+                self.node_id, request.request_id, done.set
+            ):
+                done.set()
+        shipper = self.cluster.shipper(self.node_id)
+        shipper.kick()
+        if done is not None and not done.wait(self.cluster.ack_timeout):
+            if shipper.error is not None:
+                raise ReplicationError(
+                    f"replication shipper for broker {self.node_id} failed: "
+                    f"{shipper.error!r}"
+                )
+            raise ReplicationError(
+                f"request {request.request_id} not durable within "
+                f"{self.cluster.ack_timeout}s"
+            )
+        return outcome.response
+
+
+class ThreadedKeraCluster(LiveKeraCluster):
+    """A KerA cluster with every node's services on their own threads."""
+
+    def __init__(
+        self,
+        config: KeraConfig | None = None,
+        *,
+        produce_workers: int = 4,
+        queue_depth: int = 128,
+        call_timeout: float = 30.0,
+        ack_timeout: float = 10.0,
+    ) -> None:
+        self.ack_timeout = ack_timeout
+        self._shippers: dict[int, _ReplicationShipper] = {}
+        super().__init__(
+            config,
+            ThreadedTransport(
+                queue_depth=queue_depth,
+                workers_per_service=produce_workers,
+                call_timeout=call_timeout,
+            ),
+        )
+        for node in self.system.node_ids:
+            shipper = _ReplicationShipper(self, node)
+            self._shippers[node] = shipper
+            shipper.start()
+
+    def _register_services(self) -> None:
+        for node in self.system.node_ids:
+            self.transport.register(
+                node, "broker", _ThreadedBrokerService(self, node)
+            )
+            # One worker: the backup core stays single-threaded.
+            self.transport.register(
+                node, "backup", LiveBackupService(self, node), workers=1
+            )
+
+    def shipper(self, broker_id: int) -> _ReplicationShipper:
+        return self._shippers[broker_id]
+
+    def shutdown(self) -> None:
+        for shipper in self._shippers.values():
+            shipper.stop()
+        for shipper in self._shippers.values():
+            shipper.join(timeout=5.0)
+        super().shutdown()

@@ -1,0 +1,45 @@
+"""ClusterRuntime: coordinator + cores + completion, wired once.
+
+Every driver — simulated, synchronous in-process, threaded — used to
+repeat the same assembly: build a coordinator over the broker nodes,
+construct each node's cores with a completion callback, and fan stream
+creation out to the leading cores. The runtime does it once; a driver
+contributes only its transport and its per-transport service wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.completion import CompletionTracker
+from repro.runtime.system import SystemAdapter
+from repro.runtime.transport import Transport
+
+
+class ClusterRuntime:
+    """One assembled cluster: system cores over a transport."""
+
+    def __init__(self, system: SystemAdapter, transport: Transport) -> None:
+        # Lazy: repro.kera imports this package for its drivers.
+        from repro.kera.coordinator import Coordinator
+
+        self.system = system
+        self.transport = transport
+        self.completion = CompletionTracker()
+        self.coordinator = Coordinator(list(system.node_ids))
+        system.build_cores(self.completion)
+
+    def create_stream(self, stream_id: int, num_streamlets: int) -> Any:
+        """Create a stream in the catalog and on its leading cores."""
+        meta = self.coordinator.create_stream(stream_id, num_streamlets)
+        self.system.on_stream_created(meta)
+        return meta
+
+    def leader_of(self, stream_id: int, streamlet_id: int) -> int:
+        return self.coordinator.stream(stream_id).leaders[streamlet_id]
+
+    def start(self) -> None:
+        self.transport.start()
+
+    def shutdown(self) -> None:
+        self.transport.shutdown()

@@ -1,0 +1,141 @@
+"""ThreadedTransport: bounded per-service request queues + worker threads.
+
+The concurrent live mode: each registered (node, service) binding gets a
+bounded :class:`queue.Queue` and its own pool of daemon worker threads.
+``call`` enqueues the request (blocking when the queue is full — real
+backpressure) and waits for the response on a per-call event; handler
+exceptions are captured and re-raised in the caller's thread.
+
+Unlike the simulated fabric there is no worker-release: a handler that
+parks (KerA's produce waiting for replication acks) holds its worker
+thread, so a binding's ``workers`` bounds how many requests can be parked
+at once before later calls queue behind them. Replication shippers run on
+their own threads (see ``repro/kera/threaded.py``), so parked produces
+always make progress.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.common.errors import RpcError
+from repro.runtime.transport import Transport
+
+
+class _PendingCall:
+    """One in-flight request: the slot its worker fills."""
+
+    __slots__ = ("method", "request", "done", "response", "error")
+
+    def __init__(self, method: str, request: Any) -> None:
+        self.method = method
+        self.request = request
+        self.done = threading.Event()
+        self.response: Any = None
+        self.error: BaseException | None = None
+
+
+class ThreadedTransport(Transport):
+    """One bounded queue and worker pool per (node, service)."""
+
+    def __init__(
+        self,
+        *,
+        queue_depth: int = 128,
+        workers_per_service: int = 2,
+        call_timeout: float = 30.0,
+    ) -> None:
+        if queue_depth < 1 or workers_per_service < 1:
+            raise RpcError("queue_depth and workers_per_service must be >= 1")
+        self.queue_depth = queue_depth
+        self.workers_per_service = workers_per_service
+        self.call_timeout = call_timeout
+        self._bindings: dict[tuple[int, str], tuple[Any, int]] = {}
+        self._queues: dict[tuple[int, str], queue.Queue] = {}
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    def register(
+        self, node_id: int, name: str, service: Any, *, workers: int | None = None
+    ) -> None:
+        if self._started:
+            raise RpcError("cannot register services on a started transport")
+        key = (node_id, name)
+        if key in self._bindings:
+            raise RpcError(f"service {name!r} already registered on node {node_id}")
+        self._bindings[key] = (service, workers or self.workers_per_service)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for (node, name), (service, workers) in sorted(self._bindings.items()):
+            q: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+            self._queues[(node, name)] = q
+            for i in range(workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(q, service),
+                    name=f"{name}@{node}#{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    @staticmethod
+    def _worker(q: "queue.Queue", service: Any) -> None:
+        while True:
+            call = q.get()
+            if call is None:
+                q.put(None)  # wake sibling workers so the pool drains
+                return
+            try:
+                call.response = service.handle(call.method, call.request)
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                call.error = exc
+            call.done.set()
+
+    def call(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        method: str,
+        request: Any,
+        request_bytes: int = 0,
+    ) -> Any:
+        if not self._started:
+            raise RpcError("transport not started")
+        if self._closed:
+            raise RpcError("transport is shut down")
+        q = self._queues.get((dst, service))
+        if q is None:
+            raise RpcError(f"no service {service!r} on node {dst}")
+        call = _PendingCall(method, request)
+        try:
+            q.put(call, timeout=self.call_timeout)
+        except queue.Full:
+            raise RpcError(
+                f"request queue full for {service!r} on node {dst}"
+            ) from None
+        if not call.done.wait(self.call_timeout):
+            raise RpcError(
+                f"{service}.{method} on node {dst} timed out "
+                f"after {self.call_timeout}s"
+            )
+        if call.error is not None:
+            raise call.error
+        return call.response
+
+    def shutdown(self) -> None:
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for q in self._queues.values():
+            q.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,74 @@
+"""The Transport protocol: deliver request -> route to service -> respond.
+
+A transport owns request *delivery*; it knows nothing about streams,
+replication, or durability. Implementations differ only in how a call
+travels:
+
+* :class:`repro.runtime.sim.SimTransport` — over the discrete-event RPC
+  fabric; ``call`` returns a generator the caller must ``yield from``
+  inside a simulated process, and services are
+  :class:`repro.rpc.fabric.Service` generators;
+* :class:`repro.runtime.inproc.InprocTransport` — the handler runs
+  inline; ``call`` returns the response directly;
+* :class:`repro.runtime.threaded.ThreadedTransport` — the request is
+  enqueued on the target (node, service) bounded queue and executed by
+  that service's worker threads; ``call`` blocks until the response (or
+  a timeout) and returns it.
+
+Live (non-sim) services implement ``handle(method, request) -> response``
+and may block (e.g. a produce handler parking until replication acks);
+exceptions raised by a handler propagate to the caller.
+
+Adding a new transport (e.g. sockets or asyncio) means implementing this
+class and, if the system needs behaviour per transport (locking, cost
+charging), thin service wrappers around the same cores — see
+``repro/kera/threaded.py`` for the worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class LiveService:
+    """Base class for live (non-simulated) services."""
+
+    def handle(self, method: str, request: Any) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Transport:
+    """How requests move between nodes. See the module docstring for the
+    sim/live calling-convention difference on :meth:`call`."""
+
+    def register(
+        self, node_id: int, name: str, service: Any, *, workers: int | None = None
+    ) -> None:
+        """Bind ``service`` to ``(node, name)``; one service per binding.
+
+        ``workers`` is advisory sizing for concurrent transports (worker
+        threads serving this binding's queue); others ignore it.
+        """
+        raise NotImplementedError
+
+    def call(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        method: str,
+        request: Any,
+        request_bytes: int = 0,
+    ) -> Any:
+        """Deliver ``request`` to ``service.method`` on node ``dst``.
+
+        ``request_bytes`` is the wire size, charged by transports that
+        model the network; byte-oblivious transports ignore it.
+        """
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Bring the transport up (spawn threads, open sockets)."""
+
+    def shutdown(self) -> None:
+        """Tear the transport down; idempotent."""

@@ -20,9 +20,11 @@ substrate:
   ever see durably-replicated data; a separate source thread iterates the
   records, with the bounded client cache between the two threads.
 
-Subclasses provide the broker-side engine: they register services on the
-broker nodes, create streams on their cores, and may spawn extra system
-processes (Kafka's follower fetchers).
+Cluster assembly (coordinator, cores, completion tracking) lives in
+:class:`repro.runtime.ClusterRuntime`; subclasses contribute their
+:class:`repro.runtime.SystemAdapter`, register their cost-charging sim
+services on the broker nodes, and may spawn extra system processes
+(Kafka's follower fetchers).
 """
 
 from __future__ import annotations
@@ -35,14 +37,17 @@ from repro.common.idgen import IdGenerator
 from repro.common.metrics import LatencyReservoir, ThroughputMeter
 from repro.common.units import USEC
 from repro.rpc.fabric import RpcFabric
+from repro.runtime.runtime import ClusterRuntime
+from repro.runtime.sim import SimTransport
+from repro.runtime.system import SystemAdapter
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.wire.chunk import Chunk
 
-# NOTE: repro.kera.{coordinator,messages} are imported lazily inside
-# BaseSimCluster — repro.kera's own simulation driver subclasses this
-# module, so a top-level import here would be circular.
+# NOTE: repro.kera.messages is imported lazily inside BaseSimCluster —
+# repro.kera's own simulation driver subclasses this module, so a
+# top-level import here would be circular.
 
 #: Consumer poll backoff bounds when no data is available.
 _POLL_BACKOFF_MIN = 100 * USEC
@@ -127,7 +132,7 @@ class BaseSimCluster:
         workload: SimWorkload,
         cost: CostModel,
         *,
-        num_brokers: int,
+        system: SystemAdapter,
         q_active_groups: int,
         chunk_size: int,
         linger: float,
@@ -140,20 +145,18 @@ class BaseSimCluster:
         self.linger = linger
         self.client_cache_chunks = client_cache_chunks
         self.env = Environment()
-        B = num_brokers
+        B = len(system.node_ids)
         P = workload.num_producers
         C = workload.num_consumers
-        self.broker_nodes = list(range(B))
+        self.broker_nodes = list(system.node_ids)
         self.producer_nodes = list(range(B, B + P))
         self.consumer_nodes = list(range(B + P, B + P + C))
-        from repro.kera.coordinator import Coordinator
 
         self.fabric = RpcFabric(self.env, B + P + C, cost)
-        self.coordinator = Coordinator(self.broker_nodes)
-
-        # Completion plumbing: (broker, request_id) -> event.
-        self._completion_events: dict[tuple[int, int], Event] = {}
-        self._completed_early: set[tuple[int, int]] = set()
+        self.transport = SimTransport(self.fabric)
+        self.system = system
+        self.runtime = ClusterRuntime(system, self.transport)
+        self.coordinator = self.runtime.coordinator
 
         # Metrics.
         self.produced = ThroughputMeter()
@@ -168,13 +171,12 @@ class BaseSimCluster:
         #: outcome of the fluid source model (see _producer_requests).
         self.chunk_capacity_records = chunk_records
 
-        # Subclass: build cores and register services.
-        self._setup_system()
+        # Subclass: register the cost-charging sim services.
+        self._register_services()
 
         # Streams.
         for stream_id, streamlets in workload.streams:
-            meta = self.coordinator.create_stream(stream_id, streamlets)
-            self._on_stream_created(meta)
+            self.runtime.create_stream(stream_id, streamlets)
 
         # Partition tables.
         self.partitions_by_broker: dict[int, list[tuple[int, int]]] = {
@@ -186,10 +188,7 @@ class BaseSimCluster:
 
     # -- subclass hooks -------------------------------------------------------
 
-    def _setup_system(self) -> None:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def _on_stream_created(self, meta: Any) -> None:  # pragma: no cover
+    def _register_services(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def _spawn_system_processes(self) -> None:
@@ -204,26 +203,10 @@ class BaseSimCluster:
 
     # -- completion plumbing ----------------------------------------------------
 
-    def _make_completion_cb(self, broker_id: int):
-        def callback(request_id: int) -> None:
-            key = (broker_id, request_id)
-            event = self._completion_events.pop(key, None)
-            if event is not None:
-                event.succeed()
-            else:
-                self._completed_early.add(key)
-
-        return callback
-
     def _completion_event(self, broker_id: int, request_id: int) -> Event:
-        key = (broker_id, request_id)
-        event = Event(self.env)
-        if key in self._completed_early:
-            self._completed_early.discard(key)
-            event.succeed()
-        else:
-            self._completion_events[key] = event
-        return event
+        return self.transport.completion_event(
+            self.runtime.completion, broker_id, request_id
+        )
 
     # -- producer processes --------------------------------------------------------
 

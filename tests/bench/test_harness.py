@@ -4,9 +4,9 @@ import json
 
 import pytest
 
-from repro.bench import FIGURES, run_figure
+from repro.bench import FIGURES
 from repro.bench.figures import FigureResult, FigureSpec
-from repro.bench.report import figure_to_dict, format_figure, save_results
+from repro.bench.report import format_figure, save_results
 from repro.bench.workload import bench_duration, kafka_point, kera_point
 
 

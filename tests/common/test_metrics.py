@@ -1,5 +1,7 @@
 """ThroughputMeter and LatencyReservoir tests."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -38,6 +40,43 @@ class TestThroughputMeter:
     def test_per_second_series_empty(self):
         meter = ThroughputMeter()
         assert meter.per_second_series(0.0, 3.0).tolist() == [0.0, 0.0, 0.0]
+
+    def test_thread_safe_concurrent_adds(self):
+        meter = ThroughputMeter(thread_safe=True)
+        threads_n, adds_n = 8, 1000
+
+        def work(t):
+            for i in range(adds_n):
+                meter.add(1, 0.5 + (i % 3) * 0.0001)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert meter.total == threads_n * adds_n
+        assert len(meter) == threads_n * adds_n
+        assert meter.rate(0.0, 1.0) == pytest.approx(threads_n * adds_n)
+
+    def test_thread_safe_query_during_adds(self):
+        """Queries taken mid-stream must see a consistent snapshot: the
+        masked count sum can never exceed the number of timestamps seen."""
+        meter = ThroughputMeter(thread_safe=True)
+
+        def producer():
+            for i in range(20_000):
+                meter.add(1, float(i % 10) / 10.0)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            for _ in range(50):
+                total = meter.total
+                assert meter.rate(0.0, 1.0) >= total  # window covers all adds
+                assert len(meter.per_second_series(0.0, 1.0)) == 1
+        finally:
+            thread.join()
+        assert meter.total == 20_000
 
 
 class TestLatencyReservoir:

@@ -1,7 +1,5 @@
 """Kafka sim-driver wiring: topology, fetcher assignment, wake plumbing."""
 
-import pytest
-
 from repro.common.units import KB
 from repro.kafka import KafkaConfig, SimKafkaCluster
 from repro.simdriver import SimWorkload

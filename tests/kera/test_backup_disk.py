@@ -6,7 +6,6 @@ from repro.common.errors import StorageError
 from repro.common.units import KB
 from repro.replication.config import ReplicationConfig
 from repro.storage.config import StorageConfig
-from repro.wire.record import Record
 from repro.kera import InprocKeraCluster, KeraConfig, KeraProducer
 from repro.kera.backup import KeraBackupCore
 

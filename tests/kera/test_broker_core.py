@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import StorageError, UnknownStreamError
+from repro.common.errors import UnknownStreamError
 from repro.common.units import KB
 from repro.replication.config import PolicyMode, ReplicationConfig
 from repro.storage.config import StorageConfig

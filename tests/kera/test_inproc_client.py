@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.units import KB, MB
+from repro.common.units import KB
 from repro.replication.config import ReplicationConfig
 from repro.storage.config import StorageConfig
 from repro.kera import InprocKeraCluster, KeraConfig, KeraProducer, KeraConsumer

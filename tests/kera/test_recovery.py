@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import RecoveryError
 from repro.common.units import KB
-from repro.replication.config import PolicyMode, ReplicationConfig
+from repro.replication.config import ReplicationConfig
 from repro.storage.config import StorageConfig
 from repro.wire.chunk import Chunk
 from repro.kera import (

@@ -8,7 +8,7 @@ from repro.storage.group import Group
 from repro.storage.memory import SegmentAllocator
 from repro.storage.stream import Stream, StreamRegistry
 from repro.storage.streamlet import Streamlet
-from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE
+from repro.wire.chunk import Chunk
 
 
 def meta_chunk(payload_len=160, producer_id=0, chunk_seq=0, streamlet_id=0, n=4):
