@@ -1,0 +1,85 @@
+"""Project-specific static analysis: concurrency & determinism invariants.
+
+The repository holds two worlds with opposite failure modes: the
+discrete-event simulation must stay deterministic and non-blocking (the
+paper figures replay bit-for-bit from a seed), while the threaded live
+mode must guard every piece of shared state. ``python -m repro.analysis``
+enforces both with five AST rules, run as a blocking CI job:
+
+========  ==============================================================
+A001      unguarded-shared-mutation — writes to ``# guarded-by:``
+          declared attributes outside their ``with self.<lock>:`` block
+A002      sim-purity — no ``threading`` / wall-clock ``time`` /
+          process-global ``random`` reachable from the sim roots
+A003      transport-conformance — Transport/SystemAdapter/LiveService
+          implementations structurally match the protocol signatures
+A004      message-immutability — wire-facing dataclasses are
+          ``frozen=True, slots=True`` with no shared mutable defaults
+A005      lock-order — the static lock-acquisition graph is acyclic and
+          never re-acquires a non-reentrant lock
+========  ==============================================================
+
+Findings are machine-readable (``path:line:col: RULE message``, or
+``--format json``); suppression needs ``# noqa: A00x -- <justification>``
+(rule A000 flags justification-less suppressions). See DESIGN.md,
+"Static analysis & invariants".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.analysis import (
+    conformance,
+    guards,
+    immutability,
+    lockorder,
+    purity,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleSet,
+    apply_suppressions,
+    load_paths,
+)
+
+RuleCheck = Callable[[ModuleSet], Iterator[Finding]]
+
+#: Rule id -> (one-line summary, check function).
+ALL_RULES: dict[str, tuple[str, RuleCheck]] = {
+    guards.RULE_ID: ("unguarded-shared-mutation", guards.check),
+    purity.RULE_ID: ("sim-purity", purity.check),
+    conformance.RULE_ID: ("transport-conformance", conformance.check),
+    immutability.RULE_ID: ("message-immutability", immutability.check),
+    lockorder.RULE_ID: ("lock-order", lockorder.check),
+}
+
+
+def run_analysis(
+    paths: list[str | Path], rule_ids: list[str] | None = None
+) -> list[Finding]:
+    """Run the selected rules (default: all) over ``paths``.
+
+    Returns the surviving findings, suppression already applied, sorted
+    by location. Unparseable files surface as A000 findings.
+    """
+    selected = rule_ids or list(ALL_RULES)
+    unknown = [r for r in selected if r not in ALL_RULES]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    modules = load_paths(paths)
+    findings: list[Finding] = list(modules.errors)
+    for rule_id in selected:
+        _, checker = ALL_RULES[rule_id]
+        findings.extend(checker(modules))
+    return apply_suppressions(findings, modules)
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleSet",
+    "load_paths",
+    "run_analysis",
+]

@@ -1,0 +1,71 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage error. Output is one finding
+per line (``path:line:col: RULE message``) or a JSON array with
+``--format json`` — both stable, for CI and editor integration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import ALL_RULES, run_analysis
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Concurrency & determinism linter for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all), e.g. A001,A005",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, (summary, _) in ALL_RULES.items():
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    rule_ids = (
+        [r.strip() for r in options.rules.split(",") if r.strip()]
+        if options.rules
+        else None
+    )
+    try:
+        findings = run_analysis(list(options.paths), rule_ids)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if options.fmt == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

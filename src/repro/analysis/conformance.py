@@ -1,0 +1,215 @@
+"""A003 transport-conformance.
+
+Drivers are only swappable because every transport honors the exact
+:class:`repro.runtime.transport.Transport` surface (and adapters the
+:class:`repro.runtime.system.SystemAdapter` one). Python will happily
+let a subclass drift — rename a parameter, drop a default, forget a
+required method — and the break only surfaces when that driver runs.
+This rule checks structurally, against a spec of the protocols encoded
+here:
+
+* every class deriving (transitively, within the analyzed tree) from
+  ``Transport`` / ``SystemAdapter`` / ``LiveService`` implements the
+  protocol's required methods somewhere in its in-tree ancestry;
+* every override of a protocol method keeps the protocol's signature:
+  same positional parameter names in order, defaults preserved, required
+  keyword-only parameters present (extras allowed only with defaults).
+
+The spec is the contract's second copy on purpose: if the protocol
+classes themselves change shape, the rule flags *them* too, forcing the
+spec — and every implementation — to move in the same commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleSet
+
+RULE_ID = "A003"
+
+
+@dataclass(frozen=True, slots=True)
+class MethodSpec:
+    #: Positional parameter names after ``self``, in order.
+    positional: tuple[str, ...]
+    #: How many of the trailing positional parameters carry defaults.
+    defaults: int = 0
+    #: Keyword-only parameter names; all specced kwonly params default.
+    kwonly: tuple[str, ...] = ()
+    #: Whether the protocol base raises NotImplementedError (must be
+    #: overridden by a concrete subclass).
+    required: bool = False
+
+
+PROTOCOLS: dict[str, dict[str, MethodSpec]] = {
+    "Transport": {
+        "register": MethodSpec(
+            ("node_id", "name", "service"), kwonly=("workers",), required=True
+        ),
+        "call": MethodSpec(
+            ("src", "dst", "service", "method", "request", "request_bytes"),
+            defaults=1,
+            required=True,
+        ),
+        "start": MethodSpec(()),
+        "shutdown": MethodSpec(()),
+    },
+    "SystemAdapter": {
+        "build_cores": MethodSpec(("completion",), required=True),
+        "on_stream_created": MethodSpec(("meta",)),
+    },
+    "LiveService": {
+        "handle": MethodSpec(("method", "request"), required=True),
+    },
+}
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+    }
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _signature_problems(spec: MethodSpec, fn: ast.FunctionDef) -> list[str]:
+    args = fn.args
+    problems: list[str] = []
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if not names or names[0] not in ("self", "cls"):
+        problems.append("first parameter must be `self`")
+        positional = tuple(names)
+    else:
+        positional = tuple(names[1:])
+    if positional != spec.positional and args.vararg is None:
+        problems.append(
+            f"positional parameters {positional or '()'} != protocol "
+            f"{spec.positional or '()'}"
+        )
+    elif args.vararg is None and spec.defaults > len(args.defaults):
+        problems.append(
+            f"protocol defaults the last {spec.defaults} positional "
+            f"parameter(s); override defaults only {len(args.defaults)}"
+        )
+    if args.kwarg is None:
+        kwonly = {
+            a.arg: d
+            for a, d in zip(args.kwonlyargs, args.kw_defaults, strict=True)
+        }
+        for name in spec.kwonly:
+            if name not in kwonly:
+                problems.append(f"missing keyword-only parameter `{name}`")
+        for name, default in kwonly.items():
+            if name not in spec.kwonly and default is None:
+                problems.append(
+                    f"extra keyword-only parameter `{name}` must have a default"
+                )
+    return problems
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    # Index every class in the tree by simple name (collisions keep the
+    # first definition; the protocol names are unique in this codebase).
+    class_index: dict[str, tuple[ast.ClassDef, str]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name not in class_index:
+                class_index[node.name] = (node, str(module.path))
+
+    def protocol_of(cls: ast.ClassDef, seen: set[str]) -> str | None:
+        """The protocol this class ultimately derives from, if any."""
+        for base in _base_names(cls):
+            if base in PROTOCOLS:
+                return base
+            if base in class_index and base not in seen:
+                seen.add(base)
+                found = protocol_of(class_index[base][0], seen)
+                if found is not None:
+                    return found
+        return None
+
+    def inherited_methods(cls: ast.ClassDef, seen: set[str]) -> set[str]:
+        """Method names defined by in-tree ancestors below the protocol."""
+        names: set[str] = set()
+        for base in _base_names(cls):
+            if base in PROTOCOLS or base not in class_index or base in seen:
+                continue
+            seen.add(base)
+            ancestor = class_index[base][0]
+            names |= set(_methods(ancestor))
+            names |= inherited_methods(ancestor, seen)
+        return names
+
+    for module in modules:
+        for cls in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            if cls.name in PROTOCOLS:
+                # The protocol definition itself must match the spec.
+                spec_methods = PROTOCOLS[cls.name]
+                defined = _methods(cls)
+                for name, spec in spec_methods.items():
+                    fn = defined.get(name)
+                    problems = (
+                        [f"protocol method `{name}` missing"]
+                        if fn is None
+                        else _signature_problems(spec, fn)
+                    )
+                    for problem in problems:
+                        yield Finding(
+                            path=str(module.path),
+                            line=(fn or cls).lineno,
+                            col=(fn or cls).col_offset,
+                            rule=RULE_ID,
+                            message=(
+                                f"protocol {cls.name}.{name} drifted from the "
+                                f"conformance spec ({problem}); update "
+                                f"repro.analysis.conformance.PROTOCOLS and "
+                                f"every implementation together"
+                            ),
+                        )
+                continue
+            protocol = protocol_of(cls, set())
+            if protocol is None:
+                continue
+            spec_methods = PROTOCOLS[protocol]
+            defined = _methods(cls)
+            inherited = inherited_methods(cls, set())
+            for name, spec in spec_methods.items():
+                fn = defined.get(name)
+                if fn is None:
+                    if spec.required and name not in inherited:
+                        yield Finding(
+                            path=str(module.path),
+                            line=cls.lineno,
+                            col=cls.col_offset,
+                            rule=RULE_ID,
+                            message=(
+                                f"{cls.name} registered as a {protocol} but "
+                                f"does not implement required method "
+                                f"`{name}`"
+                            ),
+                        )
+                    continue
+                for problem in _signature_problems(spec, fn):
+                    yield Finding(
+                        path=str(module.path),
+                        line=fn.lineno,
+                        col=fn.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"{cls.name}.{name} does not conform to "
+                            f"{protocol}.{name}: {problem}"
+                        ),
+                    )

@@ -1,0 +1,221 @@
+"""Shared infrastructure for the project linter: sources, findings, noqa.
+
+The pass is deliberately whole-program: every rule receives the full
+:class:`ModuleSet` so graph rules (import reachability, lock order) see
+the same tree the point rules do. Modules are parsed once, here.
+
+Suppression follows the ruff convention with one extra requirement: a
+finding is only silenced by ``# noqa: A00x -- <justification>`` on the
+flagged line; the justification text is mandatory. A bare
+``# noqa: A00x`` does not suppress — it *adds* an :data:`META_RULE`
+finding, so silencing an invariant always leaves a reviewed reason in
+the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Rule id reserved for the pass itself (syntax errors, bad suppressions).
+META_RULE = "A000"
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa:\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+    r"(?:\s*(?:--|-)\s*(?P<why>.*))?"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class SourceModule:
+    """One parsed source file plus its dotted module name."""
+
+    path: Path
+    name: str
+    tree: ast.Module
+    lines: list[str] = field(repr=False)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class ModuleSet:
+    """The analyzed tree: modules indexed by dotted name."""
+
+    def __init__(self, modules: list[SourceModule], errors: list[Finding]) -> None:
+        self.modules = modules
+        self.errors = errors
+        self.by_name: dict[str, SourceModule] = {m.name: m for m in modules}
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted name derived by walking up while ``__init__.py`` exists.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine`` (``src`` is not a
+    package), and a fixture tree rooted at a non-package directory names
+    its modules relative to that root.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:  # a lone __init__.py outside any package chain
+        parts = [path.parent.name]
+    return ".".join(parts)
+
+
+def load_paths(paths: list[str | Path]) -> ModuleSet:
+    """Parse every ``*.py`` under ``paths`` (files or directories)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    modules: list[SourceModule] = []
+    errors: list[Finding] = []
+    seen: set[Path] = set()
+    for file in files:
+        file = file.resolve()
+        if file in seen:
+            continue
+        seen.add(file)
+        text = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(file))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    path=str(file),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule=META_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            SourceModule(
+                path=file,
+                name=module_name_for(file),
+                tree=tree,
+                lines=text.splitlines(),
+            )
+        )
+    return ModuleSet(modules, errors)
+
+
+def apply_suppressions(
+    findings: list[Finding], modules: ModuleSet
+) -> list[Finding]:
+    """Drop findings suppressed by a justified noqa; flag unjustified ones.
+
+    Returns the surviving findings sorted by location. An unjustified
+    ``# noqa: A00x`` produces one :data:`META_RULE` finding per line, on
+    top of the finding it failed to suppress.
+    """
+    by_path = {str(m.path): m for m in modules}
+    kept: list[Finding] = []
+    bad_noqa: set[tuple[str, int]] = set()
+    for finding in findings:
+        module = by_path.get(finding.path)
+        match = _NOQA_RE.search(module.line_text(finding.line)) if module else None
+        if match is not None:
+            codes = {c.strip() for c in match.group("codes").split(",")}
+            why = (match.group("why") or "").strip()
+            if finding.rule in codes:
+                if why:
+                    continue  # justified suppression
+                bad_noqa.add((finding.path, finding.line))
+        kept.append(finding)
+    for path, line in bad_noqa:
+        kept.append(
+            Finding(
+                path=path,
+                line=line,
+                col=0,
+                rule=META_RULE,
+                message=(
+                    "suppression requires a justification: "
+                    "write `# noqa: A00x -- <why this is safe>`"
+                ),
+            )
+        )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+# -- small AST helpers shared by the rules --------------------------------------
+
+
+def is_self_attr(node: ast.expr, attr: str | None = None) -> bool:
+    """``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def self_attr_name(node: ast.expr) -> str | None:
+    """The ``X`` of ``self.X``, else None."""
+    if is_self_attr(node):
+        return node.attr  # type: ignore[union-attr]
+    return None
+
+
+def is_type_checking_block(node: ast.stmt) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` guard."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def decorator_name(node: ast.expr) -> str | None:
+    """Bare name of a decorator: ``dataclass`` for ``@dataclass(...)`` or
+    ``@dataclasses.dataclass``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

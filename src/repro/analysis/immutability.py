@@ -1,0 +1,105 @@
+"""A004 message-immutability.
+
+RPC messages cross thread boundaries by reference in the live drivers
+(the in-process transports hand the *same* object to the handler), so a
+mutable message is a data race waiting for its second thread — and in
+the sim it silently breaks replayability when a handler "fixes up" a
+request in place. Every dataclass in a wire-facing module (``messages``
+modules and the ``wire`` package) must therefore be declared
+``@dataclass(frozen=True, slots=True)`` — slots both catch stray
+attribute writes and keep the hot-path objects small — and no field may
+default to a shared mutable object (use ``field(default_factory=...)``).
+
+The one deliberate exception in this tree, :class:`repro.wire.chunk
+.Chunk`, carries a justified ``# noqa: A004`` at its declaration; see
+DESIGN.md for the suppression contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Finding, ModuleSet, decorator_name
+
+RULE_ID = "A004"
+
+
+def applies_to(name: str) -> bool:
+    parts = name.split(".")
+    return parts[-1] == "messages" or "wire" in parts
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    for dec in cls.decorator_list:
+        if decorator_name(dec) == "dataclass":
+            return dec
+    return None
+
+
+def _keyword_true(call: ast.expr | None, name: str) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    for kw in call.keywords:
+        if kw.arg == name:
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _mutable_default(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else None
+        # `field(default_factory=list)` is the sanctioned spelling; a
+        # direct `list()` default would be shared across instances.
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    for module in modules:
+        if not applies_to(module.name):
+            continue
+        for cls in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            dec = _dataclass_decorator(cls)
+            if dec is None:
+                continue
+            missing = [
+                flag
+                for flag in ("frozen", "slots")
+                if not _keyword_true(dec, flag)
+            ]
+            if missing:
+                yield Finding(
+                    path=str(module.path),
+                    line=cls.lineno,
+                    col=cls.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"wire-facing dataclass {cls.name} must be declared "
+                        f"@dataclass({', '.join(f'{m}=True' for m in missing)}"
+                        f"{' ...' if len(missing) < 2 else ''}) — messages "
+                        f"cross threads by reference"
+                    ),
+                )
+            for stmt in cls.body:
+                if isinstance(stmt, ast.AnnAssign) and _mutable_default(
+                    stmt.value
+                ):
+                    yield Finding(
+                        path=str(module.path),
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"field of {cls.name} has a shared mutable "
+                            f"default; use field(default_factory=...)"
+                        ),
+                    )

@@ -1,0 +1,303 @@
+"""A005 lock-order.
+
+Builds the static lock-acquisition graph over the whole analyzed tree
+and flags cycles — the classic two-thread deadlock shape — plus
+re-acquisition of a non-reentrant lock.
+
+A lock is any ``self.<attr>`` used as a ``with`` context manager; the
+node is class-qualified (``LiveBackupService._lock``), so identical
+attribute names on different classes stay distinct. Edges come from
+
+* lexical nesting: ``with self.a:`` containing ``with self.b:``;
+* one level of interprocedural reasoning: a call made while holding a
+  lock contributes every lock the callee's transitive summary can
+  acquire. ``self.m(...)`` resolves within the class (and its in-tree
+  ancestors); ``anything.m(...)`` resolves by method name to every class
+  in the tree that defines ``m`` — a deliberate over-approximation: a
+  false edge costs a review, a missed edge costs a deadlock. The one
+  carve-out is :data:`UNRESOLVED_NAMES`: container/queue/event verbs
+  (``append``, ``get``, ``put``, ...) are resolved only on ``self`` —
+  by-name resolution would bind ``self._samples.append(...)`` to every
+  project class that happens to define ``append``, and the resulting
+  phantom cycles would drown the real ones.
+
+Raw ``.acquire()``/``.release()`` pairs on *dynamic* lock tables (the
+per-sub-partition locks in the threaded broker) are out of scope; those
+must be ordered by sorted key, which A005 cannot prove but the threaded
+broker documents and tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.core import Finding, ModuleSet, self_attr_name
+
+RULE_ID = "A005"
+
+LockNode = tuple[str, str]  # (class name, lock attribute)
+
+#: Method names shadowed by the builtin containers / queues / events:
+#: never resolved by bare name across classes (still resolved on self).
+UNRESOLVED_NAMES = frozenset(
+    {
+        "acquire",
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "discard",
+        "extend",
+        "get",
+        "get_nowait",
+        "index",
+        "insert",
+        "is_set",
+        "items",
+        "join",
+        "keys",
+        "notify",
+        "notify_all",
+        "pop",
+        "popitem",
+        "popleft",
+        "put",
+        "put_nowait",
+        "release",
+        "remove",
+        "reverse",
+        "set",
+        "setdefault",
+        "sort",
+        "start",
+        "update",
+        "values",
+        "wait",
+    }
+)
+
+
+@dataclass(slots=True)
+class _MethodInfo:
+    cls: str
+    name: str
+    path: str
+    line: int
+    #: Locks taken via ``with self.<attr>`` anywhere in the method.
+    direct_locks: set[LockNode] = field(default_factory=set)
+    #: (held lock, nested lock) pairs from lexical nesting.
+    nested: set[tuple[LockNode, LockNode]] = field(default_factory=set)
+    #: (held lock or None, called method name, self_call) tuples.
+    calls: set[tuple[LockNode | None, str, bool]] = field(default_factory=set)
+    #: Locks created as threading.RLock() in __init__ (reentrant).
+    reentrant: set[str] = field(default_factory=set)
+
+
+class _LockVisitor(ast.NodeVisitor):
+    def __init__(self, info: _MethodInfo):
+        self.info = info
+        self.held: list[LockNode] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[LockNode] = []
+        for item in node.items:
+            attr = self_attr_name(item.context_expr)
+            if attr is not None:
+                lock = (self.info.cls, attr)
+                self.info.direct_locks.add(lock)
+                for holder in self.held + acquired:
+                    self.info.nested.add((holder, lock))
+                acquired.append(lock)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self.held[len(self.held) - len(acquired) :]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        outer, self.held = self.held, []
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = outer
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self_call = isinstance(func.value, ast.Name) and func.value.id == "self"
+            holder = self.held[-1] if self.held else None
+            self.info.calls.add((holder, func.attr, self_call))
+        self.generic_visit(node)
+
+
+def _collect(modules: ModuleSet) -> tuple[list[_MethodInfo], dict[str, list[str]]]:
+    methods: list[_MethodInfo] = []
+    bases: dict[str, list[str]] = {}
+    for module in modules:
+        for cls in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            bases[cls.name] = [
+                b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                for b in cls.bases
+            ]
+            reentrant: set[str] = set()
+            for node in ast.walk(cls):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "RLock"
+                ):
+                    for target in node.targets:
+                        attr = self_attr_name(target)
+                        if attr is not None:
+                            reentrant.add(attr)
+            for fn in cls.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                info = _MethodInfo(
+                    cls=cls.name,
+                    name=fn.name,
+                    path=str(module.path),
+                    line=fn.lineno,
+                    reentrant=reentrant,
+                )
+                visitor = _LockVisitor(info)
+                for stmt in fn.body:
+                    visitor.visit(stmt)
+                methods.append(info)
+    return methods, bases
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    methods, bases = _collect(modules)
+    by_name: dict[str, list[_MethodInfo]] = {}
+    by_cls_name: dict[tuple[str, str], _MethodInfo] = {}
+    for info in methods:
+        by_name.setdefault(info.name, []).append(info)
+        by_cls_name[(info.cls, info.name)] = info
+
+    def ancestors(cls: str, seen: set[str]) -> Iterator[str]:
+        for base in bases.get(cls, ()):
+            if base and base not in seen:
+                seen.add(base)
+                yield base
+                yield from ancestors(base, seen)
+
+    def resolve(caller_cls: str, name: str, self_call: bool) -> list[_MethodInfo]:
+        if self_call:
+            hit = by_cls_name.get((caller_cls, name))
+            if hit is not None:
+                return [hit]
+            for ancestor in ancestors(caller_cls, {caller_cls}):
+                hit = by_cls_name.get((ancestor, name))
+                if hit is not None:
+                    return [hit]
+            return []
+        if name in UNRESOLVED_NAMES:
+            return []
+        return by_name.get(name, [])
+
+    # Transitive summary: every lock a method can end up holding.
+    summary: dict[tuple[str, str], set[LockNode]] = {
+        (i.cls, i.name): set(i.direct_locks) for i in methods
+    }
+    changed = True
+    while changed:
+        changed = False
+        for info in methods:
+            mine = summary[(info.cls, info.name)]
+            before = len(mine)
+            for _, callee, self_call in info.calls:
+                for target in resolve(info.cls, callee, self_call):
+                    mine |= summary[(target.cls, target.name)]
+            if len(mine) != before:
+                changed = True
+
+    # Edges, each with one witness site for the report.
+    edges: dict[tuple[LockNode, LockNode], tuple[str, int, str]] = {}
+    for info in methods:
+        where = f"{info.cls}.{info.name}"
+        for held, nested in info.nested:
+            edges.setdefault((held, nested), (info.path, info.line, where))
+        for held, callee, self_call in info.calls:
+            if held is None:
+                continue
+            for target in resolve(info.cls, callee, self_call):
+                for lock in summary[(target.cls, target.name)]:
+                    edges.setdefault(
+                        (held, lock),
+                        (
+                            info.path,
+                            info.line,
+                            f"{where} -> {target.cls}.{target.name}",
+                        ),
+                    )
+
+    graph: dict[LockNode, set[LockNode]] = {}
+    for (src, dst), _ in edges.items():
+        graph.setdefault(src, set()).add(dst)
+
+    def fmt(node: LockNode) -> str:
+        return f"{node[0]}.{node[1]}"
+
+    # Self-edges: re-acquiring a non-reentrant lock deadlocks immediately.
+    reported: set[tuple[LockNode, ...]] = set()
+    for (src, dst), (path, line, where) in sorted(edges.items()):
+        if src == dst:
+            holder_cls, attr = src
+            reentrant = any(
+                attr in i.reentrant for i in methods if i.cls == holder_cls
+            )
+            if not reentrant:
+                yield Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule=RULE_ID,
+                    message=(
+                        f"re-acquisition of non-reentrant lock {fmt(src)} "
+                        f"while already held (in {where})"
+                    ),
+                )
+                reported.add((src,))
+
+    # Cycles via DFS over the lock graph.
+    def find_cycle(start: LockNode) -> list[LockNode] | None:
+        stack: list[tuple[LockNode, list[LockNode]]] = [(start, [start])]
+        while stack:
+            node, trail = stack.pop()
+            for succ in sorted(graph.get(node, ())):
+                if succ == start and len(trail) > 1:
+                    return trail
+                if succ not in trail:
+                    stack.append((succ, trail + [succ]))
+        return None
+
+    for start in sorted(graph):
+        cycle = find_cycle(start)
+        if cycle is None:
+            continue
+        canon = tuple(sorted(cycle))
+        if canon in reported:
+            continue
+        reported.add(canon)
+        first_edge = (cycle[0], cycle[1 % len(cycle)])
+        path, line, where = edges.get(first_edge, ("", 0, "?"))
+        chain = " -> ".join(fmt(n) for n in [*cycle, cycle[0]])
+        yield Finding(
+            path=path,
+            line=line,
+            col=0,
+            rule=RULE_ID,
+            message=(
+                f"lock acquisition cycle {chain} (witness: {where}); "
+                f"impose a global order or merge the locks"
+            ),
+        )

@@ -1,0 +1,208 @@
+"""A002 sim-purity.
+
+The discrete-event figures (fig13 and friends) are only worth keeping if
+they replay bit-for-bit from a seed. That dies the day wall-clock time,
+thread scheduling, or the process-global RNG leaks into the simulated
+world. This rule bans, in every module statically reachable from the sim
+roots:
+
+* any import or use of ``threading``;
+* wall-clock / sleeping ``time`` functions (``time``, ``sleep``,
+  ``monotonic``, ``perf_counter`` and their ``_ns`` variants);
+* the module-level ``random`` functions (process-global, unseeded
+  state). Constructing a seeded ``random.Random(seed)`` instance stays
+  legal — that is exactly how deterministic workloads should draw
+  randomness.
+
+Roots are the sim tree and the sim/inproc transports: every module with
+a ``sim`` path component (``repro.sim.*``, ``repro.runtime.sim``) plus
+``repro.runtime.inproc``. Reachability follows the static import graph
+restricted to the analyzed tree; imports under ``if TYPE_CHECKING:`` are
+ignored (they never execute), while lazy function-level imports count —
+they *do* execute, on the hot path no less.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSet,
+    SourceModule,
+    is_type_checking_block,
+)
+
+RULE_ID = "A002"
+
+#: Exact dotted names that are roots besides any module with a ``sim``
+#: path component.
+ROOT_MODULES = frozenset({"repro.runtime.inproc"})
+
+BANNED_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "sleep",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+#: ``random.Random`` (and the SystemRandom class) are fine; everything
+#: else on the module is process-global state.
+ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+
+def is_root(name: str) -> bool:
+    return "sim" in name.split(".") or name in ROOT_MODULES
+
+
+def _import_edges(module: SourceModule, modules: ModuleSet) -> set[str]:
+    """Dotted names of analyzed modules this module imports at runtime.
+
+    Edges go to the exact module named (``from repro.sim.engine import
+    Event`` -> ``repro.sim.engine``; ``from repro.runtime import X`` ->
+    ``repro.runtime`` and, when ``X`` is a submodule in the set,
+    ``repro.runtime.X``). TYPE_CHECKING blocks are skipped.
+    """
+    type_checking_lines: set[int] = set()
+    for node in ast.walk(module.tree):
+        if is_type_checking_block(node):
+            for sub in ast.walk(node):
+                if hasattr(sub, "lineno"):
+                    type_checking_lines.add(sub.lineno)
+    edges: set[str] = set()
+
+    def add(name: str) -> None:
+        if name in modules.by_name:
+            edges.add(name)
+
+    for node in ast.walk(module.tree):
+        if getattr(node, "lineno", None) in type_checking_lines:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module.name.split(".")
+                # level 1 from a module = its package; each extra level
+                # climbs one package higher.
+                base = ".".join(base_parts[: -node.level])
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            add(target)
+            for alias in node.names:
+                add(f"{target}.{alias.name}")
+    return edges
+
+
+def _banned_usages(module: SourceModule) -> list[tuple[int, int, str]]:
+    """(line, col, description) for every banned construct in a module."""
+    found: list[tuple[int, int, str]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading" or alias.name.startswith("threading."):
+                    found.append(
+                        (node.lineno, node.col_offset, "import of `threading`")
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "threading":
+                found.append(
+                    (node.lineno, node.col_offset, "import from `threading`")
+                )
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_TIME:
+                        found.append(
+                            (
+                                node.lineno,
+                                node.col_offset,
+                                f"import of wall-clock `time.{alias.name}`",
+                            )
+                        )
+            elif node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM:
+                        found.append(
+                            (
+                                node.lineno,
+                                node.col_offset,
+                                f"import of process-global `random.{alias.name}`",
+                            )
+                        )
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            owner = node.value.id
+            if owner == "time" and node.attr in BANNED_TIME:
+                found.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"use of wall-clock `time.{node.attr}`",
+                    )
+                )
+            elif owner == "random" and node.attr not in ALLOWED_RANDOM:
+                found.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"use of process-global `random.{node.attr}`",
+                    )
+                )
+            elif owner == "threading":
+                found.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"use of `threading.{node.attr}`",
+                    )
+                )
+    return found
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    graph = {m.name: _import_edges(m, modules) for m in modules}
+    roots = [m.name for m in modules if is_root(m.name)]
+
+    # BFS from all roots at once, remembering one witness path per module.
+    via: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root not in via:
+            via[root] = None
+            queue.append(root)
+    while queue:
+        name = queue.popleft()
+        for dep in sorted(graph.get(name, ())):
+            if dep not in via:
+                via[dep] = name
+                queue.append(dep)
+
+    for name in sorted(via):
+        module = modules.by_name[name]
+        usages = _banned_usages(module)
+        if not usages:
+            continue
+        chain: list[str] = [name]
+        while (prev := via[chain[-1]]) is not None:
+            chain.append(prev)
+        origin = (
+            "a sim root itself"
+            if len(chain) == 1
+            else "reachable from sim root via " + " <- ".join(chain)
+        )
+        for line, col, description in usages:
+            yield Finding(
+                path=str(module.path),
+                line=line,
+                col=col,
+                rule=RULE_ID,
+                message=f"{description} in deterministic sim code ({origin})",
+            )

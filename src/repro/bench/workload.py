@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.common.units import KB
 from repro.replication.config import PolicyMode, ReplicationConfig

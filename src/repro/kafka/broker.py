@@ -9,7 +9,7 @@ completion callbacks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.common.errors import StorageError, UnknownStreamError
 from repro.wire.chunk import Chunk

@@ -19,7 +19,8 @@ System-side behaviour on top of :class:`repro.simdriver.BaseSimCluster`:
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.common.errors import ConfigError
 from repro.rpc.fabric import RELEASE_WORKER, Service

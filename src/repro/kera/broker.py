@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.common.errors import ReplicationError
 from repro.replication.config import ReplicationConfig
@@ -274,10 +274,11 @@ class KeraBrokerCore:
                 chunk_pos=pos.chunk_pos,
             )
             stored_chunks = cursor.next_chunks(request.max_chunks_per_entry)
-            if self.zero_copy_fetch:
-                chunks = stored_chunks  # type: ignore[assignment]
-            else:
-                chunks = [s.to_wire_chunk() for s in stored_chunks]
+            chunks = (
+                stored_chunks  # type: ignore[assignment]
+                if self.zero_copy_fetch
+                else [s.to_wire_chunk() for s in stored_chunks]
+            )
             entries.append(
                 FetchEntry(
                     position=pos,

@@ -19,7 +19,8 @@ with a :class:`repro.runtime.KeraSystem` adapter):
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.common.errors import ConfigError
 from repro.rpc.fabric import RELEASE_WORKER, Service

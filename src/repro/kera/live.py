@@ -68,11 +68,12 @@ class LiveKeraCluster:
         self.transport = transport
         self.runtime = ClusterRuntime(self.system, transport)
         self.coordinator = self.runtime.coordinator
-        self._request_ids = IdGenerator()
         self._id_lock = threading.Lock()
         self._flush_lock = threading.Lock()
-        self.flushes_scheduled = 0
-        self._failed: set[int] = set()
+        self._failed_lock = threading.Lock()
+        self._request_ids = IdGenerator()  # guarded-by: _id_lock
+        self.flushes_scheduled = 0  # guarded-by: _flush_lock
+        self._failed: set[int] = set()  # guarded-by: _failed_lock
         self._register_services()
         self.runtime.start()
 
@@ -143,7 +144,9 @@ class LiveKeraCluster:
         one replicate RPC over the transport, refusing failed nodes."""
 
         def send(backup_node: int, request) -> None:
-            if backup_node in self._failed:
+            with self._failed_lock:
+                failed = backup_node in self._failed
+            if failed:
                 raise ReplicationError(f"replication to failed node {backup_node}")
             self.transport.call(
                 broker_id,
@@ -202,9 +205,13 @@ class LiveKeraCluster:
         """Take a node down: its broker and backup stop responding."""
         if broker_id not in self.brokers:
             raise StorageError(f"unknown broker {broker_id}")
-        self._failed.add(broker_id)
+        # Shipper threads consult _failed on every replicate RPC; the
+        # mutation (and the survivor snapshot) must not race them.
+        with self._failed_lock:
+            self._failed.add(broker_id)
+            failed = set(self._failed)
         for survivor_id, broker in self.brokers.items():
-            if survivor_id in self._failed:
+            if survivor_id in failed:
                 continue
             repairs = broker.handle_backup_failure(broker_id)
             # Ship repair batches to the replacement backups.
@@ -216,7 +223,9 @@ class LiveKeraCluster:
 
     @property
     def live_broker_ids(self) -> list[int]:
-        return [b for b in sorted(self.brokers) if b not in self._failed]
+        with self._failed_lock:
+            failed = set(self._failed)
+        return [b for b in sorted(self.brokers) if b not in failed]
 
     # -- lifecycle ----------------------------------------------------------------------------
 

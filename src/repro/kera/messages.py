@@ -4,6 +4,11 @@ Messages are dataclasses with a ``payload_bytes()`` method giving the wire
 payload size the network model charges (the framing constant is added by
 the cost model). The in-process driver passes the same objects by
 reference; the chunk payload bytes inside them are the real thing there.
+
+Because the live transports hand the *same* object to a handler running
+on another thread, every message is frozen with slots (analysis rule
+A004): a handler can never fix a request up in place, and a stray
+attribute write raises instead of silently forking state.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ _ASSIGNMENT_BYTES = 24
 _POSITION_BYTES = 24
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ProduceRequest:
     """``Each producer request is characterized by the stream and producer
     identifiers and a set of chunks`` (paper, Section IV-B). Proxy
@@ -39,7 +44,7 @@ class ProduceRequest:
         return sum(c.record_count for c in self.chunks)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChunkAssignment:
     """Broker-assigned placement returned to the producer."""
 
@@ -51,7 +56,7 @@ class ChunkAssignment:
     duplicate: bool = False
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ProduceResponse:
     request_id: int
     assignments: list[ChunkAssignment]
@@ -64,7 +69,7 @@ class ProduceResponse:
         return 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchPosition:
     """A consumer's cursor over one (streamlet, active entry)."""
 
@@ -75,7 +80,7 @@ class FetchPosition:
     chunk_pos: int = 0
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class FetchRequest:
     """One pull: up to ``max_chunks_per_entry`` durable chunks per position
     (the paper's consumers pull ``one chunk per streamlet`` per request)."""
@@ -89,7 +94,7 @@ class FetchRequest:
         return _REQUEST_HEADER_BYTES + _POSITION_BYTES * len(self.positions)
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class FetchEntry:
     """Chunks for one position plus the advanced cursor."""
 
@@ -102,7 +107,7 @@ class FetchEntry:
         return sum(c.record_count for c in self.chunks)
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class FetchResponse:
     request_id: int
     entries: list[FetchEntry]
@@ -122,7 +127,7 @@ class FetchResponse:
         return sum(len(e.chunks) for e in self.entries)
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ReplicateRequest:
     """One virtual-log replication RPC: a slice of a virtual segment's
     chunks shipped to one backup."""
@@ -144,7 +149,7 @@ class ReplicateRequest:
         )
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ReplicateResponse:
     ok: bool = True
     bytes_held: int = 0

@@ -61,7 +61,7 @@ def merge_backup_copies(
             short, long_ = (
                 (existing, chunks) if len(existing) <= len(chunks) else (chunks, existing)
             )
-            for mine, theirs in zip(short, long_):
+            for mine, theirs in zip(short, long_, strict=False):
                 if mine.dedup_key() != theirs.dedup_key() or mine.payload_crc != theirs.payload_crc:
                     raise RecoveryError(
                         f"replica divergence in virtual segment {vseg_id}: "

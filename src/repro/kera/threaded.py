@@ -78,8 +78,8 @@ class _ThreadedBrokerService(LiveService):
         self.cluster = cluster
         self.node_id = node_id
         self.core = cluster.brokers[node_id]
-        self._locks: dict[tuple[int, int, int], threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        self._locks: dict[tuple[int, int, int], threading.Lock] = {}  # guarded-by: _locks_guard
 
     def _lock(self, key: tuple[int, int, int]) -> threading.Lock:
         with self._locks_guard:

@@ -16,7 +16,7 @@ writer; and at recovery time the store hands back every chunk (with its
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.common.errors import ReplicationError
 from repro.wire.buffers import AppendBuffer

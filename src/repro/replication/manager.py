@@ -14,7 +14,7 @@ manager short-circuits.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.common.errors import ReplicationError
 from repro.common.idgen import IdGenerator

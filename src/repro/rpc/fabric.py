@@ -21,7 +21,8 @@ Handlers return ``(response_object, response_payload_bytes)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.common.errors import RpcError, SimulationError
 from repro.sim.costmodel import CostModel

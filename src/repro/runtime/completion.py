@@ -22,7 +22,7 @@ All methods are thread-safe; waiters are invoked outside the lock.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from collections.abc import Callable
 
 
 class CompletionTracker:

@@ -15,7 +15,8 @@ of :meth:`repro.runtime.system.KeraSystem.drive_replication`.
 
 from __future__ import annotations
 
-from typing import Any, Generator, TYPE_CHECKING
+from collections.abc import Generator
+from typing import Any, TYPE_CHECKING
 
 from repro.runtime.transport import Transport
 from repro.sim.engine import Event

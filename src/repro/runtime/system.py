@@ -12,7 +12,8 @@ import here would be circular.
 
 from __future__ import annotations
 
-from typing import Any, Callable, TYPE_CHECKING
+from collections.abc import Callable
+from typing import Any, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.replication.virtual_log import ReplicationBatch

@@ -52,41 +52,48 @@ class ThreadedTransport(Transport):
         self.queue_depth = queue_depth
         self.workers_per_service = workers_per_service
         self.call_timeout = call_timeout
-        self._bindings: dict[tuple[int, str], tuple[Any, int]] = {}
-        self._queues: dict[tuple[int, str], queue.Queue] = {}
-        self._threads: list[threading.Thread] = []
-        self._started = False
-        self._closed = False
+        self._state_lock = threading.Lock()
+        self._bindings: dict[tuple[int, str], tuple[Any, int]] = {}  # guarded-by: _state_lock
+        self._queues: dict[tuple[int, str], queue.Queue[_PendingCall | None]] = {}  # guarded-by: _state_lock
+        self._threads: list[threading.Thread] = []  # guarded-by: _state_lock
+        self._started = False  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _state_lock
 
     def register(
         self, node_id: int, name: str, service: Any, *, workers: int | None = None
     ) -> None:
-        if self._started:
-            raise RpcError("cannot register services on a started transport")
-        key = (node_id, name)
-        if key in self._bindings:
-            raise RpcError(f"service {name!r} already registered on node {node_id}")
-        self._bindings[key] = (service, workers or self.workers_per_service)
+        with self._state_lock:
+            if self._started:
+                raise RpcError("cannot register services on a started transport")
+            key = (node_id, name)
+            if key in self._bindings:
+                raise RpcError(
+                    f"service {name!r} already registered on node {node_id}"
+                )
+            self._bindings[key] = (service, workers or self.workers_per_service)
 
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for (node, name), (service, workers) in sorted(self._bindings.items()):
-            q: queue.Queue = queue.Queue(maxsize=self.queue_depth)
-            self._queues[(node, name)] = q
-            for i in range(workers):
-                thread = threading.Thread(
-                    target=self._worker,
-                    args=(q, service),
-                    name=f"{name}@{node}#{i}",
-                    daemon=True,
+        with self._state_lock:
+            if self._started:
+                return
+            self._started = True
+            for (node, name), (service, workers) in sorted(self._bindings.items()):
+                q: queue.Queue[_PendingCall | None] = queue.Queue(
+                    maxsize=self.queue_depth
                 )
-                thread.start()
-                self._threads.append(thread)
+                self._queues[(node, name)] = q
+                for i in range(workers):
+                    thread = threading.Thread(
+                        target=self._worker,
+                        args=(q, service),
+                        name=f"{name}@{node}#{i}",
+                        daemon=True,
+                    )
+                    thread.start()
+                    self._threads.append(thread)
 
     @staticmethod
-    def _worker(q: "queue.Queue", service: Any) -> None:
+    def _worker(q: "queue.Queue[_PendingCall | None]", service: Any) -> None:
         while True:
             call = q.get()
             if call is None:
@@ -107,6 +114,9 @@ class ThreadedTransport(Transport):
         request: Any,
         request_bytes: int = 0,
     ) -> Any:
+        # Lock-free reads: a call racing start/shutdown sees either side
+        # of the flip — at worst it enqueues onto a draining pool and
+        # times out, exactly as a call landing just before shutdown does.
         if not self._started:
             raise RpcError("transport not started")
         if self._closed:
@@ -131,11 +141,13 @@ class ThreadedTransport(Transport):
         return call.response
 
     def shutdown(self) -> None:
-        if not self._started or self._closed:
+        with self._state_lock:
+            if not self._started or self._closed:
+                self._closed = True
+                return
             self._closed = True
-            return
-        self._closed = True
-        for q in self._queues.values():
-            q.put(None)
-        for thread in self._threads:
+            for q in self._queues.values():
+                q.put(None)
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=5.0)

@@ -9,7 +9,8 @@ per node: seek overhead plus sequential bandwidth.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Environment, Event

@@ -22,8 +22,10 @@ Typical usage::
 
 from __future__ import annotations
 
+import contextlib
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 from repro.common.errors import SimulationError
 
@@ -51,7 +53,7 @@ class Event:
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = _PENDING
         self._ok = True
         self._scheduled = False
@@ -127,7 +129,7 @@ class Process(Event):
     ) -> None:
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = None
+        self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume on an immediately-scheduled event.
         init = Event(env)
@@ -148,10 +150,8 @@ class Process(Event):
             raise SimulationError("a process cannot interrupt itself synchronously")
         # Disarm the event the process is waiting on.
         if self._target is not None and self._target.callbacks is not None:
-            try:
+            with contextlib.suppress(ValueError):
                 self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         self._target = None
         hit = Event(self.env)
         hit.callbacks.append(self._resume)
@@ -166,11 +166,7 @@ class Process(Event):
                 if event._ok:
                     target = self._generator.send(event._value)
                 else:
-                    exc = event._value
-                    if isinstance(exc, Interrupt):
-                        target = self._generator.throw(exc)
-                    else:
-                        target = self._generator.throw(exc)
+                    target = self._generator.throw(event._value)
             except StopIteration as stop:
                 if not self.triggered:
                     self._value = stop.value

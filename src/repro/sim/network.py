@@ -15,7 +15,8 @@ colocated broker/backup services on one node do not traverse the wire.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.common.errors import SimulationError
 from repro.common.units import USEC

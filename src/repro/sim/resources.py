@@ -12,7 +12,8 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.common.errors import SimulationError
 from repro.sim.engine import Environment, Event

@@ -30,7 +30,8 @@ services on the broker nodes, and may spawn extra system processes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.common.errors import ConfigError
 from repro.common.idgen import IdGenerator

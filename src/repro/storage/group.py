@@ -10,7 +10,7 @@ active entry.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.common.errors import GroupFullError, SegmentFullError, StorageError
 from repro.storage.config import StorageConfig

@@ -16,7 +16,7 @@ order, and all chunks of one group flow through one virtual log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.common.errors import SegmentFullError, StorageError
 from repro.wire.buffers import AppendBuffer
@@ -151,10 +151,11 @@ class Segment:
                 f"{self.segment_id} (remaining {self.buffer.remaining()})"
             )
         placed = chunk.assigned(group_id=self.group_id, segment_id=self.segment_id)
-        if self.buffer.materialized:
-            offset = self.buffer.append(encode_chunk(placed))
-        else:
-            offset = self.buffer.reserve(length)
+        offset = (
+            self.buffer.append(encode_chunk(placed))
+            if self.buffer.materialized
+            else self.buffer.reserve(length)
+        )
         stored = StoredChunk(
             segment=self,
             offset=offset,

@@ -7,7 +7,7 @@ instance of :class:`Stream` holds only the streamlets it leads. An
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.common.errors import StorageError, UnknownStreamError
 from repro.storage.config import StorageConfig

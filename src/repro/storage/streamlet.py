@@ -10,7 +10,7 @@ entry ``producer_id % Q``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.common.errors import GroupFullError
 from repro.common.idgen import IdGenerator

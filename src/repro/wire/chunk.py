@@ -47,7 +47,7 @@ _FLAG_PAYLOAD = 0x01
 
 
 @dataclass
-class Chunk:
+class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segment in place-free clones on the per-chunk append hot path (see Chunk.assigned), and __post_init__ backfills payload_crc; never shared across threads before append.
     """A batch of records, the unit of ingestion and replication.
 
     ``payload`` holds the back-to-back encoded record entries, or ``None``

@@ -8,7 +8,7 @@ concatenation of encoded chunks.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.wire.chunk import Chunk, encode_chunk, decode_chunk
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -44,7 +44,7 @@ _U64 = struct.Struct("<Q")
 _U16 = struct.Struct("<H")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """An immutable stream record.
 

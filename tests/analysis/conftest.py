@@ -1,0 +1,41 @@
+"""Shared helpers for the repro.analysis rule tests.
+
+Two ways to drive the linter:
+
+- ``FIXTURES`` points at the deliberately broken package under
+  ``tests/analysis/fixtures/``; it violates every rule at least once and is
+  the positive corpus for the per-rule tests.
+- The ``analyze`` fixture materialises inline snippets into a tmp package
+  and runs ``run_analysis`` on them, for negatives and targeted positives
+  that would clutter the shared fixture package.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def findings_for(rule: str, paths=None):
+    """Run a single rule over the broken fixture package (or given paths)."""
+    return run_analysis(paths if paths is not None else [FIXTURES], rule_ids=[rule])
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """Write ``{relpath: source}`` snippets under tmp_path and analyze them."""
+
+    def _run(files: dict[str, str], rules: list[str] | None = None):
+        for rel, src in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(src))
+        return run_analysis([tmp_path], rule_ids=rules)
+
+    return _run

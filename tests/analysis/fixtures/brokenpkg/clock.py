@@ -1,0 +1,19 @@
+"""A002 fixture: nondeterminism helpers a sim module reaches."""
+
+import random
+import threading
+import time
+
+
+def wall_now():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def spawn(fn):
+    thread = threading.Thread(target=fn)
+    thread.start()
+    return thread

@@ -1,0 +1,27 @@
+"""A001 fixture: unguarded mutation of guarded-by declared attributes."""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.items = []  # guarded-by: _lock
+        self.ghost = 0  # guarded-by: _missing_lock
+
+    def bump(self):
+        self.count += 1  # fires: write outside the lock
+
+    def push(self, x):
+        self.items.append(x)  # fires: mutating call outside the lock
+
+    def guarded_bump(self):
+        with self._lock:
+            self.count += 1  # clean: lexically inside the guard
+
+    def silenced_without_reason(self):
+        self.count = 0  # noqa: A001
+
+    def silenced_with_reason(self):
+        self.count = 0  # noqa: A001 -- reset only happens before threads start

@@ -1,0 +1,45 @@
+"""A005 fixture: lock-order cycle and non-reentrant re-acquisition."""
+
+import threading
+
+
+class Deadlocker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+
+
+class Reenterer:
+    def __init__(self):
+        self._mutex = threading.Lock()
+
+    def outer_entry(self):
+        with self._mutex:
+            self.inner_helper()
+
+    def inner_helper(self):
+        with self._mutex:
+            pass
+
+
+class SafeReenterer:
+    def __init__(self):
+        self._mutex = threading.RLock()
+
+    def outer_entry_safe(self):
+        with self._mutex:
+            self.inner_helper_safe()
+
+    def inner_helper_safe(self):
+        with self._mutex:
+            pass

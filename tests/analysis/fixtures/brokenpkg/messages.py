@@ -1,0 +1,31 @@
+"""A004 fixture: wire-facing dataclasses that are not locked down."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LooseMessage:
+    """Fires: neither frozen nor slots."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class HalfLockedMessage:
+    """Fires: frozen but no slots."""
+
+    request_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class MutableDefaultMessage:
+    """Fires: shared mutable default (never executed, only parsed)."""
+
+    tags: list = []
+
+
+@dataclass(frozen=True, slots=True)
+class SealedMessage:
+    """Clean."""
+
+    request_id: int

@@ -1,0 +1,13 @@
+"""A002 fixture: a sim-rooted module importing nondeterminism."""
+
+import random
+
+from brokenpkg import clock
+
+
+def seeded_draw(seed):
+    return random.Random(seed).random()  # clean: seeded instance
+
+
+def now():
+    return clock.wall_now()

@@ -1,0 +1,37 @@
+"""A003 fixture: transports drifting from the protocol surface."""
+
+from repro.runtime.transport import LiveService, Transport
+
+
+class IncompleteTransport(Transport):
+    """Fires: required method `call` never implemented."""
+
+    def register(self, node_id, name, service, *, workers=None):
+        pass
+
+
+class DriftedTransport(Transport):
+    """Fires twice: renamed positional, dropped keyword-only param."""
+
+    def register(self, node, name, service):
+        pass
+
+    def call(self, src, dst, service, method, request, request_bytes=0):
+        pass
+
+
+class ConformingTransport(Transport):
+    """Clean: full surface, protocol signatures."""
+
+    def register(self, node_id, name, service, *, workers=None):
+        pass
+
+    def call(self, src, dst, service, method, request, request_bytes=0):
+        pass
+
+
+class DriftedService(LiveService):
+    """Fires: handle() signature does not match the protocol."""
+
+    def handle(self, message):
+        pass

@@ -1,0 +1,81 @@
+"""A001: mutation of guarded-by declared shared state outside its lock."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A001") if f.path.endswith("guarded.py")]
+
+
+def test_unguarded_write_fires():
+    lines = {f.line for f in _fixture_findings()}
+    assert 14 in lines  # self.count += 1 outside the lock
+
+
+def test_unguarded_mutating_call_fires():
+    found = [f for f in _fixture_findings() if ".append()" in f.message]
+    assert found and found[0].line == 17
+
+
+def test_declared_lock_must_exist():
+    found = [f for f in _fixture_findings() if "_missing_lock" in f.message]
+    assert found, "guarded-by naming a nonexistent lock must be reported"
+
+
+def test_guarded_write_is_clean():
+    # guarded_bump() mutates inside `with self._lock:` on line 21
+    assert all(f.line != 21 for f in _fixture_findings())
+
+
+def test_justified_noqa_suppresses():
+    # silenced_with_reason() carries `# noqa: A001 -- <why>` on line 27
+    assert all(f.line != 27 for f in _fixture_findings())
+
+
+def test_unjustified_noqa_reported_as_a000():
+    meta = [f for f in findings_for("A001") if f.rule == "A000"]
+    assert any(f.line == 24 for f in meta)
+
+
+def test_unannotated_attribute_not_flagged(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.free = 0  # no guarded-by declaration
+
+                def bump(self):
+                    self.free += 1
+            """
+        },
+        rules=["A001"],
+    )
+    assert findings == []
+
+
+def test_mutation_in_nested_function_not_treated_as_guarded(analyze):
+    # A callback defined inside a `with` block runs later, outside the lock.
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.seen = []  # guarded-by: _lock
+
+                def subscribe(self, bus):
+                    with self._lock:
+                        def on_event(ev):
+                            self.seen.append(ev)
+                        bus.add(on_event)
+            """
+        },
+        rules=["A001"],
+    )
+    assert any(f.rule == "A001" and "seen" in f.message for f in findings)

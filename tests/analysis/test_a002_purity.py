@@ -1,0 +1,89 @@
+"""A002: no wall-clock / threading / unseeded randomness reachable from sim."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _clock_findings():
+    return [f for f in findings_for("A002") if f.path.endswith("clock.py")]
+
+
+def test_wall_clock_reachable_from_sim_fires():
+    assert any("time.time" in f.message for f in _clock_findings())
+
+
+def test_threading_reachable_from_sim_fires():
+    assert any("threading" in f.message for f in _clock_findings())
+
+
+def test_unseeded_random_reachable_from_sim_fires():
+    assert any("random.random" in f.message for f in _clock_findings())
+
+
+def test_finding_carries_reachability_witness():
+    # The message must explain *why* the module is sim-constrained.
+    assert all("reachable from sim root" in f.message for f in _clock_findings())
+
+
+def test_seeded_random_instance_is_clean():
+    # brokenpkg/sim/engine.py line 9 uses random.Random(seed)
+    engine = [f for f in findings_for("A002") if f.path.endswith("engine.py")]
+    assert all(f.line != 9 for f in engine)
+
+
+def test_module_not_reachable_from_sim_is_clean(analyze):
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/wallclock.py": """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        },
+        rules=["A002"],
+    )
+    assert findings == []
+
+
+def test_type_checking_import_does_not_taint(analyze):
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/sim/__init__.py": "",
+            "pkg/sim/core.py": """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from pkg.helpers import Helper
+
+            def run():
+                return 1
+            """,
+            "pkg/helpers.py": """
+            import time
+
+            def tick():
+                return time.time()
+            """,
+        },
+        rules=["A002"],
+    )
+    assert findings == []
+
+
+def test_direct_sim_module_violation(analyze):
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/sim/__init__.py": "",
+            "pkg/sim/core.py": """
+            import time
+
+            def now():
+                return time.sleep(1)
+            """,
+        },
+        rules=["A002"],
+    )
+    assert any(f.rule == "A002" for f in findings)

@@ -1,0 +1,60 @@
+"""A003: Transport / SystemAdapter / LiveService structural conformance."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A003") if f.path.endswith("transports.py")]
+
+
+def test_missing_required_method_fires():
+    found = [f for f in _fixture_findings() if "IncompleteTransport" in f.message]
+    assert found and "call" in found[0].message
+
+
+def test_renamed_positional_parameter_fires():
+    found = [f for f in _fixture_findings() if "DriftedTransport.register" in f.message]
+    assert any("positional parameters" in f.message for f in found)
+
+
+def test_dropped_keyword_only_parameter_fires():
+    found = [f for f in _fixture_findings() if "DriftedTransport.register" in f.message]
+    assert any("workers" in f.message for f in found)
+
+
+def test_service_signature_drift_fires():
+    assert any("DriftedService.handle" in f.message for f in _fixture_findings())
+
+
+def test_conforming_transport_is_clean():
+    assert not any("ConformingTransport" in f.message for f in _fixture_findings())
+
+
+def test_subclass_through_intermediate_base_checked(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            class Transport:
+                def register(self, node_id, name, service, *, workers=None): ...
+                def call(self, src, dst, service, method, request, request_bytes=0): ...
+                def start(self): ...
+                def shutdown(self): ...
+
+            class BaseTransport(Transport):
+                def register(self, node_id, name, service, *, workers=None): ...
+                def call(self, src, dst, service, method, request, request_bytes=0): ...
+
+            class LeafTransport(BaseTransport):
+                def call(self, wrong_name, dst, service, method, request, request_bytes=0): ...
+            """
+        },
+        rules=["A003"],
+    )
+    assert any("LeafTransport.call" in f.message for f in findings)
+
+
+def test_real_tree_transports_conform():
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert findings_for("A003", paths=[src]) == []

@@ -1,0 +1,47 @@
+"""A004: wire-facing dataclasses must be frozen + slots, no mutable defaults."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A004") if f.path.endswith("messages.py")]
+
+
+def test_unfrozen_dataclass_fires():
+    assert any("LooseMessage" in f.message for f in _fixture_findings())
+
+
+def test_frozen_without_slots_fires():
+    found = [f for f in _fixture_findings() if "HalfLockedMessage" in f.message]
+    assert found and "slots" in found[0].message
+
+
+def test_mutable_default_fires():
+    assert any("MutableDefaultMessage" in f.message for f in _fixture_findings())
+
+
+def test_sealed_dataclass_is_clean():
+    assert not any("SealedMessage" in f.message for f in _fixture_findings())
+
+
+def test_non_wire_module_not_in_scope(analyze):
+    findings = analyze(
+        {
+            "internals.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ScratchState:
+                cursor: int = 0
+            """
+        },
+        rules=["A004"],
+    )
+    assert findings == []
+
+
+def test_real_messages_module_is_sealed():
+    from pathlib import Path
+
+    messages = Path(__file__).resolve().parents[2] / "src" / "repro" / "kera" / "messages.py"
+    assert findings_for("A004", paths=[messages]) == []

@@ -1,0 +1,88 @@
+"""A005: inconsistent lock acquisition order and non-reentrant re-entry."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A005") if f.path.endswith("locks.py")]
+
+
+def test_ab_ba_cycle_fires():
+    cycles = [f for f in _fixture_findings() if "cycle" in f.message]
+    assert cycles
+    assert "Deadlocker._a" in cycles[0].message and "Deadlocker._b" in cycles[0].message
+
+
+def test_nonreentrant_reacquisition_fires():
+    found = [f for f in _fixture_findings() if "re-acquisition" in f.message]
+    assert any("Reenterer._mutex" in f.message for f in found)
+
+
+def test_rlock_reacquisition_is_clean():
+    assert not any("SafeReenterer" in f.message for f in _fixture_findings())
+
+
+def test_consistent_nesting_order_is_clean(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Ordered:
+                def __init__(self):
+                    self._outer = threading.Lock()
+                    self._inner = threading.Lock()
+
+                def path_one(self):
+                    with self._outer:
+                        with self._inner:
+                            pass
+
+                def path_two(self):
+                    with self._outer:
+                        with self._inner:
+                            pass
+            """
+        },
+        rules=["A005"],
+    )
+    assert findings == []
+
+
+def test_interprocedural_cycle_detected(analyze):
+    # forward() nests a->b lexically; backward() holds b and calls a helper
+    # that takes a.  The edge through the call must close the cycle.
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Tangled:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        self.take_a()
+
+                def take_a(self):
+                    with self._a:
+                        pass
+            """
+        },
+        rules=["A005"],
+    )
+    assert any("cycle" in f.message for f in findings)
+
+
+def test_real_tree_has_no_lock_cycles():
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert findings_for("A005", paths=[src]) == []

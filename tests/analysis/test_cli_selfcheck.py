@@ -1,0 +1,72 @@
+"""The CLI contract: clean on the real tree, loud on the broken fixtures."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+ALL_RULES = ("A001", "A002", "A003", "A004", "A005")
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+
+
+def test_real_tree_is_clean():
+    proc = _run_cli(str(REPO / "src" / "repro"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_fixture_package_trips_every_rule():
+    proc = _run_cli(str(FIXTURES))
+    assert proc.returncode == 1
+    for rule in ALL_RULES:
+        assert rule in proc.stdout, f"{rule} did not fire on the fixture package"
+
+
+def test_text_findings_are_machine_readable():
+    proc = _run_cli(str(FIXTURES))
+    payload = [line for line in proc.stdout.splitlines() if " A0" in line]
+    assert payload
+    for line in payload:
+        location, _, _ = line.partition(": ")
+        parts = location.rsplit(":", 2)
+        assert len(parts) == 3 and parts[1].isdigit() and parts[2].isdigit(), line
+
+
+def test_json_format_round_trips():
+    proc = _run_cli(str(FIXTURES), "--format", "json")
+    findings = json.loads(proc.stdout)
+    assert {f["rule"] for f in findings} >= set(ALL_RULES)
+    for f in findings:
+        assert {"path", "line", "col", "rule", "message"} <= set(f)
+
+
+def test_rule_selection():
+    proc = _run_cli(str(FIXTURES), "--rules", "A004")
+    assert proc.returncode == 1
+    assert "A004" in proc.stdout
+    assert "A005" not in proc.stdout
+
+
+def test_unknown_rule_is_usage_error():
+    proc = _run_cli(str(FIXTURES), "--rules", "A999")
+    assert proc.returncode == 2
+
+
+def test_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in ALL_RULES:
+        assert rule in proc.stdout
