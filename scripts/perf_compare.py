@@ -1,0 +1,124 @@
+"""Compare two labelled runs in a bench_datapath.py JSON document.
+
+Prints a per-benchmark ratio table (candidate / baseline) and checks two
+kinds of thresholds:
+
+* ``--max-regression FRAC`` — every shared benchmark must retain at least
+  ``1 - FRAC`` of the baseline's throughput (default 0.5: warn when a
+  stage drops below half, which is far outside machine noise for these
+  microbenchmarks);
+* ``--require NAME=RATIO`` — a named benchmark must reach at least
+  ``RATIO`` times the baseline (e.g. ``encode_append_ship=3.0``, the
+  zero-copy data-path acceptance bar).
+
+By default violations are reported but the exit code stays 0 so a CI
+perf-smoke job is informative rather than flaky; pass ``--strict`` to
+turn violations into a non-zero exit.
+
+Usage::
+
+    python scripts/perf_compare.py BENCH_datapath.json \
+        --baseline baseline --candidate after \
+        --require encode_append_ship=3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_run(doc: dict, label: str) -> dict:
+    for run in doc.get("runs", []):
+        if run.get("label") == label:
+            return run
+    labels = [r.get("label") for r in doc.get("runs", [])]
+    raise SystemExit(f"no run labelled {label!r} in document (have {labels})")
+
+
+def parse_requirement(spec: str) -> tuple[str, float]:
+    name, sep, ratio = spec.partition("=")
+    if not sep:
+        raise SystemExit(f"--require expects NAME=RATIO, got {spec!r}")
+    return name, float(ratio)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", type=Path, help="bench_datapath.py JSON file")
+    parser.add_argument("--baseline", default="baseline")
+    parser.add_argument("--candidate", default="after")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        help="tolerated fractional throughput drop per benchmark (default 0.5)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME=RATIO",
+        help="named benchmark must reach RATIO x baseline (repeatable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on violations (default: report only)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = json.loads(args.results.read_text())
+    baseline = load_run(doc, args.baseline)
+    candidate = load_run(doc, args.candidate)
+    requirements = dict(parse_requirement(spec) for spec in args.require)
+
+    base_bench = baseline["benchmarks"]
+    cand_bench = candidate["benchmarks"]
+    shared = [name for name in base_bench if name in cand_bench]
+    if not shared:
+        raise SystemExit("runs share no benchmarks")
+
+    print(
+        f"{args.candidate!r} ({candidate.get('git_rev', '?')}) vs "
+        f"{args.baseline!r} ({baseline.get('git_rev', '?')})"
+    )
+    if baseline.get("quick") != candidate.get("quick"):
+        print("  note: runs used different timing modes (quick vs full)")
+
+    violations = []
+    floor = 1.0 - args.max_regression
+    for name in shared:
+        base = base_bench[name]["value"]
+        cand = cand_bench[name]["value"]
+        ratio = cand / base if base else float("inf")
+        unit = cand_bench[name].get("unit", "")
+        marks = []
+        if ratio < floor:
+            marks.append(f"regression > {args.max_regression:.0%}")
+        if name in requirements and ratio < requirements[name]:
+            marks.append(f"below required {requirements[name]:.2f}x")
+        if marks:
+            violations.append(f"{name}: {ratio:.2f}x ({'; '.join(marks)})")
+        flag = " !" if marks else ""
+        print(
+            f"  {name:<22} {base:>14,.0f} -> {cand:>14,.0f} {unit:<10}"
+            f" {ratio:6.2f}x{flag}"
+        )
+    for name, ratio in requirements.items():
+        if name not in shared:
+            violations.append(f"{name}: required {ratio:.2f}x but not measured")
+
+    if violations:
+        print("threshold violations:")
+        for v in violations:
+            print(f"  - {v}")
+        return 1 if args.strict else 0
+    print("all thresholds met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,20 @@ The paper's record entry headers, chunk headers, and virtual segment
 headers all carry checksums (Section IV-A/IV-B). RAMCloud and KerA use
 CRC-32C; we implement it here from scratch:
 
-* a slicing-by-8 table-driven implementation for bulk data (the tables are
-  generated once at import time with numpy), and
+* a slicing-by-8 table-driven implementation for small inputs (the tables
+  are generated once at import time with numpy),
+* a lane-parallel numpy engine for large inputs: the buffer is split into
+  fixed-size blocks whose CRCs are computed in lock step across numpy
+  vectors, then stitched together with cached zero-feed shift operators
+  (the same GF(2) linearity :func:`crc32c_combine` exploits), and
 * :func:`crc32c_combine` so a container checksum can be computed from the
   checksums of its parts without touching the part bytes again — this is
   how a virtual segment's header checksum "covers the chunks' checksums"
   cheaply.
+
+Inputs of :data:`BULK_THRESHOLD` bytes or more dispatch to the lane
+engine automatically; callers never choose. Both paths produce identical
+values (property-tested against each other and known-answer vectors).
 
 CRC-32C uses the reflected polynomial 0x82F63B78 (normal form 0x1EDC6F41).
 """
@@ -44,6 +52,16 @@ _T = [[int(x) for x in row] for row in _TABLES]
 _T0, _T1, _T2, _T3, _T4, _T5, _T6, _T7 = _T
 
 
+#: Input size from which :func:`crc32c_update` switches to the numpy
+#: lane engine; below it the python slicing-by-8 loop wins.
+BULK_THRESHOLD = 4096
+
+#: Block size the lane engine splits inputs into. Small blocks maximise
+#: vector width (a 16 KB chunk becomes 1024 parallel lanes), and the
+#: stitch cost is logarithmic in the lane count.
+_LANE_BYTES = 16
+
+
 def crc32c_update(crc: int, data: bytes | bytearray | memoryview) -> int:
     """Continue a CRC-32C computation over ``data``.
 
@@ -52,8 +70,12 @@ def crc32c_update(crc: int, data: bytes | bytearray | memoryview) -> int:
     XOR-ed with 0xFFFFFFFF, matching the convention of ``zlib.crc32``.
     """
     buf = memoryview(data).cast("B")
-    crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
     n = len(buf)
+    if n >= BULK_THRESHOLD:
+        if crc == 0:
+            return crc32c_bulk(buf)
+        return crc32c_combine(crc, crc32c_bulk(buf), n)
+    crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
     i = 0
     # Slicing-by-8 main loop.
     end8 = n - (n % 8)
@@ -144,3 +166,167 @@ def crc32c_combine(crc1: int, crc2: int, len2: int) -> int:
         if len2 == 0:
             break
     return (crc1 ^ crc2) & 0xFFFFFFFF
+
+
+# -- lane-parallel bulk engine -------------------------------------------------
+#
+# crc32c(A + B) = L_n(crc32c(A)) ^ crc32c(B), where n = len(B) and L_n is
+# the linear operator that feeds n zero bytes through the CRC register
+# (the affine pre/post-inversion terms cancel in the XOR). The engine
+# computes per-block CRCs for every _LANE_BYTES-sized block in lock step
+# across numpy vectors, then folds neighbouring block CRCs pairwise with
+# tableized L_n operators, doubling n each round.
+
+
+def _zero_byte_op() -> list[int]:
+    """L_1 as a GF(2) matrix (column i = operator applied to bit i)."""
+    cols = []
+    for i in range(32):
+        reg = 1 << i
+        cols.append(_T0[reg & 0xFF] ^ (reg >> 8))
+    return cols
+
+
+def _gf2_matrix_mul(a: list[int], b: list[int]) -> list[int]:
+    return [_gf2_matrix_times(a, b[i]) for i in range(32)]
+
+
+_M1 = _zero_byte_op()
+# Cache of tableized L_n operators, keyed by zero-feed length. Keys are
+# bounded: powers of two times _LANE_BYTES plus tail lengths below
+# _LANE_BYTES. Published idempotently (same key always maps to equal
+# tables), so concurrent computation is benign and no lock is needed.
+_SHIFT_TABLES: dict[int, np.ndarray] = {}
+
+
+def _shift_tables(nbytes: int) -> np.ndarray:
+    """Byte-indexed lookup tables, shape (4, 256), applying ``L_nbytes``."""
+    tables = _SHIFT_TABLES.get(nbytes)
+    if tables is not None:
+        return tables
+    # M1 ** nbytes by square-and-multiply.
+    op: list[int] | None = None
+    square = _M1
+    n = nbytes
+    while n:
+        if n & 1:
+            op = square if op is None else _gf2_matrix_mul(square, op)
+        n >>= 1
+        if n:
+            square = _gf2_matrix_mul(square, square)
+    assert op is not None
+    tables = np.zeros((4, 256), dtype=np.uint32)
+    for b in range(4):
+        for v in range(256):
+            tables[b, v] = _gf2_matrix_times(op, v << (8 * b))
+    _SHIFT_TABLES[nbytes] = tables
+    return tables
+
+
+# Same operators as plain int lists, for the scalar stitching steps
+# (python indexing on numpy rows is an order of magnitude slower). Same
+# idempotent-publish reasoning as _SHIFT_TABLES.
+_SHIFT_ROWS: dict[int, list[list[int]]] = {}
+
+
+def _shift_rows(nbytes: int) -> list[list[int]]:
+    rows = _SHIFT_ROWS.get(nbytes)
+    if rows is None:
+        rows = [[int(x) for x in row] for row in _shift_tables(nbytes)]
+        _SHIFT_ROWS[nbytes] = rows
+    return rows
+
+
+def crc32c_lanes(m: np.ndarray) -> np.ndarray:
+    """Finalized CRC-32C of every lane of ``m`` (shape ``(L, lanes)``).
+
+    Row ``j`` holds byte ``j`` of each lane, so the slicing-by-8 recurrence
+    advances all lanes in lock step per numpy operation. ``m`` must be a
+    uint32 array (byte values); the result is a ``(lanes,)`` uint32 vector.
+    Besides powering :func:`crc32c_bulk`, this is the batch engine for
+    many equal-length messages — e.g. the uniform-record fast path in
+    :func:`repro.wire.record.encode_records`.
+    """
+    length = m.shape[0]
+    crc = np.full(m.shape[1], 0xFFFFFFFF, dtype=np.uint32)
+    t0, t1, t2, t3 = _TABLES[0], _TABLES[1], _TABLES[2], _TABLES[3]
+    t4, t5, t6, t7 = _TABLES[4], _TABLES[5], _TABLES[6], _TABLES[7]
+    j = 0
+    while j + 8 <= length:
+        b0 = (crc ^ m[j]) & 0xFF
+        b1 = ((crc >> 8) ^ m[j + 1]) & 0xFF
+        b2 = ((crc >> 16) ^ m[j + 2]) & 0xFF
+        b3 = ((crc >> 24) ^ m[j + 3]) & 0xFF
+        crc = (
+            t7[b0]
+            ^ t6[b1]
+            ^ t5[b2]
+            ^ t4[b3]
+            ^ t3[m[j + 4]]
+            ^ t2[m[j + 5]]
+            ^ t1[m[j + 6]]
+            ^ t0[m[j + 7]]
+        )
+        j += 8
+    while j < length:
+        crc = t0[(crc ^ m[j]) & 0xFF] ^ (crc >> 8)
+        j += 1
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+def crc32c_bulk(data: bytes | bytearray | memoryview) -> int:
+    """CRC-32C via the lane-parallel numpy engine.
+
+    Byte-identical to :func:`crc32c`; preferred for inputs of a few KB and
+    up (:func:`crc32c_update` dispatches here automatically). Safe on any
+    size — short inputs fall back to the scalar loop.
+    """
+    buf = memoryview(data).cast("B")
+    n = len(buf)
+    lanes = n // _LANE_BYTES
+    if lanes < 2:
+        return crc32c_update(0, buf)
+    body = lanes * _LANE_BYTES
+    arr = np.frombuffer(buf, dtype=np.uint8, count=body)
+    # (lanes, L) -> contiguous (L, lanes): column k is block k's bytes.
+    m = np.ascontiguousarray(arr.reshape(lanes, _LANE_BYTES).T).astype(np.uint32)
+    crcs = crc32c_lanes(m)
+    block = _LANE_BYTES
+    # Pairwise fold: one vectorized round halves the lane count and
+    # doubles the block each operator spans. An odd count peels the
+    # rightmost CRC aside first, so every round stays fully vectorized.
+    pending: list[tuple[int, int]] = []  # (crc, span), peeled right-to-left
+    while len(crcs) > 1:
+        if len(crcs) % 2:
+            pending.append((int(crcs[-1]), block))
+            crcs = crcs[:-1]
+        tables = _shift_tables(block)
+        s0, s1, s2, s3 = tables[0], tables[1], tables[2], tables[3]
+        a = crcs[0::2]
+        b = crcs[1::2]
+        crcs = s0[a & 0xFF] ^ s1[(a >> 8) & 0xFF] ^ s2[(a >> 16) & 0xFF] ^ s3[a >> 24] ^ b
+        block *= 2
+    total = int(crcs[0])
+    # Re-attach the peeled pieces. Each later peel came from a shorter
+    # prefix of the body, so walking ``pending`` in reverse appends the
+    # pieces left to right; the operator length is the right piece's span.
+    for crc_piece, span in reversed(pending):
+        rows = _shift_rows(span)
+        total = (
+            rows[0][total & 0xFF]
+            ^ rows[1][(total >> 8) & 0xFF]
+            ^ rows[2][(total >> 16) & 0xFF]
+            ^ rows[3][total >> 24]
+            ^ crc_piece
+        )
+    if body < n:
+        tail = buf[body:]
+        rows = _shift_rows(len(tail))
+        total = (
+            rows[0][total & 0xFF]
+            ^ rows[1][(total >> 8) & 0xFF]
+            ^ rows[2][(total >> 16) & 0xFF]
+            ^ rows[3][total >> 24]
+            ^ crc32c_update(0, tail)
+        )
+    return total & 0xFFFFFFFF

@@ -87,14 +87,27 @@ class KeraBackupCore:
     ) -> tuple[ReplicateResponse, FlushWork | None]:
         """Ingest a replication batch; returns the response plus flush work
         once enough unflushed bytes accumulated (the response never waits
-        for the disk — ``backups respond immediately to the broker``)."""
-        segment = self.store.append_batch(
-            src_broker=request.src_broker,
-            vlog_id=request.vlog_id,
-            vseg_id=request.vseg_id,
-            chunks=request.chunks,
-            segment_capacity=request.vseg_capacity,
-        )
+        for the disk — ``backups respond immediately to the broker``).
+
+        Requests carrying encoded ``frames`` (materialized replication)
+        take the verbatim-append path; ``chunks`` requests (metadata
+        fidelity, recovery migration) are appended object by object."""
+        if request.frames is not None:
+            segment = self.store.append_frames(
+                src_broker=request.src_broker,
+                vlog_id=request.vlog_id,
+                vseg_id=request.vseg_id,
+                frames=request.frames,
+                segment_capacity=request.vseg_capacity,
+            )
+        else:
+            segment = self.store.append_batch(
+                src_broker=request.src_broker,
+                vlog_id=request.vlog_id,
+                vseg_id=request.vseg_id,
+                chunks=request.chunks,
+                segment_capacity=request.vseg_capacity,
+            )
         flush = None
         if segment.unflushed_bytes >= self.flush_threshold:
             start = segment.flushed_bytes

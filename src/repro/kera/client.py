@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from repro.common.checksum import crc32c
 from repro.common.errors import ConfigError
 from repro.common.idgen import IdGenerator
-from repro.wire.chunk import Chunk, ChunkBuilder
+from repro.wire.chunk import Chunk, ChunkBuilder, CHUNK_HEADER_SIZE
+from repro.wire.pool import BufferPool
 from repro.wire.record import Record
 from repro.kera.live import LiveKeraCluster
 from repro.kera.messages import FetchPosition
@@ -44,6 +45,10 @@ class KeraProducer:
         self.cluster = cluster
         self.producer_id = producer_id
         self.chunk_size = chunk_size or cluster.config.chunk_size
+        # One scratch buffer per streamlet builder, shared through a pool
+        # so records encode straight into chunk-frame memory (encode-once
+        # data path); builders return them via close().
+        self._pool = BufferPool(CHUNK_HEADER_SIZE + self.chunk_size)
         self._builders: dict[tuple[int, int], ChunkBuilder] = {}
         self._seqs: dict[tuple[int, int], IdGenerator] = {}
         self._ready: list[Chunk] = []
@@ -72,6 +77,7 @@ class KeraProducer:
                 stream_id=stream_id,
                 streamlet_id=streamlet_id,
                 producer_id=self.producer_id,
+                pool=self._pool,
             )
             self._builders[key] = builder
             self._seqs[key] = IdGenerator()
@@ -130,6 +136,15 @@ class KeraProducer:
                 1 for a in response.assignments if a.duplicate
             )
         return self.stats
+
+    def close(self) -> ProducerStats:
+        """Flush everything, then hand the builders' scratch buffers back
+        to the pool. The producer must not be used afterwards."""
+        stats = self.flush()
+        for builder in self._builders.values():
+            builder.close()
+        self._builders.clear()
+        return stats
 
 
 @dataclass

@@ -130,7 +130,14 @@ class FetchResponse:
 @dataclass(frozen=True, slots=True)
 class ReplicateRequest:
     """One virtual-log replication RPC: a slice of a virtual segment's
-    chunks shipped to one backup."""
+    chunks shipped to one backup.
+
+    In materialized mode the request carries ``frames`` — zero-copy
+    views of the already-encoded (and placement-stamped) chunk bytes in
+    the broker's segment buffers — and the backup appends them verbatim.
+    ``chunks`` is the metadata fidelity (and migration) form; exactly one
+    of the two is populated.
+    """
 
     src_broker: int
     vlog_id: int
@@ -140,10 +147,18 @@ class ReplicateRequest:
     #: discipline — backups verify integrity per chunk as well).
     batch_checksum: int
     chunks: list[Chunk] = field(default_factory=list)
+    #: Encoded chunk frames (header + payload each), or ``None`` when the
+    #: request carries ``chunks``. The views alias broker segment memory;
+    #: receivers must copy (append to their own buffer) and never mutate.
+    frames: tuple[bytes | memoryview, ...] | None = None
 
     def payload_bytes(self) -> int:
         from repro.replication.chunk_ref import CHUNK_REF_WIRE_SIZE
 
+        if self.frames is not None:
+            return _REQUEST_HEADER_BYTES + sum(
+                len(f) + CHUNK_REF_WIRE_SIZE for f in self.frames
+            )
         return _REQUEST_HEADER_BYTES + sum(
             c.size + CHUNK_REF_WIRE_SIZE for c in self.chunks
         )

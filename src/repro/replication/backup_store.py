@@ -15,31 +15,69 @@ writer; and at recovery time the store hands back every chunk (with its
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import struct
 from collections.abc import Iterator
 
-from repro.common.errors import ReplicationError
+from repro.common.checksum import crc32c
+from repro.common.errors import ChecksumError, ReplicationError
 from repro.wire.buffers import AppendBuffer
-from repro.wire.chunk import Chunk, encode_chunk
+from repro.wire.chunk import (
+    Chunk,
+    CHUNK_HEADER_SIZE,
+    CHUNK_MAGIC,
+    decode_chunk,
+    encode_chunk,
+)
+
+#: magic(u16) fmt(u8) flags(u8) — the header prefix checked on frame arrival.
+_FRAME_PREFIX = struct.Struct("<HBB")
+#: payload_len(u32) payload_crc(u32) at header offset 32.
+_FRAME_TRAILER = struct.Struct("<II")
+_FRAME_TRAILER_OFFSET = 32
 
 
-@dataclass
 class ReplicatedSegment:
-    """A backup's in-memory copy of one virtual segment's chunks."""
+    """A backup's in-memory copy of one virtual segment's chunks.
 
-    src_broker: int
-    vlog_id: int
-    vseg_id: int
-    capacity: int
-    materialize: bool = True
-    buffer: AppendBuffer = field(init=False)
-    chunks: list[Chunk] = field(default_factory=list)
-    #: Bytes already written to secondary storage.
-    flushed_bytes: int = 0
-    sealed: bool = False
+    Chunks arrive either as already-encoded *frames* (materialized
+    replication: the bytes are validated against the header CRC and
+    appended verbatim — the backup never re-encodes) or as
+    :class:`Chunk` objects (metadata fidelity and recovery migration).
+    Frame entries are decoded lazily when :attr:`chunks` is read.
+    """
 
-    def __post_init__(self) -> None:
-        self.buffer = AppendBuffer(self.capacity, materialize=self.materialize)
+    __slots__ = (
+        "src_broker",
+        "vlog_id",
+        "vseg_id",
+        "capacity",
+        "materialize",
+        "buffer",
+        "flushed_bytes",
+        "sealed",
+        "_entries",
+    )
+
+    def __init__(
+        self,
+        src_broker: int,
+        vlog_id: int,
+        vseg_id: int,
+        capacity: int,
+        materialize: bool = True,
+    ) -> None:
+        self.src_broker = src_broker
+        self.vlog_id = vlog_id
+        self.vseg_id = vseg_id
+        self.capacity = capacity
+        self.materialize = materialize
+        self.buffer = AppendBuffer(capacity, materialize=materialize)
+        #: Bytes already written to secondary storage.
+        self.flushed_bytes = 0
+        self.sealed = False
+        # Chunk objects, or (offset, length) spans of frames appended
+        # verbatim to ``buffer``.
+        self._entries: list[Chunk | tuple[int, int]] = []
 
     @property
     def bytes_held(self) -> int:
@@ -49,6 +87,30 @@ class ReplicatedSegment:
     def unflushed_bytes(self) -> int:
         return self.buffer.head - self.flushed_bytes
 
+    @property
+    def chunks(self) -> list[Chunk]:
+        """Every replicated chunk, in arrival order.
+
+        Frame entries decode on demand (payloads were CRC-verified on
+        arrival), so the replication hot path never materializes
+        :class:`Chunk` objects it does not need.
+        """
+        out = []
+        for entry in self._entries:
+            if isinstance(entry, Chunk):
+                out.append(entry)
+            else:
+                offset, length = entry
+                chunk, _ = decode_chunk(
+                    self.buffer.view(offset, length), verify=False
+                )
+                out.append(chunk)
+        return out
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._entries)
+
     def append(self, chunk: Chunk) -> None:
         if chunk.payload is not None:
             chunk.verify_payload()
@@ -56,7 +118,40 @@ class ReplicatedSegment:
             self.buffer.append(encode_chunk(chunk))
         else:
             self.buffer.reserve(chunk.size)
-        self.chunks.append(chunk)
+        self._entries.append(chunk)
+
+    def append_frame(self, frame: bytes | memoryview) -> None:
+        """Append an already-encoded chunk frame verbatim.
+
+        The frame's structure and payload CRC (both read from its own
+        header) are validated; its bytes are then copied into the segment
+        buffer untouched — placement stamps included.
+        """
+        if not self.materialize:
+            raise ReplicationError(
+                "frame replication requires a materialized backup segment"
+            )
+        view = memoryview(frame)
+        if len(view) < CHUNK_HEADER_SIZE:
+            raise ReplicationError(
+                f"replicated frame of {len(view)} bytes is shorter than a header"
+            )
+        magic, _fmt, _flags = _FRAME_PREFIX.unpack_from(view, 0)
+        if magic != CHUNK_MAGIC:
+            raise ReplicationError(f"replicated frame has bad magic {magic:#06x}")
+        payload_len, payload_crc = _FRAME_TRAILER.unpack_from(
+            view, _FRAME_TRAILER_OFFSET
+        )
+        if len(view) != CHUNK_HEADER_SIZE + payload_len:
+            raise ReplicationError(
+                f"replicated frame is {len(view)} bytes; header declares "
+                f"{CHUNK_HEADER_SIZE + payload_len}"
+            )
+        actual = crc32c(view[CHUNK_HEADER_SIZE:])
+        if actual != payload_crc:
+            raise ChecksumError(payload_crc, actual, "replicated chunk frame")
+        offset = self.buffer.append(view)
+        self._entries.append((offset, len(view)))
 
 
 class BackupStore:
@@ -71,6 +166,26 @@ class BackupStore:
 
     # -- replication path ------------------------------------------------------
 
+    def _writable_segment(
+        self, src_broker: int, vlog_id: int, vseg_id: int, capacity: int
+    ) -> ReplicatedSegment:
+        key = (src_broker, vlog_id, vseg_id)
+        segment = self._segments.get(key)
+        if segment is None:
+            segment = ReplicatedSegment(
+                src_broker=src_broker,
+                vlog_id=vlog_id,
+                vseg_id=vseg_id,
+                capacity=capacity,
+                materialize=self.materialize,
+            )
+            self._segments[key] = segment
+        if segment.sealed:
+            raise ReplicationError(
+                f"replication append on sealed backup segment {key}"
+            )
+        return segment
+
     def append_batch(
         self,
         *,
@@ -82,24 +197,35 @@ class BackupStore:
     ) -> ReplicatedSegment:
         """Ingest one replication RPC's chunks; returns the segment so the
         driver can schedule an asynchronous flush."""
-        key = (src_broker, vlog_id, vseg_id)
-        segment = self._segments.get(key)
-        if segment is None:
-            segment = ReplicatedSegment(
-                src_broker=src_broker,
-                vlog_id=vlog_id,
-                vseg_id=vseg_id,
-                capacity=segment_capacity,
-                materialize=self.materialize,
-            )
-            self._segments[key] = segment
-        if segment.sealed:
-            raise ReplicationError(
-                f"replication append on sealed backup segment {key}"
-            )
+        segment = self._writable_segment(
+            src_broker, vlog_id, vseg_id, segment_capacity
+        )
         for chunk in chunks:
             segment.append(chunk)
         self._chunks_received += len(chunks)
+        self._batches_received += 1
+        return segment
+
+    def append_frames(
+        self,
+        *,
+        src_broker: int,
+        vlog_id: int,
+        vseg_id: int,
+        frames: tuple[bytes | memoryview, ...] | list[bytes | memoryview],
+        segment_capacity: int,
+    ) -> ReplicatedSegment:
+        """Ingest one replication RPC's already-encoded chunk frames.
+
+        The zero-copy receive path: each frame is CRC-validated from its
+        own header and appended verbatim (see
+        :meth:`ReplicatedSegment.append_frame`)."""
+        segment = self._writable_segment(
+            src_broker, vlog_id, vseg_id, segment_capacity
+        )
+        for frame in frames:
+            segment.append_frame(frame)
+        self._chunks_received += len(frames)
         self._batches_received += 1
         return segment
 

@@ -89,10 +89,25 @@ class KeraSystem(SystemAdapter):
     def replicate_request(broker_id: int, batch: "ReplicationBatch") -> Any:
         """The wire form of one replication batch — built here and only
         here, for every transport (sim ship loop, synchronous pump,
-        threaded shipper, crash repairs)."""
+        threaded shipper, crash repairs).
+
+        Materialized segments ship zero-copy ``frames`` (memoryview
+        slices of the already-encoded, placement-stamped segment bytes);
+        metadata-only segments ship synthesized meta chunks with
+        identical accounting."""
         from repro.replication.manager import wire_chunks
         from repro.kera.messages import ReplicateRequest
 
+        refs = batch.refs
+        if refs and refs[0].stored.segment.buffer.materialized:
+            return ReplicateRequest(
+                src_broker=broker_id,
+                vlog_id=batch.vlog_id,
+                vseg_id=batch.vseg.vseg_id,
+                vseg_capacity=batch.vseg.capacity,
+                batch_checksum=batch.vseg.checksum,
+                frames=tuple(ref.stored.encoded_view() for ref in refs),
+            )
         return ReplicateRequest(
             src_broker=broker_id,
             vlog_id=batch.vlog_id,

@@ -20,7 +20,12 @@ from collections.abc import Iterator
 
 from repro.common.errors import SegmentFullError, StorageError
 from repro.wire.buffers import AppendBuffer
-from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE, encode_chunk
+from repro.wire.chunk import (
+    Chunk,
+    CHUNK_HEADER_SIZE,
+    CHUNK_PLACEMENT_OFFSET,
+    placement_bytes,
+)
 from repro.wire.framing import iter_chunk_views
 
 
@@ -143,19 +148,27 @@ class Segment:
         """Append an encoded chunk; raise :class:`SegmentFullError` if it
         does not fit. The broker-assigned ``[group, segment]`` attributes
         are stamped into the encoded header here (paper: "updated at
-        append time")."""
+        append time") — by patching the 8 placement bytes in the segment
+        buffer after the frame lands, not by cloning and re-encoding the
+        chunk."""
         length = CHUNK_HEADER_SIZE + chunk.payload_len
         if not self.buffer.fits(length):
             raise SegmentFullError(
                 f"chunk of {length} bytes does not fit segment "
                 f"{self.segment_id} (remaining {self.buffer.remaining()})"
             )
-        placed = chunk.assigned(group_id=self.group_id, segment_id=self.segment_id)
-        offset = (
-            self.buffer.append(encode_chunk(placed))
-            if self.buffer.materialized
-            else self.buffer.reserve(length)
-        )
+        if self.buffer.materialized:
+            offset = self.buffer.append(chunk.encoded_frame())
+            if (
+                chunk.group_id != self.group_id
+                or chunk.segment_id != self.segment_id
+            ):
+                self.buffer.patch(
+                    offset + CHUNK_PLACEMENT_OFFSET,
+                    placement_bytes(self.group_id, self.segment_id),
+                )
+        else:
+            offset = self.buffer.reserve(length)
         stored = StoredChunk(
             segment=self,
             offset=offset,

@@ -34,10 +34,12 @@ from repro.wire.chunk import (
     ChunkBuilder,
     CHUNK_HEADER_SIZE,
     CHUNK_MAGIC,
+    CHUNK_PLACEMENT_OFFSET,
     GROUP_UNASSIGNED,
     SEGMENT_UNASSIGNED,
     encode_chunk,
     decode_chunk,
+    placement_bytes,
 )
 from repro.wire.framing import encode_chunks, decode_chunks, iter_chunk_views
 from repro.wire.buffers import AppendBuffer
@@ -55,10 +57,12 @@ __all__ = [
     "ChunkBuilder",
     "CHUNK_HEADER_SIZE",
     "CHUNK_MAGIC",
+    "CHUNK_PLACEMENT_OFFSET",
     "GROUP_UNASSIGNED",
     "SEGMENT_UNASSIGNED",
     "encode_chunk",
     "decode_chunk",
+    "placement_bytes",
     "encode_chunks",
     "decode_chunks",
     "iter_chunk_views",

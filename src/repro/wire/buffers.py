@@ -83,6 +83,25 @@ class AppendBuffer:
         self._head += length
         return offset
 
+    def patch(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        """Rewrite already-appended bytes in place (broker header stamps).
+
+        Only the non-durable region ``[durable_head, head)`` may be
+        patched: bytes below the durable head have been replicated and are
+        immutable, bytes at or above the head do not exist yet.
+        """
+        if self._data is None:
+            raise StorageError("buffer is metadata-only; no bytes to patch")
+        if self._sealed:
+            raise SegmentSealedError("patch on sealed buffer")
+        end = offset + len(data)
+        if offset < self._durable_head or end > self._head:
+            raise StorageError(
+                f"patch [{offset}, {end}) outside mutable range "
+                f"[{self._durable_head}, {self._head})"
+            )
+        self._data[offset:end] = data
+
     def view(self, offset: int, length: int) -> memoryview:
         """Zero-copy view of previously appended bytes."""
         if self._data is None:

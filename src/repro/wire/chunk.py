@@ -27,10 +27,14 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.checksum import crc32c
 from repro.common.errors import WireFormatError, ChecksumError
 from repro.wire.record import Record, encode_record, decode_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wire.pool import BufferPool
 
 CHUNK_MAGIC = 0xCE7A
 CHUNK_FMT_VERSION = 1
@@ -43,7 +47,20 @@ _HEADER = struct.Struct("<HBBIIIIIIIII")
 CHUNK_HEADER_SIZE = _HEADER.size
 assert CHUNK_HEADER_SIZE == 40
 
+#: Byte offset of the broker-assigned ``group_id``/``segment_id`` pair
+#: within an encoded chunk header (two consecutive little-endian u32s).
+#: ``Segment.append`` stamps placement by patching these 8 bytes in the
+#: segment buffer instead of re-encoding the chunk.
+CHUNK_PLACEMENT_OFFSET = 20
+
+_PLACEMENT = struct.Struct("<II")
+
 _FLAG_PAYLOAD = 0x01
+
+
+def placement_bytes(group_id: int, segment_id: int) -> bytes:
+    """The 8 header bytes stamped at :data:`CHUNK_PLACEMENT_OFFSET`."""
+    return _PLACEMENT.pack(group_id, segment_id)
 
 
 @dataclass
@@ -63,10 +80,15 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
     chunk_seq: int
     record_count: int
     payload_len: int
-    payload: bytes | None = field(default=None, repr=False)
+    payload: bytes | memoryview | None = field(default=None, repr=False)
     payload_crc: int = 0
     group_id: int = GROUP_UNASSIGNED
     segment_id: int = SEGMENT_UNASSIGNED
+    #: Cached encoded frame (header + payload) for the ids above. Producers
+    #: encode once at build time; every later hop reuses these bytes. Not
+    #: part of identity (``compare=False``) and dropped by :meth:`assigned`
+    #: when the placement changes.
+    wire: bytes | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload is not None:
@@ -135,7 +157,23 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
         clone.payload_crc = self.payload_crc
         clone.group_id = group_id
         clone.segment_id = segment_id
+        # The cached frame encodes this chunk's placement ids; it only
+        # survives a clone that keeps them.
+        same_placement = group_id == self.group_id and segment_id == self.segment_id
+        clone.wire = self.wire if same_placement else None
         return clone
+
+    def encoded_frame(self) -> bytes:
+        """The encoded wire frame (header + payload), cached on first use.
+
+        This is the encode-once entry point: producers populate the cache
+        at build time, ``Segment.append`` copies it into the segment
+        buffer (stamping placement in place there), and replication ships
+        views of those bytes. Chunks with payloads must not be mutated
+        after the first call; :meth:`assigned` is the sanctioned way to
+        change placement.
+        """
+        return encode_chunk(self)
 
     def verify_payload(self) -> None:
         """Check the payload CRC; raise :class:`ChecksumError` on corruption."""
@@ -148,7 +186,12 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
 
 def encode_chunk(chunk: Chunk) -> bytes:
     """Serialize header + payload. Metadata-only chunks encode the header
-    followed by ``payload_len`` zero bytes so framing stays self-describing."""
+    followed by ``payload_len`` zero bytes so framing stays self-describing.
+
+    Payload-carrying chunks cache the result on ``chunk.wire``, so
+    repeated encodes of the same placement are free."""
+    if chunk.wire is not None:
+        return chunk.wire
     flags = _FLAG_PAYLOAD if chunk.payload is not None else 0
     header = _HEADER.pack(
         CHUNK_MAGIC,
@@ -165,7 +208,9 @@ def encode_chunk(chunk: Chunk) -> bytes:
         chunk.payload_crc,
     )
     if chunk.payload is not None:
-        return header + chunk.payload
+        frame = b"".join((header, chunk.payload))
+        chunk.wire = frame
+        return frame
     return header + b"\x00" * chunk.payload_len
 
 
@@ -224,6 +269,15 @@ class ChunkBuilder:
     Producers keep one builder per streamlet; the source thread appends
     records until the chunk fills or the linger timeout fires, then the
     requests thread seals it with :meth:`build` (paper, Figure 6).
+
+    Records are encoded straight into a scratch buffer with
+    :data:`CHUNK_HEADER_SIZE` bytes of headroom, so :meth:`build` writes
+    the header in front of the already-laid-out payload and emits the
+    complete wire frame in one copy — the chunk leaves the producer with
+    its :attr:`Chunk.wire` cache populated and is never re-encoded
+    downstream. The scratch buffer may come from a shared
+    :class:`~repro.wire.pool.BufferPool` (``pool=``); call :meth:`close`
+    to hand it back when the builder retires.
     """
 
     __slots__ = (
@@ -231,13 +285,20 @@ class ChunkBuilder:
         "stream_id",
         "streamlet_id",
         "producer_id",
-        "_parts",
+        "_scratch",
+        "_pool",
         "_size",
         "_count",
     )
 
     def __init__(
-        self, capacity: int, *, stream_id: int, streamlet_id: int, producer_id: int
+        self,
+        capacity: int,
+        *,
+        stream_id: int,
+        streamlet_id: int,
+        producer_id: int,
+        pool: "BufferPool | None" = None,
     ) -> None:
         if capacity <= 0:
             raise WireFormatError("chunk capacity must be positive")
@@ -245,7 +306,18 @@ class ChunkBuilder:
         self.stream_id = stream_id
         self.streamlet_id = streamlet_id
         self.producer_id = producer_id
-        self._parts: list[bytes] = []
+        self._pool = pool
+        if pool is not None:
+            scratch = pool.rent()
+            if len(scratch) < CHUNK_HEADER_SIZE + capacity:
+                pool.release(scratch)
+                raise WireFormatError(
+                    f"pool buffers of {len(scratch)} bytes cannot hold a "
+                    f"{capacity}-byte chunk plus header"
+                )
+            self._scratch: bytearray | None = scratch
+        else:
+            self._scratch = bytearray(CHUNK_HEADER_SIZE + capacity)
         self._size = 0
         self._count = 0
 
@@ -275,35 +347,66 @@ class ChunkBuilder:
             raise WireFormatError(
                 f"record of {len(encoded)} bytes exceeds chunk capacity {self.capacity}"
             )
-        if self._size + len(encoded) > self.capacity:
-            return False
-        self._parts.append(encoded)
-        self._size += len(encoded)
-        self._count += 1
-        return True
+        return self.try_append_encoded(encoded)
 
     def try_append_encoded(self, encoded: bytes, count: int = 1) -> bool:
         """Append pre-encoded record bytes (vectorized workload path)."""
         if self._size + len(encoded) > self.capacity:
             return False
-        self._parts.append(encoded)
+        if self._scratch is None:
+            raise WireFormatError("append on closed chunk builder")
+        start = CHUNK_HEADER_SIZE + self._size
+        self._scratch[start : start + len(encoded)] = encoded
         self._size += len(encoded)
         self._count += count
         return True
 
     def build(self, chunk_seq: int) -> Chunk:
-        """Seal the accumulated records into a chunk and reset the builder."""
-        payload = b"".join(self._parts)
+        """Seal the accumulated records into a chunk and reset the builder.
+
+        The returned chunk carries its encoded frame (:attr:`Chunk.wire`)
+        and a zero-copy ``payload`` view into it.
+        """
+        if self._scratch is None:
+            raise WireFormatError("build on closed chunk builder")
+        end = CHUNK_HEADER_SIZE + self._size
+        payload_crc = crc32c(memoryview(self._scratch)[CHUNK_HEADER_SIZE:end])
+        _HEADER.pack_into(
+            self._scratch,
+            0,
+            CHUNK_MAGIC,
+            CHUNK_FMT_VERSION,
+            _FLAG_PAYLOAD,
+            self.stream_id,
+            self.streamlet_id,
+            self.producer_id,
+            chunk_seq,
+            GROUP_UNASSIGNED,
+            SEGMENT_UNASSIGNED,
+            self._count,
+            self._size,
+            payload_crc,
+        )
+        frame = bytes(memoryview(self._scratch)[:end])
         chunk = Chunk(
             stream_id=self.stream_id,
             streamlet_id=self.streamlet_id,
             producer_id=self.producer_id,
             chunk_seq=chunk_seq,
             record_count=self._count,
-            payload_len=len(payload),
-            payload=payload,
+            payload_len=self._size,
+            payload=memoryview(frame)[CHUNK_HEADER_SIZE:],
+            payload_crc=payload_crc,
+            wire=frame,
         )
-        self._parts.clear()
         self._size = 0
         self._count = 0
         return chunk
+
+    def close(self) -> None:
+        """Release the scratch buffer (back to the pool when pooled)."""
+        if self._scratch is None:
+            return
+        if self._pool is not None:
+            self._pool.release(self._scratch)
+        self._scratch = None

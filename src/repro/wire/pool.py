@@ -1,0 +1,78 @@
+"""A bounded pool of reusable chunk scratch buffers.
+
+Producers encode records directly into a chunk-sized ``bytearray`` with
+header headroom (see :class:`~repro.wire.chunk.ChunkBuilder`); this pool
+lets a client's builders share those buffers instead of allocating one
+per builder. Buffers are rented for a builder's lifetime and returned on
+:meth:`~repro.wire.chunk.ChunkBuilder.close`; a bounded free list caps
+steady-state memory while bursts simply allocate.
+
+The pool is shared across producer threads in the live drivers, so the
+free list is lock-protected (rule A001). It is never reachable from the
+simulation roots — builders there are constructed without a pool.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import StorageError
+
+
+class BufferPool:
+    """Fixed-size ``bytearray`` rental with a bounded free list."""
+
+    def __init__(self, buffer_size: int, *, max_free: int = 64) -> None:
+        if buffer_size <= 0:
+            raise StorageError("pool buffer_size must be positive")
+        if max_free < 0:
+            raise StorageError("pool max_free must be >= 0")
+        self.buffer_size = buffer_size
+        self.max_free = max_free
+        self._lock = threading.Lock()
+        self._free: list[bytearray] = []  # guarded-by: _lock
+        self._rented = 0  # guarded-by: _lock
+        self._allocated = 0  # guarded-by: _lock
+
+    def rent(self) -> bytearray:
+        """A zero-filled-or-recycled buffer of :attr:`buffer_size` bytes.
+
+        Contents are unspecified — renters overwrite what they use.
+        """
+        with self._lock:
+            self._rented += 1
+            if self._free:
+                return self._free.pop()
+            self._allocated += 1
+        return bytearray(self.buffer_size)
+
+    def release(self, buffer: bytearray) -> None:
+        """Return a rented buffer. Wrong-sized buffers are rejected — a
+        resize would corrupt the next renter's framing assumptions."""
+        if len(buffer) != self.buffer_size:
+            raise StorageError(
+                f"released buffer of {len(buffer)} bytes into a pool of "
+                f"{self.buffer_size}-byte buffers"
+            )
+        with self._lock:
+            self._rented -= 1
+            if len(self._free) < self.max_free:
+                self._free.append(buffer)
+
+    @property
+    def rented(self) -> int:
+        """Buffers currently out with renters."""
+        with self._lock:
+            return self._rented
+
+    @property
+    def free(self) -> int:
+        """Buffers waiting on the free list."""
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def allocated(self) -> int:
+        """Total buffers ever allocated (growth diagnostic)."""
+        with self._lock:
+            return self._allocated

@@ -29,7 +29,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.common.checksum import crc32c
+from repro.common.checksum import crc32c, crc32c_lanes
 from repro.common.errors import WireFormatError, ChecksumError
 
 #: Size of the always-present header fields (checksum, flags, key_count,
@@ -175,8 +175,59 @@ def decode_records(
     return list(iter_records(buf, verify=verify))
 
 
+#: Batch size from which :func:`encode_records` tries the vectorized
+#: uniform-record path; smaller batches loop.
+_VECTOR_MIN_RECORDS = 8
+
+
+def _encode_uniform_keyless(records: list[Record] | tuple[Record, ...]) -> bytes:
+    """Vectorized encoder for equal-length keyless, attribute-less records.
+
+    Every record shares the 6-byte post-checksum header (flags=0,
+    key_count=0, value_len), so the CRC-covered region of record ``i`` is
+    ``prefix + values[i]`` — one :func:`crc32c_lanes` call checksums the
+    whole batch, and the output frames are assembled as one uint8 matrix.
+    Byte-identical to the per-record encoder (golden-tested).
+    """
+    n = len(records)
+    value_len = len(records[0].value)
+    prefix = np.frombuffer(
+        struct.pack("<BBI", 0, 0, value_len), dtype=np.uint8
+    )
+    values = np.frombuffer(
+        b"".join(r.value for r in records), dtype=np.uint8
+    ).reshape(n, value_len)
+    covered = np.empty((n, 6 + value_len), dtype=np.uint8)
+    covered[:, :6] = prefix
+    covered[:, 6:] = values
+    crcs = crc32c_lanes(np.ascontiguousarray(covered.T).astype(np.uint32))
+    out = np.empty((n, RECORD_FIXED_HEADER + value_len), dtype=np.uint8)
+    out[:, 0] = (crcs & 0xFF).astype(np.uint8)
+    out[:, 1] = ((crcs >> 8) & 0xFF).astype(np.uint8)
+    out[:, 2] = ((crcs >> 16) & 0xFF).astype(np.uint8)
+    out[:, 3] = (crcs >> 24).astype(np.uint8)
+    out[:, 4:10] = prefix
+    out[:, 10:] = values
+    return out.tobytes()
+
+
 def encode_records(records: list[Record] | tuple[Record, ...]) -> bytes:
-    """Serialize records back to back (a chunk payload)."""
+    """Serialize records back to back (a chunk payload).
+
+    Batches of uniform keyless records — the paper's benchmark workload —
+    are encoded through the lane-parallel CRC engine in one pass; anything
+    else falls back to the per-record encoder.
+    """
+    if len(records) >= _VECTOR_MIN_RECORDS:
+        first_len = len(records[0].value)
+        if all(
+            not r.keys
+            and r.version is None
+            and r.timestamp is None
+            and len(r.value) == first_len
+            for r in records
+        ):
+            return _encode_uniform_keyless(records)
     return b"".join(encode_record(r) for r in records)
 
 

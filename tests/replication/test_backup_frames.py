@@ -1,0 +1,153 @@
+"""Frame replication: verbatim append of encoded chunks at the backup.
+
+Materialized replication ships already-encoded, placement-stamped frames;
+the backup validates each frame against its own header CRC, appends the
+bytes untouched, and only decodes :class:`Chunk` objects lazily (recovery,
+tests). These tests pin that contract.
+"""
+
+import pytest
+
+from repro.common.errors import ChecksumError, ReplicationError
+from repro.common.units import MB
+from repro.replication.backup_store import BackupStore, ReplicatedSegment
+from repro.wire.chunk import Chunk, CHUNK_HEADER_SIZE, encode_chunk
+from repro.wire.framing import decode_chunks
+from repro.wire.record import Record, encode_records
+
+
+def make_frame(chunk_seq=0, value=b"data", group_id=3, segment_id=1):
+    payload = encode_records([Record(value=value)])
+    chunk = Chunk(
+        stream_id=1,
+        streamlet_id=0,
+        producer_id=0,
+        chunk_seq=chunk_seq,
+        record_count=1,
+        payload_len=len(payload),
+        payload=payload,
+        group_id=group_id,
+        segment_id=segment_id,
+    )
+    return chunk, encode_chunk(chunk)
+
+
+def test_append_frames_verbatim():
+    store = BackupStore(node_id=2, materialize=True)
+    chunks, frames = zip(*(make_frame(chunk_seq=i) for i in range(3)))
+    seg = store.append_frames(
+        src_broker=0, vlog_id=1, vseg_id=5, frames=frames, segment_capacity=1 * MB
+    )
+    # The backup holds the exact shipped bytes, stamps included.
+    held = bytes(seg.buffer.view(0, seg.buffer.head))
+    assert held == b"".join(frames)
+    assert seg.bytes_held == sum(len(f) for f in frames)
+    assert store.chunks_received == 3
+    assert store.batches_received == 1
+    assert decode_chunks(held) == list(chunks)
+
+
+def test_frames_accept_memoryviews():
+    store = BackupStore(node_id=2, materialize=True)
+    _, frame = make_frame()
+    seg = store.append_frames(
+        src_broker=0,
+        vlog_id=0,
+        vseg_id=0,
+        frames=(memoryview(frame),),
+        segment_capacity=1 * MB,
+    )
+    assert bytes(seg.buffer.view(0, seg.buffer.head)) == frame
+
+
+def test_lazy_decode_preserves_placement():
+    store = BackupStore(node_id=2, materialize=True)
+    chunk, frame = make_frame(group_id=7, segment_id=4)
+    seg = store.append_frames(
+        src_broker=0, vlog_id=0, vseg_id=0, frames=(frame,), segment_capacity=1 * MB
+    )
+    assert seg.chunk_count == 1
+    (decoded,) = seg.chunks
+    assert (decoded.group_id, decoded.segment_id) == (7, 4)
+    assert decoded == chunk
+    assert decoded.records() == [Record(value=b"data")]
+
+
+def test_corrupt_frame_payload_rejected():
+    store = BackupStore(node_id=2, materialize=True)
+    _, frame = make_frame()
+    corrupt = bytearray(frame)
+    corrupt[CHUNK_HEADER_SIZE] ^= 0x55
+    with pytest.raises(ChecksumError):
+        store.append_frames(
+            src_broker=0,
+            vlog_id=0,
+            vseg_id=0,
+            frames=(bytes(corrupt),),
+            segment_capacity=1 * MB,
+        )
+
+
+def test_bad_magic_frame_rejected():
+    _, frame = make_frame()
+    corrupt = bytearray(frame)
+    corrupt[0] ^= 0xFF
+    seg = ReplicatedSegment(src_broker=0, vlog_id=0, vseg_id=0, capacity=1 * MB)
+    with pytest.raises(ReplicationError):
+        seg.append_frame(bytes(corrupt))
+
+
+def test_truncated_frame_rejected():
+    _, frame = make_frame()
+    seg = ReplicatedSegment(src_broker=0, vlog_id=0, vseg_id=0, capacity=1 * MB)
+    with pytest.raises(ReplicationError):
+        seg.append_frame(frame[:-1])
+    with pytest.raises(ReplicationError):
+        seg.append_frame(frame[: CHUNK_HEADER_SIZE - 1])
+
+
+def test_metadata_backup_rejects_frames():
+    seg = ReplicatedSegment(
+        src_broker=0, vlog_id=0, vseg_id=0, capacity=1 * MB, materialize=False
+    )
+    _, frame = make_frame()
+    with pytest.raises(ReplicationError):
+        seg.append_frame(frame)
+
+
+def test_frames_and_chunks_interleave():
+    """Frame and object appends land in one buffer in arrival order."""
+    store = BackupStore(node_id=2, materialize=True)
+    first, frame = make_frame(chunk_seq=0)
+    second, _ = make_frame(chunk_seq=1, value=b"other")
+    store.append_frames(
+        src_broker=0, vlog_id=0, vseg_id=0, frames=(frame,), segment_capacity=1 * MB
+    )
+    seg = store.append_batch(
+        src_broker=0, vlog_id=0, vseg_id=0, chunks=[second], segment_capacity=1 * MB
+    )
+    assert seg.chunks == [first, second]
+    held = bytes(seg.buffer.view(0, seg.buffer.head))
+    assert decode_chunks(held) == [first, second]
+
+
+def test_sealed_segment_rejects_frames():
+    store = BackupStore(node_id=2, materialize=True)
+    _, frame = make_frame()
+    store.append_frames(
+        src_broker=0, vlog_id=0, vseg_id=0, frames=(frame,), segment_capacity=1 * MB
+    )
+    store.seal(0, 0, 0)
+    with pytest.raises(ReplicationError):
+        store.append_frames(
+            src_broker=0, vlog_id=0, vseg_id=0, frames=(frame,), segment_capacity=1 * MB
+        )
+
+
+def test_recovery_sees_frame_chunks():
+    store = BackupStore(node_id=2, materialize=True)
+    chunk, frame = make_frame(chunk_seq=0)
+    store.append_frames(
+        src_broker=4, vlog_id=0, vseg_id=0, frames=(frame,), segment_capacity=1 * MB
+    )
+    assert list(store.chunks_for_broker(4)) == [chunk]

@@ -1,0 +1,65 @@
+"""Buffer pool tests: accounting, reuse, and misuse rejection."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.wire.pool import BufferPool
+
+
+def test_rent_allocates_and_release_recycles():
+    pool = BufferPool(64)
+    buf = pool.rent()
+    assert len(buf) == 64
+    assert (pool.rented, pool.free, pool.allocated) == (1, 0, 1)
+    pool.release(buf)
+    assert (pool.rented, pool.free, pool.allocated) == (0, 1, 1)
+    again = pool.rent()
+    assert again is buf
+    assert pool.allocated == 1
+
+
+def test_wrong_size_release_rejected():
+    pool = BufferPool(64)
+    with pytest.raises(StorageError):
+        pool.release(bytearray(63))
+
+
+def test_free_list_is_bounded():
+    pool = BufferPool(16, max_free=2)
+    buffers = [pool.rent() for _ in range(4)]
+    for buf in buffers:
+        pool.release(buf)
+    assert pool.free == 2
+    assert pool.rented == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(StorageError):
+        BufferPool(0)
+    with pytest.raises(StorageError):
+        BufferPool(16, max_free=-1)
+
+
+def test_concurrent_rent_release_accounting():
+    pool = BufferPool(32, max_free=64)
+    errors = []
+
+    def churn():
+        try:
+            for _ in range(200):
+                buf = pool.rent()
+                buf[0] = 0xAB
+                pool.release(buf)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert pool.rented == 0
+    assert pool.free <= pool.allocated <= 4
