@@ -15,11 +15,16 @@ By default violations are reported but the exit code stays 0 so a CI
 perf-smoke job is informative rather than flaky; pass ``--strict`` to
 turn violations into a non-zero exit.
 
+``--history`` additionally prints the per-stage trajectory across *all*
+runs in the document, in file order, with each value's ratio to the
+first run that measured that stage — the running story of where each
+data-path stage's throughput went, PR over PR.
+
 Usage::
 
     python scripts/perf_compare.py BENCH_datapath.json \
-        --baseline baseline --candidate after \
-        --require encode_append_ship=3.0
+        --baseline after --candidate pipelined --history \
+        --require replication_ship=5.0 --require backup_flush=5.0
 """
 
 from __future__ import annotations
@@ -36,6 +41,36 @@ def load_run(doc: dict, label: str) -> dict:
             return run
     labels = [r.get("label") for r in doc.get("runs", [])]
     raise SystemExit(f"no run labelled {label!r} in document (have {labels})")
+
+
+def print_history(doc: dict) -> None:
+    """Per-stage throughput trajectory across every run in the document."""
+    runs = [r for r in doc.get("runs", []) if r.get("benchmarks")]
+    if not runs:
+        return
+    names: list[str] = []
+    for run in runs:
+        for name in run["benchmarks"]:
+            if name not in names:
+                names.append(name)
+    print("per-stage trajectory (x = ratio to first measurement):")
+    for name in names:
+        print(f"  {name}")
+        first: float | None = None
+        for run in runs:
+            bench = run["benchmarks"].get(name)
+            if bench is None:
+                continue
+            value = bench["value"]
+            if first is None:
+                first = value
+            ratio = value / first if first else float("inf")
+            unit = bench.get("unit", "")
+            quick = " (quick)" if run.get("quick") else ""
+            print(
+                f"    {run.get('label', '?'):<14} {value:>14,.0f} {unit:<10}"
+                f" {ratio:7.2f}x{quick}"
+            )
 
 
 def parse_requirement(spec: str) -> tuple[str, float]:
@@ -68,9 +103,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero on violations (default: report only)",
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="also print each stage's trajectory across every run",
+    )
     args = parser.parse_args(argv)
 
     doc = json.loads(args.results.read_text())
+    if args.history:
+        print_history(doc)
     baseline = load_run(doc, args.baseline)
     candidate = load_run(doc, args.candidate)
     requirements = dict(parse_requirement(spec) for spec in args.require)

@@ -10,7 +10,13 @@ here:
 
 * every class deriving (transitively, within the analyzed tree) from
   ``Transport`` / ``SystemAdapter`` / ``LiveService`` implements the
-  protocol's required methods somewhere in its in-tree ancestry;
+  protocol's required methods somewhere in its in-tree ancestry — the
+  pipelined replication plane widened ``Transport`` with ``call_async``
+  and ``credit``, both specced here so concurrent transports cannot
+  drift from the shipper's calling convention;
+* the ``PipelinedShipper`` driver surface (``kick``/``stop``/
+  ``in_flight_batches``) keeps its zero-argument shape — cluster
+  drivers and drain paths poke the shipper through exactly these;
 * every override of a protocol method keeps the protocol's signature:
   same positional parameter names in order, defaults preserved, required
   keyword-only parameters present (extras allowed only with defaults).
@@ -54,8 +60,22 @@ PROTOCOLS: dict[str, dict[str, MethodSpec]] = {
             defaults=1,
             required=True,
         ),
+        "call_async": MethodSpec(
+            ("src", "dst", "service", "method", "request", "request_bytes"),
+            defaults=1,
+            kwonly=("on_done",),
+        ),
+        "credit": MethodSpec(("dst", "service")),
         "start": MethodSpec(()),
         "shutdown": MethodSpec(()),
+    },
+    # Not a base protocol but a pinned driver surface: every cluster
+    # driver pokes the shipper through exactly these entry points, so the
+    # spec holds them still even though the class derives only Thread.
+    "PipelinedShipper": {
+        "kick": MethodSpec(()),
+        "stop": MethodSpec(()),
+        "in_flight_batches": MethodSpec(()),
     },
     "SystemAdapter": {
         "build_cores": MethodSpec(("completion",), required=True),

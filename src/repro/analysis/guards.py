@@ -14,7 +14,10 @@ intentionally lock-free (GIL-atomic membership probes on hot paths), and
 flagging them would bury the writes that actually corrupt state.
 
 The declared lock itself must exist: a ``self.<lock> = threading.Lock()``
-(or ``RLock``) assignment in the same ``__init__``.
+(or ``RLock``) assignment in the class's own ``__init__`` or in the
+``__init__`` of an in-tree ancestor (subclassed transports guard their
+state with the base transport's lock so cross-dict invariants stay
+atomic under one lock).
 """
 
 from __future__ import annotations
@@ -201,7 +204,39 @@ class _MutationVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
 def check(modules: ModuleSet) -> Iterator[Finding]:
+    # Locks may live in an in-tree ancestor's __init__ (e.g. a subclassed
+    # transport guarding its own dicts with the base transport's
+    # _state_lock); index every class so the declaration check can walk
+    # the ancestry across modules.
+    class_index: dict[str, tuple[SourceModule, ast.ClassDef]] = {}
+    for module in modules:
+        for cls in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            class_index.setdefault(cls.name, (module, cls))
+
+    def ancestor_locks(cls: ast.ClassDef, seen: set[str]) -> set[str]:
+        locks: set[str] = set()
+        for base in _base_names(cls):
+            if base not in class_index or base in seen:
+                continue
+            seen.add(base)
+            base_module, base_cls = class_index[base]
+            locks |= _guard_registry(base_module, base_cls)[2]
+            locks |= ancestor_locks(base_cls, seen)
+        return locks
+
     for module in modules:
         for cls in [
             n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
@@ -209,6 +244,7 @@ def check(modules: ModuleSet) -> Iterator[Finding]:
             guarded, decl_line, locks = _guard_registry(module, cls)
             if not guarded:
                 continue
+            locks |= ancestor_locks(cls, set())
             for attr, lock in guarded.items():
                 if lock not in locks:
                     yield Finding(
@@ -219,7 +255,8 @@ def check(modules: ModuleSet) -> Iterator[Finding]:
                         message=(
                             f"`self.{attr}` declared guarded-by {lock}, but "
                             f"`self.{lock}` is not a threading Lock/RLock/"
-                            f"Condition created in {cls.name}.__init__"
+                            f"Condition created in {cls.name}.__init__ or an "
+                            f"in-tree ancestor's"
                         ),
                     )
             for method in cls.body:

@@ -28,10 +28,17 @@ class ChecksumError(WireFormatError):
     def __init__(self, expected: int, actual: int, context: str = "") -> None:
         self.expected = expected
         self.actual = actual
+        self.context = context
         msg = f"checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
         if context:
             msg = f"{context}: {msg}"
         super().__init__(msg)
+
+    def __reduce__(self) -> tuple[type, tuple[int, int, str]]:
+        # args holds the formatted message, not the constructor arguments,
+        # so default exception pickling would replay the wrong signature
+        # (the process transport relays handler errors across processes).
+        return (type(self), (self.expected, self.actual, self.context))
 
 
 class StorageError(ReproError):

@@ -40,6 +40,8 @@ from repro.kera.coordinator import Coordinator, StreamMetadata
 from repro.kera.live import LiveKeraCluster
 from repro.kera.inproc import InprocKeraCluster
 from repro.kera.threaded import ThreadedKeraCluster
+from repro.kera.process import ProcessKeraCluster
+from repro.kera.shipper import PipelinedShipper
 from repro.kera.client import KeraProducer, KeraConsumer
 from repro.kera.recovery import recover_broker, RecoveryReport, merge_backup_copies
 from repro.kera.cluster_sim import SimKeraCluster, SimWorkload, SimResult
@@ -66,6 +68,8 @@ __all__ = [
     "LiveKeraCluster",
     "InprocKeraCluster",
     "ThreadedKeraCluster",
+    "ProcessKeraCluster",
+    "PipelinedShipper",
     "KeraProducer",
     "KeraConsumer",
     "recover_broker",

@@ -99,6 +99,7 @@ class KeraBackupCore:
                 vseg_id=request.vseg_id,
                 frames=request.frames,
                 segment_capacity=request.vseg_capacity,
+                verified=request.frames_verified,
             )
         else:
             segment = self.store.append_batch(

@@ -255,6 +255,17 @@ class KeraBrokerCore:
         with self._mutex:
             return self.manager.complete_batch(batch)
 
+    def abort_batch(self, batch: ReplicationBatch) -> None:
+        """Un-issue a collected batch so its chunks re-ship later."""
+        with self._mutex:
+            self.manager.abort_batch(batch)
+
+    def unshipped_chunks(self) -> int:
+        """References not yet placed in any batch (the shipper's linger
+        decision reads this to size its consolidation window)."""
+        with self._mutex:
+            return self.manager.unshipped_chunks()
+
     # -- fetch path ----------------------------------------------------------------
 
     def handle_fetch(self, request: FetchRequest) -> FetchResponse:

@@ -55,6 +55,11 @@ class KeraProducer:
         self._rr_cursor: dict[int, int] = {}
         self.stats = ProducerStats()
 
+    @property
+    def pool(self) -> BufferPool:
+        """The scratch-buffer pool (rental accounting for leak checks)."""
+        return self._pool
+
     # -- partitioning ----------------------------------------------------------
 
     def _pick_streamlet(self, stream_id: int, record: Record) -> int:
@@ -119,13 +124,22 @@ class KeraProducer:
     # -- requests side ---------------------------------------------------------------
 
     def flush(self) -> ProducerStats:
-        """Seal every partial chunk and push everything durably."""
+        """Seal every partial chunk and push everything durably.
+
+        Exception-safe: a failed produce puts the unsent chunks back on
+        the ready list, so a retrying caller re-sends them (the broker's
+        exactly-once sequence check absorbs any partial first attempt).
+        """
         for stream_id, streamlet_id in list(self._builders):
             self._seal(stream_id, streamlet_id)
         if not self._ready:
             return self.stats
         chunks, self._ready = self._ready, []
-        responses = self.cluster.produce(chunks, producer_id=self.producer_id)
+        try:
+            responses = self.cluster.produce(chunks, producer_id=self.producer_id)
+        except BaseException:
+            self._ready = chunks + self._ready
+            raise
         for chunk in chunks:
             self.stats.records_sent += chunk.record_count
             self.stats.chunks_sent += 1
@@ -137,14 +151,30 @@ class KeraProducer:
             )
         return self.stats
 
-    def close(self) -> ProducerStats:
-        """Flush everything, then hand the builders' scratch buffers back
-        to the pool. The producer must not be used afterwards."""
-        stats = self.flush()
-        for builder in self._builders.values():
-            builder.close()
-        self._builders.clear()
+    def close(self, *, flush: bool = True) -> ProducerStats:
+        """Hand the builders' scratch buffers back to the pool, flushing
+        first by default. The producer must not be used afterwards.
+
+        The buffers go back even when the flush fails mid-close — pool
+        rentals must never leak on an exception path (``pool.rented``
+        returns to 0 regardless). ``flush=False`` skips the final push,
+        for teardown after an error when re-sending is not wanted.
+        """
+        try:
+            stats = self.flush() if flush else self.stats
+        finally:
+            for builder in self._builders.values():
+                builder.close()
+            self._builders.clear()
         return stats
+
+    def __enter__(self) -> "KeraProducer":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        # On the error path don't pile a flush failure onto the original
+        # exception — just return the buffers.
+        self.close(flush=exc_type is None)
 
 
 @dataclass

@@ -151,6 +151,14 @@ class ReplicateRequest:
     #: request carries ``chunks``. The views alias broker segment memory;
     #: receivers must copy (append to their own buffer) and never mutate.
     frames: tuple[bytes | memoryview, ...] | None = None
+    #: Whether the frame payload CRCs were already validated over these
+    #: very bytes in this address space (the broker validated them on
+    #: ingest and ships views of its own segment memory). In-process
+    #: transports hand the request over by reference, so the bit holds at
+    #: the backup; any transport that copies the request across an
+    #: address-space boundary (shared-memory ring, socket) must rebuild
+    #: it with ``frames_verified=False`` so the receiver re-validates.
+    frames_verified: bool = False
 
     def payload_bytes(self) -> int:
         from repro.replication.chunk_ref import CHUNK_REF_WIRE_SIZE

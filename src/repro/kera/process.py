@@ -1,0 +1,137 @@
+"""Process-parallel KerA cluster: backups in worker processes.
+
+:class:`ProcessKeraCluster` is the threaded cluster with its backup
+services re-homed into child processes behind
+:class:`repro.runtime.process.ProcessTransport`: every node's broker
+service stays on in-process worker threads, while its backup/replica
+service runs in a worker process fed by a shared-memory request ring.
+Replication frames are written straight from the broker's segment views
+into the ring (the single boundary copy) and re-validated — CRC work on
+another core — by the child before landing in its store. The pipelined
+shipper throttles on the ring's free bytes via ``Transport.credit``.
+
+The division of state is strict: the *child* owns the node's
+:class:`~repro.kera.backup.KeraBackupCore` outright (the parent's
+``system.backup_cores`` entries exist but see no traffic in this mode).
+Backup-side accounting crosses back only through the ``stats`` RPC —
+see :meth:`ProcessKeraCluster.backup_stats`.
+
+Failure injection: :meth:`crash_broker` works — repair batches ship over
+the rings like any other replicate RPC. Recovery *reads* (serving a
+crashed broker's chunks back from backup state) are not wired across the
+process boundary; drive recovery scenarios on the inproc or threaded
+clusters, which share the same sans-IO cores.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+from repro.runtime.process import ProcessServiceSpec, ProcessTransport
+from repro.runtime.transport import LiveService, Transport
+from repro.kera.backup import KeraBackupCore
+from repro.kera.config import KeraConfig
+from repro.kera.live import CLIENT_NODE
+from repro.kera.threaded import ThreadedKeraCluster, _ThreadedBrokerService
+
+
+class ProcessBackupWorker(LiveService):
+    """Runs in the child process: owns one node's backup core outright.
+
+    Constructed by the transport *in the child* (the parent pickles only
+    this class and the kwargs), so the core's segments, flush accounting,
+    and disk files live entirely in the worker's address space.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_id: int,
+        materialize: bool = True,
+        flush_threshold: int = 1 << 20,
+        disk_dir: str | None = None,
+    ) -> None:
+        self.core = KeraBackupCore(
+            node_id=node_id,
+            materialize=materialize,
+            flush_threshold=flush_threshold,
+            disk_dir=disk_dir,
+        )
+        self.flushes = 0
+
+    def handle(self, method: str, request: Any) -> Any:
+        if method == "replicate":
+            response, flush = self.core.handle_replicate(request)
+            if flush is not None:
+                self.flushes += 1
+                self.core.persist(flush)
+            return response
+        if method == "stats":
+            store = self.core.store
+            return {
+                "chunks_received": store.chunks_received,
+                "batches_received": store.batches_received,
+                "bytes_held": store.bytes_held,
+                "segment_count": store.segment_count,
+                "flushes": self.flushes,
+            }
+        raise ConfigError(f"unknown backup method {method!r}")
+
+
+class ProcessKeraCluster(ThreadedKeraCluster):
+    """A KerA cluster whose replication plane runs on other cores."""
+
+    def __init__(
+        self,
+        config: KeraConfig | None = None,
+        *,
+        produce_workers: int = 4,
+        queue_depth: int = 128,
+        call_timeout: float = 30.0,
+        ack_timeout: float = 10.0,
+        ring_bytes: int = 4 * MB,
+        transport: Transport | None = None,
+    ) -> None:
+        self._ring_bytes = ring_bytes
+        super().__init__(
+            config,
+            produce_workers=produce_workers,
+            queue_depth=queue_depth,
+            call_timeout=call_timeout,
+            ack_timeout=ack_timeout,
+            transport=transport
+            or ProcessTransport(
+                queue_depth=queue_depth,
+                workers_per_service=produce_workers,
+                call_timeout=call_timeout,
+            ),
+        )
+
+    def _register_services(self) -> None:
+        config = self.config
+        for node in self.system.node_ids:
+            self.transport.register(node, "broker", _ThreadedBrokerService(self, node))
+            self.transport.register(
+                node,
+                "backup",
+                ProcessServiceSpec(
+                    factory=ProcessBackupWorker,
+                    kwargs={
+                        "node_id": node,
+                        "materialize": config.storage.materialize,
+                        "flush_threshold": config.flush_threshold,
+                        "disk_dir": (
+                            f"{config.disk_dir}/node{node}"
+                            if config.disk_dir is not None
+                            else None
+                        ),
+                    },
+                    ring_bytes=self._ring_bytes,
+                ),
+            )
+
+    def backup_stats(self, node_id: int) -> dict[str, int]:
+        """Backup-side accounting, fetched from the worker process."""
+        return self.transport.call(CLIENT_NODE, node_id, "backup", "stats", None)

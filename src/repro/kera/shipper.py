@@ -1,0 +1,200 @@
+"""The pipelined replication shipper: one thread per broker.
+
+Replaces the strictly synchronous ship loop (collect one batch → send to
+every backup → wait → complete) with a pipeline:
+
+* batches are issued with :meth:`Transport.call_async` — up to
+  ``pipeline_depth`` RPCs per virtual log stay in flight, and acks
+  arriving out of order are re-sequenced by the virtual log itself
+  (``VirtualLog.complete_batch`` buffers them and applies durability in
+  issue order);
+* a :class:`~repro.replication.flow.FlowController` bounds unacked
+  payload bytes (``ship_window_bytes``) — the credit-based backpressure
+  that keeps a slow backup from buffering unbounded broker memory;
+* an :class:`~repro.replication.flow.AdaptiveBatcher` decides when to
+  linger (``ship_linger_s``): while appends trickle in below the current
+  consolidation target the shipper waits briefly so the next RPC carries
+  more chunks, and the target itself adapts to demand and to credit
+  refusals.
+
+Ack callbacks run on transport threads (worker or reaper); batch
+completion is safe there because the broker core serializes all
+structural mutation behind its reentrant mutex. A failed RPC or a ship to
+a crashed node surfaces on :attr:`PipelinedShipper.error` exactly like
+the old shipper, and parked produce handlers report it.
+
+``stop()`` drains: the thread keeps collecting and shipping until nothing
+is unshipped and no batch is in flight (bounded by a drain deadline), so
+shutdown under load loses no acks and double-applies none.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ReplicationError
+from repro.replication.flow import AdaptiveBatcher, FlowController
+from repro.replication.virtual_log import ReplicationBatch
+
+if TYPE_CHECKING:
+    from repro.kera.broker import KeraBrokerCore
+    from repro.kera.live import LiveKeraCluster
+
+
+class _Flight:
+    """One issued batch awaiting acks from its backups."""
+
+    __slots__ = ("batch", "nbytes", "remaining", "resolved")
+
+    def __init__(self, batch: ReplicationBatch, nbytes: int, backups: int) -> None:
+        self.batch = batch
+        self.nbytes = nbytes
+        self.remaining = backups
+        self.resolved = False
+
+
+class PipelinedShipper(threading.Thread):
+    """Drains a broker's ready batches to its backups, pipelined."""
+
+    #: Idle re-poll period, a safety net should a kick ever be missed.
+    _IDLE_POLL = 0.05
+    #: How long ``stop()`` keeps draining in-flight work.
+    _DRAIN_TIMEOUT = 5.0
+
+    def __init__(self, cluster: "LiveKeraCluster", broker_id: int) -> None:
+        super().__init__(name=f"kera-shipper-{broker_id}", daemon=True)
+        self.cluster = cluster
+        self.broker_id = broker_id
+        config = cluster.config.replication
+        self.flow = FlowController(config.ship_window_bytes)
+        self.batcher = AdaptiveBatcher(linger_s=config.ship_linger_s)
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self._drain_deadline = float("inf")
+        self._flights_lock = threading.Lock()
+        self._flights: dict[int, _Flight] = {}  # guarded-by: _flights_lock
+        self.error: BaseException | None = None
+
+    # -- control --------------------------------------------------------------
+
+    def kick(self) -> None:
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._drain_deadline = time.monotonic() + self._DRAIN_TIMEOUT
+        self._stopping.set()
+        self._wake.set()
+
+    def in_flight_batches(self) -> int:
+        with self._flights_lock:
+            return len(self._flights)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> None:
+        sleep = self._IDLE_POLL
+        while True:
+            self._wake.wait(timeout=sleep)
+            self._wake.clear()
+            if self.error is not None:
+                return
+            draining = self._stopping.is_set()
+            try:
+                sleep = self._pump(draining)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to producers
+                self.error = exc
+                return
+            if draining and (self._drained() or time.monotonic() >= self._drain_deadline):
+                return
+
+    def _drained(self) -> bool:
+        with self._flights_lock:
+            if self._flights:
+                return False
+        return self.cluster.brokers[self.broker_id].unshipped_chunks() == 0
+
+    def _pump(self, draining: bool) -> float:
+        core = self.cluster.brokers[self.broker_id]
+        if not draining and self.batcher.linger_s > 0:
+            delay = self.batcher.linger_delay(core.unshipped_chunks(), time.monotonic())
+            if delay > 0:
+                return delay
+        for batch in core.collect_batches():
+            self._issue(core, batch)
+            if self.error is not None:
+                break
+        return self._IDLE_POLL
+
+    # -- issue path -----------------------------------------------------------
+
+    def _issue(self, core: "KeraBrokerCore", batch: ReplicationBatch) -> None:
+        request = self.cluster.system.replicate_request(self.broker_id, batch)
+        nbytes = request.payload_bytes()
+        if not self.flow.try_acquire(nbytes):
+            self.batcher.observe_backpressure()
+            while not self.flow.acquire(nbytes, timeout=self._IDLE_POLL):
+                if self._stopping.is_set() and time.monotonic() >= self._drain_deadline:
+                    core.abort_batch(batch)
+                    return
+        flight = _Flight(batch, nbytes, len(batch.backups))
+        with self._flights_lock:
+            self._flights[batch.batch_id] = flight
+        for backup in batch.backups:
+            with self.cluster._failed_lock:
+                failed = backup in self.cluster._failed
+            if failed:
+                self._resolve(
+                    flight,
+                    ReplicationError(f"replication to failed node {backup}"),
+                )
+                return
+            try:
+                self.cluster.transport.call_async(
+                    self.broker_id,
+                    backup,
+                    "backup",
+                    "replicate",
+                    request,
+                    nbytes,
+                    on_done=lambda _resp, err, f=flight: self._resolve(f, err),
+                )
+            except BaseException as exc:  # noqa: BLE001 - enqueue-side failure
+                self._resolve(flight, exc)
+                return
+
+    # -- ack path (transport threads) -----------------------------------------
+
+    def _resolve(self, flight: _Flight, error: BaseException | None) -> None:
+        with self._flights_lock:
+            if flight.resolved:
+                return  # late ack for a batch already failed
+            if error is None:
+                flight.remaining -= 1
+                if flight.remaining > 0:
+                    return
+            flight.resolved = True
+            self._flights.pop(flight.batch.batch_id, None)
+        if error is not None:
+            self.flow.release(flight.nbytes)
+            self._fail(error)
+            return
+        try:
+            # Safe on a transport thread: the core's reentrant mutex
+            # serializes this against produces, and out-of-order acks are
+            # re-sequenced inside the virtual log.
+            self.cluster.brokers[self.broker_id].complete_batch(flight.batch)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to producers
+            self.flow.release(flight.nbytes)
+            self._fail(exc)
+            return
+        self.flow.release(flight.nbytes)
+        self.batcher.observe_ship(len(flight.batch.refs), time.monotonic())
+        # Freed credit / pipeline slot: let the shipper look again.
+        self._wake.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self.error is None:
+            self.error = error
+        self._wake.set()

@@ -31,44 +31,11 @@ import threading
 
 from repro.common.errors import ConfigError, ReplicationError
 from repro.runtime.threaded import ThreadedTransport
-from repro.runtime.transport import LiveService
+from repro.runtime.transport import LiveService, Transport
 from repro.kera.config import KeraConfig
 from repro.kera.live import LiveBackupService, LiveKeraCluster
 from repro.kera.messages import ProduceRequest
-
-
-class _ReplicationShipper(threading.Thread):
-    """One per broker: drains ready batches to the backups."""
-
-    #: Idle re-poll period, a safety net should a kick ever be missed.
-    _IDLE_POLL = 0.05
-
-    def __init__(self, cluster: "ThreadedKeraCluster", broker_id: int) -> None:
-        super().__init__(name=f"kera-shipper-{broker_id}", daemon=True)
-        self.cluster = cluster
-        self.broker_id = broker_id
-        self._wake = threading.Event()
-        self._stopping = threading.Event()
-        self.error: BaseException | None = None
-
-    def kick(self) -> None:
-        self._wake.set()
-
-    def stop(self) -> None:
-        self._stopping.set()
-        self._wake.set()
-
-    def run(self) -> None:
-        while True:
-            self._wake.wait(timeout=self._IDLE_POLL)
-            if self._stopping.is_set():
-                return
-            self._wake.clear()
-            try:
-                self.cluster.pump_replication(self.broker_id)
-            except BaseException as exc:  # noqa: BLE001 - surfaced to producers
-                self.error = exc
-                return
+from repro.kera.shipper import PipelinedShipper
 
 
 class _ThreadedBrokerService(LiveService):
@@ -145,19 +112,21 @@ class ThreadedKeraCluster(LiveKeraCluster):
         queue_depth: int = 128,
         call_timeout: float = 30.0,
         ack_timeout: float = 10.0,
+        transport: Transport | None = None,
     ) -> None:
         self.ack_timeout = ack_timeout
-        self._shippers: dict[int, _ReplicationShipper] = {}
+        self._shippers: dict[int, PipelinedShipper] = {}
         super().__init__(
             config,
-            ThreadedTransport(
+            transport
+            or ThreadedTransport(
                 queue_depth=queue_depth,
                 workers_per_service=produce_workers,
                 call_timeout=call_timeout,
             ),
         )
         for node in self.system.node_ids:
-            shipper = _ReplicationShipper(self, node)
+            shipper = PipelinedShipper(self, node)
             self._shippers[node] = shipper
             shipper.start()
 
@@ -171,7 +140,7 @@ class ThreadedKeraCluster(LiveKeraCluster):
                 node, "backup", LiveBackupService(self, node), workers=1
             )
 
-    def shipper(self, broker_id: int) -> _ReplicationShipper:
+    def shipper(self, broker_id: int) -> PipelinedShipper:
         return self._shippers[broker_id]
 
     def shutdown(self) -> None:

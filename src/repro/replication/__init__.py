@@ -29,6 +29,7 @@ I/Os with larger ones on backups``.
 """
 
 from repro.replication.config import ReplicationConfig, PolicyMode
+from repro.replication.flow import FlowController, AdaptiveBatcher
 from repro.replication.chunk_ref import ChunkRef
 from repro.replication.virtual_segment import VirtualSegment
 from repro.replication.virtual_log import VirtualLog, ReplicationBatch
@@ -39,6 +40,8 @@ from repro.replication.backup_store import BackupStore, ReplicatedSegment
 __all__ = [
     "ReplicationConfig",
     "PolicyMode",
+    "FlowController",
+    "AdaptiveBatcher",
     "ChunkRef",
     "VirtualSegment",
     "VirtualLog",

@@ -7,10 +7,14 @@ possibly various groups of different streamlets of multiple streams``
 (paper, Section IV-B).
 
 The store keeps one replicated segment per (source broker, virtual log,
-virtual segment); payload checksums are verified on arrival when bytes
-are present; flush work is queued for the driver's asynchronous disk
-writer; and at recovery time the store hands back every chunk (with its
-``[group, segment]`` placement tags) for re-ingestion by the new brokers.
+virtual segment); payload checksums are validated where bytes cross an
+address-space boundary — frames that arrived over a copying transport
+are batch-checked with the vectorized :func:`crc32c_many` engine, while
+in-process views of already-validated broker memory (``verified=True``)
+skip the re-hash, so the CRC is paid exactly once per hop. Flush work is
+queued for the driver's asynchronous disk writer; and at recovery time
+the store hands back every chunk (with its ``[group, segment]``
+placement tags) for re-ingestion by the new brokers.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from __future__ import annotations
 import struct
 from collections.abc import Iterator
 
-from repro.common.checksum import crc32c
+from repro.common.checksum import crc32c, crc32c_many
 from repro.common.errors import ChecksumError, ReplicationError
 from repro.wire.buffers import AppendBuffer
 from repro.wire.chunk import (
@@ -34,6 +38,28 @@ _FRAME_PREFIX = struct.Struct("<HBB")
 #: payload_len(u32) payload_crc(u32) at header offset 32.
 _FRAME_TRAILER = struct.Struct("<II")
 _FRAME_TRAILER_OFFSET = 32
+
+
+def _checked_frame(frame: bytes | memoryview) -> tuple[memoryview, int]:
+    """Structural validation of one encoded frame (magic, declared length);
+    returns the frame view and its header-declared payload CRC."""
+    view = memoryview(frame)
+    if len(view) < CHUNK_HEADER_SIZE:
+        raise ReplicationError(
+            f"replicated frame of {len(view)} bytes is shorter than a header"
+        )
+    magic, _fmt, _flags = _FRAME_PREFIX.unpack_from(view, 0)
+    if magic != CHUNK_MAGIC:
+        raise ReplicationError(f"replicated frame has bad magic {magic:#06x}")
+    payload_len, payload_crc = _FRAME_TRAILER.unpack_from(
+        view, _FRAME_TRAILER_OFFSET
+    )
+    if len(view) != CHUNK_HEADER_SIZE + payload_len:
+        raise ReplicationError(
+            f"replicated frame is {len(view)} bytes; header declares "
+            f"{CHUNK_HEADER_SIZE + payload_len}"
+        )
+    return view, payload_crc
 
 
 class ReplicatedSegment:
@@ -120,36 +146,27 @@ class ReplicatedSegment:
             self.buffer.reserve(chunk.size)
         self._entries.append(chunk)
 
-    def append_frame(self, frame: bytes | memoryview) -> None:
+    def append_frame(
+        self, frame: bytes | memoryview, *, verified: bool = False
+    ) -> None:
         """Append an already-encoded chunk frame verbatim.
 
-        The frame's structure and payload CRC (both read from its own
-        header) are validated; its bytes are then copied into the segment
-        buffer untouched — placement stamps included.
+        The frame's structure (magic, declared length) is always checked;
+        its payload CRC is validated against the header unless the caller
+        already proved it for these bytes (``verified=True`` — an
+        in-process view of broker memory, or a frame the batch validator
+        just checked). The bytes are then copied into the segment buffer
+        untouched — placement stamps included.
         """
         if not self.materialize:
             raise ReplicationError(
                 "frame replication requires a materialized backup segment"
             )
-        view = memoryview(frame)
-        if len(view) < CHUNK_HEADER_SIZE:
-            raise ReplicationError(
-                f"replicated frame of {len(view)} bytes is shorter than a header"
-            )
-        magic, _fmt, _flags = _FRAME_PREFIX.unpack_from(view, 0)
-        if magic != CHUNK_MAGIC:
-            raise ReplicationError(f"replicated frame has bad magic {magic:#06x}")
-        payload_len, payload_crc = _FRAME_TRAILER.unpack_from(
-            view, _FRAME_TRAILER_OFFSET
-        )
-        if len(view) != CHUNK_HEADER_SIZE + payload_len:
-            raise ReplicationError(
-                f"replicated frame is {len(view)} bytes; header declares "
-                f"{CHUNK_HEADER_SIZE + payload_len}"
-            )
-        actual = crc32c(view[CHUNK_HEADER_SIZE:])
-        if actual != payload_crc:
-            raise ChecksumError(payload_crc, actual, "replicated chunk frame")
+        view, payload_crc = _checked_frame(frame)
+        if not verified:
+            actual = crc32c(view[CHUNK_HEADER_SIZE:])
+            if actual != payload_crc:
+                raise ChecksumError(payload_crc, actual, "replicated chunk frame")
         offset = self.buffer.append(view)
         self._entries.append((offset, len(view)))
 
@@ -214,17 +231,31 @@ class BackupStore:
         vseg_id: int,
         frames: tuple[bytes | memoryview, ...] | list[bytes | memoryview],
         segment_capacity: int,
+        verified: bool = False,
     ) -> ReplicatedSegment:
         """Ingest one replication RPC's already-encoded chunk frames.
 
-        The zero-copy receive path: each frame is CRC-validated from its
-        own header and appended verbatim (see
-        :meth:`ReplicatedSegment.append_frame`)."""
+        The zero-copy receive path. ``verified=False`` (bytes that crossed
+        an address-space boundary) validates the whole batch in one
+        vectorized :func:`crc32c_many` pass before any frame is appended;
+        ``verified=True`` (in-process views of already-validated broker
+        memory) appends verbatim after the structural checks only."""
         segment = self._writable_segment(
             src_broker, vlog_id, vseg_id, segment_capacity
         )
-        for frame in frames:
-            segment.append_frame(frame)
+        if verified:
+            for frame in frames:
+                segment.append_frame(frame, verified=True)
+        else:
+            checked = [_checked_frame(frame) for frame in frames]
+            actuals = crc32c_many(
+                [view[CHUNK_HEADER_SIZE:] for view, _ in checked]
+            )
+            for (_, expected), actual in zip(checked, actuals):
+                if actual != expected:
+                    raise ChecksumError(expected, actual, "replicated chunk frame")
+            for view, _ in checked:
+                segment.append_frame(view, verified=True)
         self._chunks_received += len(frames)
         self._batches_received += 1
         return segment

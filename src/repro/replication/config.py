@@ -43,6 +43,21 @@ class ReplicationConfig:
     max_batch_chunks: int = 0
     #: Cap on payload bytes per replication RPC (0 = unlimited).
     max_batch_bytes: int = 0
+    #: Replication RPCs one virtual log may keep in flight concurrently.
+    #: 1 (default) is the paper's self-clocking group commit: the next
+    #: batch waits for the previous ack. Higher values pipeline shipping —
+    #: acks may return out of order; durability still applies strictly in
+    #: issue order (see ``VirtualLog.complete_batch``).
+    pipeline_depth: int = 1
+    #: Credit window for the pipelined shipper: bound on unacked
+    #: replication payload bytes per broker (0 = unlimited). Producers
+    #: observe bounded ``in_flight_bytes`` instead of blocking on one
+    #: synchronous round-trip per batch.
+    ship_window_bytes: int = 0
+    #: Linger ceiling for the adaptive batcher (seconds): with work below
+    #: the current consolidation target, the shipper waits up to this long
+    #: for more appends before shipping a small batch. 0 ships eagerly.
+    ship_linger_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -53,6 +68,10 @@ class ReplicationConfig:
             raise ConfigError("virtual_segment_size must be positive")
         if self.max_batch_chunks < 0 or self.max_batch_bytes < 0:
             raise ConfigError("batch caps must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
+        if self.ship_window_bytes < 0 or self.ship_linger_s < 0:
+            raise ConfigError("ship window and linger must be >= 0")
 
     @property
     def num_backup_copies(self) -> int:

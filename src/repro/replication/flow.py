@@ -1,0 +1,143 @@
+"""Replication flow control: credit-based backpressure + adaptive batching.
+
+Two small, independently-testable policies used by the pipelined shipper
+(``repro.kera.shipper``):
+
+* :class:`FlowController` — a byte-credit window over the replication
+  plane. Each issued batch acquires credit for its payload; each ack (or
+  failure) releases it. Producers therefore observe a bounded
+  ``in_flight_bytes`` instead of blocking on one synchronous round-trip
+  per batch — when the window is exhausted the *shipper* parks, appends
+  keep accumulating, and the next batch consolidates them (the paper's
+  group-commit effect, now self-clocked by credit instead of by a single
+  outstanding RPC).
+* :class:`AdaptiveBatcher` — a size- and linger-triggered consolidation
+  window in the spirit of Kafka's ``batch.size``/``linger.ms``: the
+  target batch size grows while batches arrive full (demand exceeds the
+  window) and decays while they ship small; with less than the target
+  accumulated the shipper may linger briefly to let appends consolidate.
+
+Both are transport-agnostic: the shared-memory ring transport maps its
+free ring bytes onto the same credit notion (``Transport.credit``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import ConfigError
+
+
+class FlowController:
+    """Bounded in-flight replication bytes (credit-based backpressure).
+
+    ``window_bytes = 0`` disables the bound (every acquire succeeds).
+    A single batch larger than the whole window is still admitted when
+    nothing else is in flight — otherwise it could never ship.
+    """
+
+    def __init__(self, window_bytes: int = 0) -> None:
+        if window_bytes < 0:
+            raise ConfigError("flow window must be >= 0")
+        self.window_bytes = window_bytes
+        self._lock = threading.Lock()
+        self._credit_free = threading.Condition(self._lock)
+        self._in_flight_bytes = 0  # guarded-by: _lock
+
+    @property
+    def in_flight_bytes(self) -> int:
+        with self._lock:
+            return self._in_flight_bytes
+
+    def credit(self) -> int:
+        """Free window bytes (a large constant when unbounded)."""
+        if self.window_bytes == 0:
+            return 1 << 62
+        with self._lock:
+            return max(self.window_bytes - self._in_flight_bytes, 0)
+
+    def _admissible(self, nbytes: int) -> bool:
+        return (
+            self.window_bytes == 0
+            or self._in_flight_bytes + nbytes <= self.window_bytes
+            or self._in_flight_bytes == 0
+        )
+
+    def try_acquire(self, nbytes: int) -> bool:
+        with self._lock:
+            if not self._admissible(nbytes):
+                return False
+            self._in_flight_bytes += nbytes
+            return True
+
+    def acquire(self, nbytes: int, timeout: float | None = None) -> bool:
+        """Block until ``nbytes`` of credit is available (or timeout)."""
+        # The condition shares self._lock, so holding the lock directly
+        # keeps wait_for/notify legal while the guard stays explicit.
+        with self._lock:
+            if not self._credit_free.wait_for(
+                lambda: self._admissible(nbytes), timeout=timeout
+            ):
+                return False
+            self._in_flight_bytes += nbytes
+            return True
+
+    def release(self, nbytes: int) -> None:
+        """An in-flight batch resolved (acked or failed): return credit."""
+        with self._lock:
+            self._in_flight_bytes = max(self._in_flight_bytes - nbytes, 0)
+            self._credit_free.notify_all()
+
+
+class AdaptiveBatcher:
+    """Size/linger policy for the consolidation window.
+
+    Pure decision logic (no threads, no clock reads — callers pass
+    ``now``), so unit tests drive it deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_target_chunks: int = 1,
+        max_target_chunks: int = 512,
+        linger_s: float = 0.0,
+    ) -> None:
+        if min_target_chunks < 1 or max_target_chunks < min_target_chunks:
+            raise ConfigError("batcher targets must satisfy 1 <= min <= max")
+        if linger_s < 0:
+            raise ConfigError("linger must be >= 0")
+        self.min_target_chunks = min_target_chunks
+        self.max_target_chunks = max_target_chunks
+        self.linger_s = linger_s
+        self.target_chunks = min_target_chunks
+        self._last_ship = float("-inf")
+
+    def linger_delay(self, pending_chunks: int, now: float) -> float:
+        """Seconds the shipper should wait for more appends, or 0 to ship.
+
+        Lingers only while there is *some* work but less than the current
+        target, and only within ``linger_s`` of the previous ship — an
+        idle log or a full batch always ships immediately.
+        """
+        if self.linger_s == 0 or pending_chunks == 0:
+            return 0.0
+        if pending_chunks >= self.target_chunks:
+            return 0.0
+        remaining = self._last_ship + self.linger_s - now
+        return max(remaining, 0.0)
+
+    def observe_ship(self, chunk_count: int, now: float) -> None:
+        """Feedback from one shipped batch: batches arriving at or above
+        target mean the window is limiting — grow it; batches shipping
+        well under target mean demand fell — decay toward the floor."""
+        self._last_ship = now
+        if chunk_count >= self.target_chunks:
+            self.target_chunks = min(self.target_chunks * 2, self.max_target_chunks)
+        elif chunk_count * 2 < self.target_chunks:
+            self.target_chunks = max(self.target_chunks // 2, self.min_target_chunks)
+
+    def observe_backpressure(self) -> None:
+        """The credit window refused a batch: consolidate harder (fewer,
+        larger RPCs reduce per-RPC overhead while credit is scarce)."""
+        self.target_chunks = min(self.target_chunks * 2, self.max_target_chunks)

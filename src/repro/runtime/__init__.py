@@ -30,6 +30,7 @@ from repro.runtime.runtime import ClusterRuntime
 from repro.runtime.system import SystemAdapter, KeraSystem, KafkaSystem
 from repro.runtime.inproc import InprocTransport
 from repro.runtime.threaded import ThreadedTransport
+from repro.runtime.process import ProcessTransport, ProcessServiceSpec
 from repro.runtime.sim import SimTransport, SimKeraReplication
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "KafkaSystem",
     "InprocTransport",
     "ThreadedTransport",
+    "ProcessTransport",
+    "ProcessServiceSpec",
     "SimTransport",
     "SimKeraReplication",
 ]

@@ -53,7 +53,7 @@ class SimTransport(Transport):
         """Synchronous-from-the-caller RPC: ``yield from`` the result."""
         return self.fabric.call_inline(src, dst, service, method, request, request_bytes)
 
-    def call_async(
+    def call_spawn(
         self,
         src: int,
         dst: int,
@@ -62,7 +62,11 @@ class SimTransport(Transport):
         request: Any,
         request_bytes: int = 0,
     ) -> Any:
-        """Fan-out form: returns a process to combine with ``all_of``."""
+        """Fan-out form: returns a process to combine with ``all_of``.
+
+        Distinct from :meth:`Transport.call_async` (the live callback
+        API) — in the sim world completion is an event, not a callback.
+        """
         return self.fabric.call(src, dst, service, method, request, request_bytes)
 
     def completion_event(

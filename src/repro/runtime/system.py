@@ -107,6 +107,10 @@ class KeraSystem(SystemAdapter):
                 vseg_capacity=batch.vseg.capacity,
                 batch_checksum=batch.vseg.checksum,
                 frames=tuple(ref.stored.encoded_view() for ref in refs),
+                # The views alias the broker's own segment memory, whose
+                # payload CRCs were computed/checked when the bytes entered
+                # this process; only a copying transport clears the bit.
+                frames_verified=True,
             )
         return ReplicateRequest(
             src_broker=broker_id,

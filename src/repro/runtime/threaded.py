@@ -21,20 +21,23 @@ import threading
 from typing import Any
 
 from repro.common.errors import RpcError
-from repro.runtime.transport import Transport
+from repro.runtime.transport import CallCallback, Transport
 
 
 class _PendingCall:
     """One in-flight request: the slot its worker fills."""
 
-    __slots__ = ("method", "request", "done", "response", "error")
+    __slots__ = ("method", "request", "done", "response", "error", "on_done")
 
-    def __init__(self, method: str, request: Any) -> None:
+    def __init__(
+        self, method: str, request: Any, on_done: CallCallback | None = None
+    ) -> None:
         self.method = method
         self.request = request
         self.done = threading.Event()
         self.response: Any = None
         self.error: BaseException | None = None
+        self.on_done = on_done
 
 
 class ThreadedTransport(Transport):
@@ -104,16 +107,12 @@ class ThreadedTransport(Transport):
             except BaseException as exc:  # noqa: BLE001 - relayed to caller
                 call.error = exc
             call.done.set()
+            if call.on_done is not None:
+                call.on_done(call.response, call.error)
 
-    def call(
-        self,
-        src: int,
-        dst: int,
-        service: str,
-        method: str,
-        request: Any,
-        request_bytes: int = 0,
-    ) -> Any:
+    def _enqueue(
+        self, dst: int, service: str, call: _PendingCall, timeout: float
+    ) -> None:
         # Lock-free reads: a call racing start/shutdown sees either side
         # of the flip — at worst it enqueues onto a draining pool and
         # times out, exactly as a call landing just before shutdown does.
@@ -124,13 +123,24 @@ class ThreadedTransport(Transport):
         q = self._queues.get((dst, service))
         if q is None:
             raise RpcError(f"no service {service!r} on node {dst}")
-        call = _PendingCall(method, request)
         try:
-            q.put(call, timeout=self.call_timeout)
+            q.put(call, timeout=timeout)
         except queue.Full:
             raise RpcError(
                 f"request queue full for {service!r} on node {dst}"
             ) from None
+
+    def call(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        method: str,
+        request: Any,
+        request_bytes: int = 0,
+    ) -> Any:
+        call = _PendingCall(method, request)
+        self._enqueue(dst, service, call, self.call_timeout)
         if not call.done.wait(self.call_timeout):
             raise RpcError(
                 f"{service}.{method} on node {dst} timed out "
@@ -139,6 +149,25 @@ class ThreadedTransport(Transport):
         if call.error is not None:
             raise call.error
         return call.response
+
+    def call_async(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        method: str,
+        request: Any,
+        request_bytes: int = 0,
+        *,
+        on_done: CallCallback,
+    ) -> None:
+        """Enqueue without waiting: the worker thread that executes the
+        handler invokes ``on_done`` (pipelined shipping rides on this).
+        Enqueue-side failures (unknown service, full queue) raise here
+        instead of reaching the callback."""
+        self._enqueue(
+            dst, service, _PendingCall(method, request, on_done), self.call_timeout
+        )
 
     def shutdown(self) -> None:
         with self._state_lock:

@@ -27,7 +27,13 @@ charging), thin service wrappers around the same cores — see
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import Any
+
+#: Completion callback for :meth:`Transport.call_async`: exactly one of
+#: (response, error) is non-None. Runs on a transport-owned thread — keep
+#: it short and never call back into the transport synchronously.
+CallCallback = Callable[[Any, BaseException | None], None]
 
 
 class LiveService:
@@ -66,6 +72,37 @@ class Transport:
         model the network; byte-oblivious transports ignore it.
         """
         raise NotImplementedError
+
+    def call_async(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        method: str,
+        request: Any,
+        request_bytes: int = 0,
+        *,
+        on_done: CallCallback,
+    ) -> None:
+        """Issue a call without waiting; ``on_done(response, error)`` fires
+        when it resolves. The default runs the call synchronously — only
+        concurrent transports gain actual pipelining by overriding this.
+        """
+        try:
+            response = self.call(src, dst, service, method, request, request_bytes)
+        except BaseException as exc:  # noqa: BLE001 - relayed to the callback
+            on_done(None, exc)
+        else:
+            on_done(response, None)
+
+    def credit(self, dst: int, service: str) -> int:
+        """Bytes of in-flight work ``(dst, service)`` can absorb right now.
+
+        Transports with real bounded channels (shared-memory rings)
+        report their free bytes; others report a large constant so credit
+        never gates shipping.
+        """
+        return 1 << 62
 
     def start(self) -> None:
         """Bring the transport up (spawn threads, open sockets)."""

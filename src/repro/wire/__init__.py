@@ -43,6 +43,7 @@ from repro.wire.chunk import (
 )
 from repro.wire.framing import encode_chunks, decode_chunks, iter_chunk_views
 from repro.wire.buffers import AppendBuffer
+from repro.wire.ring import SpscRing, RingClosed
 
 __all__ = [
     "Record",
@@ -67,4 +68,6 @@ __all__ = [
     "decode_chunks",
     "iter_chunk_views",
     "AppendBuffer",
+    "SpscRing",
+    "RingClosed",
 ]

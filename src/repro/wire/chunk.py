@@ -89,6 +89,14 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
     #: part of identity (``compare=False``) and dropped by :meth:`assigned`
     #: when the placement changes.
     wire: bytes | None = field(default=None, repr=False, compare=False)
+    #: Whether ``payload_crc`` is known to match the payload bytes *in this
+    #: address space*: set when the CRC was computed over these very bytes
+    #: (builder/``__post_init__``) or checked against them (``decode_chunk``
+    #: with ``verify=True``, :meth:`verify_payload`). Validation is a
+    #: boundary-crossing cost — a chunk handed across threads by reference
+    #: keeps the bit, while any transport that copies bytes between address
+    #: spaces re-decodes and re-earns it on the receiving side.
+    verified: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload is not None:
@@ -98,6 +106,7 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
                 )
             if self.payload_crc == 0:
                 self.payload_crc = crc32c(self.payload)
+                self.verified = True
 
     @classmethod
     def meta(
@@ -161,6 +170,7 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
         # survives a clone that keeps them.
         same_placement = group_id == self.group_id and segment_id == self.segment_id
         clone.wire = self.wire if same_placement else None
+        clone.verified = self.verified
         return clone
 
     def encoded_frame(self) -> bytes:
@@ -176,12 +186,18 @@ class Chunk:  # noqa: A004 -- mutable by design: the broker assigns group/segmen
         return encode_chunk(self)
 
     def verify_payload(self) -> None:
-        """Check the payload CRC; raise :class:`ChecksumError` on corruption."""
-        if self.payload is None:
+        """Check the payload CRC; raise :class:`ChecksumError` on corruption.
+
+        Idempotent per address space: once the CRC has been computed or
+        checked over these payload bytes (:attr:`verified`), later calls
+        are free — re-hashing bytes that never left the process would
+        only re-prove what construction already proved."""
+        if self.payload is None or self.verified:
             return
         actual = crc32c(self.payload)
         if actual != self.payload_crc:
             raise ChecksumError(self.payload_crc, actual, "chunk payload")
+        self.verified = True
 
 
 def encode_chunk(chunk: Chunk) -> bytes:
@@ -259,6 +275,7 @@ def decode_chunk(
         payload_crc=payload_crc,
         group_id=group_id,
         segment_id=segment_id,
+        verified=payload is not None and verify,
     )
     return chunk, end
 
@@ -398,6 +415,7 @@ class ChunkBuilder:
             payload=memoryview(frame)[CHUNK_HEADER_SIZE:],
             payload_crc=payload_crc,
             wire=frame,
+            verified=True,
         )
         self._size = 0
         self._count = 0

@@ -79,3 +79,51 @@ def test_mutation_in_nested_function_not_treated_as_guarded(analyze):
         rules=["A001"],
     )
     assert any(f.rule == "A001" and "seen" in f.message for f in findings)
+
+
+def test_ancestor_lock_satisfies_declaration(analyze):
+    """A subclass may guard its own state with a lock the in-tree base
+    transport created (cross-dict invariants share one lock)."""
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Base:
+                def __init__(self):
+                    self._state_lock = threading.Lock()
+
+            class Leaf(Base):
+                def __init__(self):
+                    super().__init__()
+                    self._bindings = {}  # guarded-by: _state_lock
+
+                def bind(self, key, value):
+                    with self._state_lock:
+                        self._bindings[key] = value
+            """
+        },
+        rules=["A001"],
+    )
+    assert findings == []
+
+
+def test_undeclared_lock_still_fires_with_ancestry(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+
+            class Base:
+                def __init__(self):
+                    self._other = threading.Lock()
+
+            class Leaf(Base):
+                def __init__(self):
+                    super().__init__()
+                    self._bindings = {}  # guarded-by: _state_lock
+            """
+        },
+        rules=["A001"],
+    )
+    assert any("_state_lock" in f.message for f in findings)

@@ -58,3 +58,58 @@ def test_real_tree_transports_conform():
 
     src = Path(__file__).resolve().parents[2] / "src" / "repro"
     assert findings_for("A003", paths=[src]) == []
+
+
+def test_call_async_missing_on_done_fires(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            class Transport:
+                def call_async(self, src, dst, service, method, request,
+                               request_bytes=0, *, on_done): ...
+
+            class BadTransport(Transport):
+                def call_async(self, src, dst, service, method, request,
+                               request_bytes=0): ...
+            """
+        },
+        rules=["A003"],
+    )
+    assert any(
+        "BadTransport.call_async" in f.message and "on_done" in f.message
+        for f in findings
+    )
+
+
+def test_credit_signature_drift_fires(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            class Transport:
+                def credit(self, dst, service): ...
+
+            class BadTransport(Transport):
+                def credit(self, node, service): ...
+            """
+        },
+        rules=["A003"],
+    )
+    assert any("BadTransport.credit" in f.message for f in findings)
+
+
+def test_pipelined_shipper_surface_pinned(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            class PipelinedShipper:
+                def kick(self): ...
+                def stop(self, timeout): ...
+                def in_flight_batches(self): ...
+            """
+        },
+        rules=["A003"],
+    )
+    assert any(
+        "PipelinedShipper.stop" in f.message and "drifted" in f.message
+        for f in findings
+    )

@@ -56,8 +56,17 @@ def test_append_batch_accumulates_same_vseg():
 
 def test_corrupt_payload_rejected():
     store = BackupStore(node_id=2)
-    chunk = real_chunk()
-    chunk.payload_crc ^= 0xFF  # corrupt the recorded checksum
+    good = real_chunk()
+    # A chunk whose claimed CRC does not match its bytes and that was
+    # never validated in this process (verified=False): the backup must
+    # re-check and reject it. (A builder-built chunk carries verified=True
+    # and skips the re-hash — validation is paid at boundaries only.)
+    chunk = Chunk(
+        stream_id=1, streamlet_id=0, producer_id=0, chunk_seq=0,
+        record_count=1, payload_len=good.payload_len, payload=good.payload,
+        payload_crc=good.payload_crc ^ 0xFF,
+    )
+    assert not chunk.verified
     with pytest.raises(ChecksumError):
         store.append_batch(
             src_broker=0, vlog_id=0, vseg_id=0, chunks=[chunk], segment_capacity=1 * MB

@@ -1,0 +1,133 @@
+"""Flow control: credit window and adaptive batcher (deterministic)."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.replication.flow import AdaptiveBatcher, FlowController
+
+
+# -- FlowController ----------------------------------------------------------
+
+
+def test_unbounded_window_always_admits():
+    flow = FlowController(0)
+    assert flow.try_acquire(1 << 40)
+    assert flow.credit() > 1 << 40
+    flow.release(1 << 40)
+    assert flow.in_flight_bytes == 0
+
+
+def test_window_bounds_in_flight_bytes():
+    flow = FlowController(100)
+    assert flow.try_acquire(60)
+    assert flow.credit() == 40
+    assert not flow.try_acquire(50)
+    assert flow.try_acquire(40)
+    assert flow.credit() == 0
+    flow.release(60)
+    assert flow.in_flight_bytes == 40
+    assert flow.try_acquire(50)
+
+
+def test_oversized_batch_admitted_when_idle():
+    # A batch larger than the whole window must still ship (otherwise it
+    # would starve forever) — but only with nothing else in flight.
+    flow = FlowController(100)
+    assert flow.try_acquire(500)
+    assert not flow.try_acquire(1)
+    flow.release(500)
+    assert flow.try_acquire(1)
+    assert not flow.try_acquire(500)
+
+
+def test_acquire_times_out_without_credit():
+    flow = FlowController(10)
+    assert flow.acquire(10)
+    assert not flow.acquire(5, timeout=0.01)
+    assert flow.in_flight_bytes == 10
+
+
+def test_release_unblocks_waiter():
+    flow = FlowController(10)
+    assert flow.try_acquire(10)
+    acquired = []
+    waiter = threading.Thread(target=lambda: acquired.append(flow.acquire(8, timeout=5.0)))
+    waiter.start()
+    flow.release(10)
+    waiter.join(timeout=5.0)
+    assert acquired == [True]
+    assert flow.in_flight_bytes == 8
+
+
+def test_release_floors_at_zero():
+    flow = FlowController(10)
+    flow.release(99)
+    assert flow.in_flight_bytes == 0
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ConfigError):
+        FlowController(-1)
+
+
+# -- AdaptiveBatcher ---------------------------------------------------------
+
+
+def test_batcher_validation():
+    with pytest.raises(ConfigError):
+        AdaptiveBatcher(min_target_chunks=0)
+    with pytest.raises(ConfigError):
+        AdaptiveBatcher(min_target_chunks=8, max_target_chunks=4)
+    with pytest.raises(ConfigError):
+        AdaptiveBatcher(linger_s=-1.0)
+
+
+def test_no_linger_when_disabled_or_idle():
+    b = AdaptiveBatcher(min_target_chunks=4, linger_s=0.0)
+    assert b.linger_delay(2, now=0.0) == 0.0
+    b = AdaptiveBatcher(min_target_chunks=4, linger_s=1.0)
+    assert b.linger_delay(0, now=0.0) == 0.0
+
+
+def test_full_batch_ships_immediately():
+    b = AdaptiveBatcher(min_target_chunks=4, linger_s=1.0)
+    assert b.linger_delay(4, now=0.0) == 0.0
+    assert b.linger_delay(7, now=0.0) == 0.0
+
+
+def test_linger_window_counts_from_last_ship():
+    b = AdaptiveBatcher(min_target_chunks=4, linger_s=1.0)
+    b.observe_ship(4, now=10.0)
+    # Under target, inside the linger window: wait out the remainder.
+    assert b.linger_delay(1, now=10.4) == pytest.approx(0.6)
+    # Window elapsed: ship what we have.
+    assert b.linger_delay(1, now=11.5) == 0.0
+
+
+def test_target_grows_on_full_batches_and_decays_when_small():
+    b = AdaptiveBatcher(min_target_chunks=2, max_target_chunks=16)
+    assert b.target_chunks == 2
+    b.observe_ship(2, now=0.0)
+    assert b.target_chunks == 4
+    b.observe_ship(4, now=0.0)
+    assert b.target_chunks == 8
+    b.observe_ship(99, now=0.0)
+    assert b.target_chunks == 16
+    b.observe_ship(16, now=0.0)
+    assert b.target_chunks == 16  # capped
+    b.observe_ship(1, now=0.0)
+    assert b.target_chunks == 8
+    for _ in range(10):
+        b.observe_ship(1, now=0.0)
+    assert b.target_chunks == 2  # floored
+
+
+def test_backpressure_grows_consolidation():
+    b = AdaptiveBatcher(min_target_chunks=2, max_target_chunks=8)
+    b.observe_backpressure()
+    assert b.target_chunks == 4
+    b.observe_backpressure()
+    b.observe_backpressure()
+    assert b.target_chunks == 8

@@ -1,0 +1,139 @@
+"""ProcessKeraCluster: replication served by worker processes.
+
+The same no-loss/no-duplication harness as the threaded cluster, now with
+every backup core living in a child process behind a shared-memory ring —
+plus the shutdown-drain and exactly-once-retransmit guarantees that must
+survive the extra address-space hop.
+"""
+
+import pytest
+
+from repro.common.units import KB, MB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import KeraConfig, KeraConsumer
+from repro.kera.process import ProcessKeraCluster
+from repro.wire.chunk import ChunkBuilder
+from repro.wire.record import Record
+
+from tests.runtime.test_threaded_cluster import run_producers
+
+
+def make_cluster(r=3, vlogs=2, q=2, num_brokers=3, *, pipeline_depth=2, **kwargs):
+    config = KeraConfig(
+        num_brokers=num_brokers,
+        storage=StorageConfig(segment_size=256 * KB, q_active_groups=q),
+        replication=ReplicationConfig(
+            replication_factor=r,
+            vlogs_per_broker=vlogs,
+            pipeline_depth=pipeline_depth,
+            ship_window_bytes=2 * MB,
+        ),
+        chunk_size=1 * KB,
+    )
+    kwargs.setdefault("ack_timeout", 30.0)
+    return ProcessKeraCluster(config, **kwargs)
+
+
+def test_concurrent_producers_no_loss_no_duplication():
+    num_threads, records_each, streamlets = 4, 150, 3
+    with make_cluster() as cluster:
+        cluster.create_stream(0, streamlets)
+        acked, errors = run_producers(cluster, num_threads, records_each, streamlets)
+        assert errors == []
+        assert acked == [records_each] * num_threads
+
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        values = [r.value for r in consumer.drain()]
+        assert len(values) == num_threads * records_each
+        assert len(set(values)) == len(values)
+
+
+def test_backup_workers_hold_all_copies():
+    """Everything acked is durable on R-1 child-process backups, and the
+    stats RPC exposes the children's accounting."""
+    with make_cluster() as cluster:
+        cluster.create_stream(0, 2)
+        acked, errors = run_producers(cluster, 3, 100, 2)
+        assert errors == []
+        chunks = sum(b.chunks_ingested for b in cluster.brokers.values())
+        backup_chunks = sum(
+            cluster.backup_stats(node)["chunks_received"]
+            for node in cluster.system.node_ids
+        )
+        assert backup_chunks == 2 * chunks  # R = 3
+        # Parent-side backup cores see no traffic in process mode.
+        assert all(b.store.chunks_received == 0 for b in cluster.backups.values())
+        assert all(b.pending_requests() == 0 for b in cluster.brokers.values())
+
+
+def test_retransmission_acks_and_deduplicates():
+    """The exactly-once harness across the process boundary: a full
+    retransmit acks as a duplicate and leaves exactly one copy."""
+    with make_cluster() as cluster:
+        cluster.create_stream(0, 1)
+        builder = ChunkBuilder(1 * KB, stream_id=0, streamlet_id=0, producer_id=0)
+        for i in range(5):
+            assert builder.try_append(Record(value=f"r{i}".encode()))
+        chunk = builder.build(chunk_seq=0)
+
+        first = cluster.produce([chunk], producer_id=0)
+        assert not first[0].assignments[0].duplicate
+        second = cluster.produce([chunk], producer_id=0)
+        assert second[0].assignments[0].duplicate
+
+        consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+        values = [r.value for r in consumer.drain()]
+        assert values == [f"r{i}".encode() for i in range(5)]
+        broker = cluster.brokers[cluster.leader_of(0, 0)]
+        assert broker.duplicates_dropped == 1
+
+
+def test_shutdown_under_load_drains_cleanly():
+    """Shutdown right after the last ack: shippers drain in-flight
+    batches, nothing is lost, nothing double-applies (pending == 0 and
+    every produced chunk is durable on both backups)."""
+    cluster = make_cluster(pipeline_depth=4)
+    try:
+        cluster.create_stream(0, 2)
+        acked, errors = run_producers(cluster, 4, 80, 2, flush_every=10)
+        assert errors == []
+        assert acked == [80] * 4
+        chunks = sum(b.chunks_ingested for b in cluster.brokers.values())
+        backup_chunks = sum(
+            cluster.backup_stats(node)["chunks_received"]
+            for node in cluster.system.node_ids
+        )
+        assert backup_chunks == 2 * chunks
+    finally:
+        cluster.shutdown()
+    for node in cluster.system.node_ids:
+        shipper = cluster.shipper(node)
+        assert not shipper.is_alive()
+        assert shipper.error is None
+        assert shipper.in_flight_batches() == 0
+    # Every ack was applied exactly once: nothing pending anywhere.
+    assert all(b.pending_chunks() == 0 for b in cluster.brokers.values())
+
+
+def test_shipper_error_surfaces_to_producer():
+    """Replication to a crashed node surfaces on the shipper and fails
+    the parked produce, exactly like the threaded driver."""
+    from repro.common.errors import ReplicationError
+
+    with make_cluster(ack_timeout=3.0) as cluster:
+        cluster.create_stream(0, 1)
+        leader = cluster.leader_of(0, 0)
+        victim = next(
+            n for n in cluster.system.node_ids if n != leader
+        )
+        with cluster._failed_lock:
+            cluster._failed.update(
+                n for n in cluster.system.node_ids if n != leader
+            )
+        builder = ChunkBuilder(1 * KB, stream_id=0, streamlet_id=0, producer_id=0)
+        assert builder.try_append(Record(value=b"doomed"))
+        chunk = builder.build(chunk_seq=0)
+        with pytest.raises(ReplicationError):
+            cluster.produce([chunk], producer_id=0)
+        assert victim is not None

@@ -1,0 +1,134 @@
+"""SPSC ring: framing, wrap-around pads, credit, close/drain contract."""
+
+import pytest
+
+from repro.common.errors import RpcError
+from repro.wire.ring import HEADER_SIZE, RECORD_HEADER, RingClosed, SpscRing
+
+
+def make_ring(capacity=256):
+    return SpscRing(bytearray(HEADER_SIZE + capacity), reset=True)
+
+
+def test_roundtrip_single_record():
+    ring = make_ring()
+    assert ring.try_write(1, [b"hello ", b"world"])
+    kind, view = ring.try_read()
+    assert kind == 1
+    assert bytes(view) == b"hello world"
+    ring.consume()
+    assert ring.try_read() is None
+    assert ring.free_bytes == ring.capacity
+
+
+def test_zero_copy_view_aliases_ring():
+    ring = make_ring()
+    ring.try_write(7, [b"abc"])
+    _, view = ring.try_read()
+    assert isinstance(view, memoryview)
+    ring.consume()
+
+
+def test_fifo_order_many_records():
+    ring = make_ring(1024)
+    for i in range(10):
+        assert ring.try_write(2, [bytes([i]) * (i + 1)])
+    for i in range(10):
+        kind, view = ring.try_read()
+        assert kind == 2
+        assert bytes(view) == bytes([i]) * (i + 1)
+        ring.consume()
+    assert ring.try_read() is None
+
+
+def test_full_ring_refuses_then_recovers():
+    ring = make_ring(64)
+    payload = b"x" * 24  # 8 header + 24 = 32 per record
+    assert ring.try_write(1, [payload])
+    assert ring.try_write(1, [payload])
+    assert not ring.try_write(1, [payload])  # full
+    assert ring.free_bytes == 0
+    ring.try_read()
+    ring.consume()
+    assert ring.try_write(1, [payload])
+
+
+def test_wraparound_inserts_pad():
+    ring = make_ring(64)
+    # First record takes 40 bytes; after consuming it the next 40-byte
+    # record would straddle the wrap point — the writer pads and wraps.
+    assert ring.try_write(1, [b"a" * 32])
+    ring.try_read()
+    ring.consume()
+    assert ring.try_write(1, [b"b" * 32])
+    kind, view = ring.try_read()
+    assert kind == 1
+    assert bytes(view) == b"b" * 32
+    ring.consume()
+    # Sustained traffic across many wraps stays intact.
+    for i in range(100):
+        n = (i % 3) * 8 + 4
+        assert ring.write(3, [bytes([i % 251]) * n], timeout=1.0)
+        kind, view = ring.try_read()
+        assert (kind, bytes(view)) == (3, bytes([i % 251]) * n)
+        ring.consume()
+
+
+def test_oversized_record_rejected():
+    ring = make_ring(64)
+    with pytest.raises(RpcError):
+        ring.try_write(1, [b"x" * 100])
+
+
+def test_pad_kind_reserved():
+    ring = make_ring()
+    with pytest.raises(RpcError):
+        ring.try_write(0, [b"nope"])
+
+
+def test_consume_without_peek_rejected():
+    ring = make_ring()
+    with pytest.raises(RpcError):
+        ring.consume()
+
+
+def test_close_then_drain():
+    ring = make_ring()
+    ring.try_write(1, [b"queued"])
+    ring.close()
+    with pytest.raises(RingClosed):
+        ring.try_write(1, [b"late"])
+    # Queued records still drain after close.
+    kind, view = ring.read(timeout=0.1)
+    assert (kind, bytes(view)) == (1, b"queued")
+    ring.consume()
+    assert ring.read(timeout=0.1) is None
+
+
+def test_write_timeout_when_full():
+    ring = make_ring(32)
+    assert ring.try_write(1, [b"x" * 24])
+    assert not ring.write(1, [b"x" * 24], timeout=0.02)
+
+
+def test_credit_tracks_free_bytes():
+    ring = make_ring(128)
+    assert ring.free_bytes == 128
+    ring.try_write(1, [b"x" * 8])
+    assert ring.free_bytes == 128 - RECORD_HEADER - 8
+    ring.try_read()
+    ring.consume()
+    assert ring.free_bytes == 128
+
+
+def test_shared_view_two_ring_objects():
+    # Reader and writer attach separate SpscRing objects over the same
+    # buffer, as two processes do over one shared-memory block.
+    buf = bytearray(HEADER_SIZE + 256)
+    writer = SpscRing(buf, reset=True)
+    reader = SpscRing(buf)
+    writer.try_write(5, [b"cross-process"])
+    kind, view = reader.try_read()
+    assert (kind, bytes(view)) == (5, b"cross-process")
+    reader.consume()
+    assert writer.free_bytes == writer.capacity
