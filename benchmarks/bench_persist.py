@@ -1,0 +1,316 @@
+"""Durable-tier microbenchmarks: fsync policies, async flush, recovery.
+
+Measures what the on-disk backup tier costs on the paper's benchmark
+workload (100-byte records, 16 KB chunks, replication factor 3):
+
+* ``seg_flush_<policy>`` — backup ingest + inline segment-file persistence
+  under each fsync policy (``never`` / ``bytes:1m`` / ``interval:10`` /
+  ``always``), the per-policy write amplification story;
+* ``replication_ship`` — the *same* stage bench_datapath.py measures, but
+  with every backup persisting through a real flusher thread. Merged into
+  ``BENCH_datapath.json`` under the ``persist`` label, it shares a name
+  with the in-memory runs so ``scripts/perf_compare.py`` can enforce that
+  asynchronous durability does not regress the ack path::
+
+      python scripts/perf_compare.py BENCH_datapath.json \
+          --baseline pipelined --candidate persist --max-regression 0.5
+
+* ``disk_recovery`` — chunks/s re-ingested by ``SegmentPersistence.load``
+  (torn-tail recovery + decode, files in parallel), plus a printed
+  recovery-time-vs-segment-count table.
+
+Emits the same JSON schema as bench_datapath.py::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py \
+        --label persist --out BENCH_datapath.json --append
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # pragma: no cover - import side of the PYTHONPATH contract
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from bench_datapath import (  # noqa: E402
+    CHUNK_CAPACITY,
+    RECORD_SIZE,
+    RECORDS_PER_CHUNK,
+    REPLICATION_FACTOR,
+    SEGMENT_SIZE,
+    _fresh_broker_and_backups,
+    _git_rev,
+    _measure,
+    _premade_chunks,
+    _record_pool,
+)
+from repro.kera.backup import FlushWork, KeraBackupCore  # noqa: E402
+from repro.kera.messages import ProduceRequest, ReplicateRequest  # noqa: E402
+from repro.persist import BackupFlusher, SegmentPersistence  # noqa: E402
+from repro.runtime.system import KeraSystem  # noqa: E402
+from repro.wire.chunk import Chunk  # noqa: E402
+
+FSYNC_POLICIES = ["never", "bytes:1048576", "interval:10", "always"]
+
+
+def _replicate_request(template, vseg_id: int, batch_bytes: int) -> ReplicateRequest:
+    return ReplicateRequest(
+        src_broker=0,
+        vlog_id=0,
+        vseg_id=vseg_id,
+        vseg_capacity=batch_bytes,
+        batch_checksum=0,
+        chunks=list(template),
+    )
+
+
+def stage_seg_flush(pool, chunks_per_iter: int, tmpdir: str, policy: str):
+    """Backup ingest + inline persistence under one fsync policy."""
+    template = _premade_chunks(pool, chunks_per_iter)
+    batch_bytes = sum(c.size for c in template)
+    core = KeraBackupCore(
+        node_id=9,
+        materialize=True,
+        flush_threshold=batch_bytes,
+        disk_dir=tmpdir,
+        fsync_policy=policy,
+    )
+    vseg_ids = itertools.count()
+
+    def run():
+        request = _replicate_request(template, next(vseg_ids), batch_bytes)
+        _, flush = core.handle_replicate(request)
+        if flush is not None:
+            core.persist(flush)
+        return chunks_per_iter, batch_bytes
+
+    return run
+
+
+def stage_ship_with_flusher(pool, chunks_per_iter: int, tmpdir: str):
+    """bench_datapath's ``replication_ship``, durability switched on.
+
+    Every backup persists through its own flusher thread (``bytes:1m``
+    policy, the live drivers' shape): the measured path still ends at the
+    ack, so any slowdown vs the in-memory runs is the cost the durable
+    tier puts on the producer's critical path.
+    """
+    broker, backups = _fresh_broker_and_backups()
+    flushers: dict[int, BackupFlusher[FlushWork]] = {}
+    for node in list(backups):
+        core = KeraBackupCore(
+            node_id=node,
+            materialize=True,
+            flush_threshold=256 * 1024,
+            disk_dir=f"{tmpdir}/node{node}",
+            fsync_policy="bytes:1048576",
+        )
+        backups[node] = core
+        flushers[node] = BackupFlusher(
+            core.persist,
+            name=f"bench-flusher-{node}",
+            on_tick=core.tick_persistence,
+        )
+    template = _premade_chunks(pool, chunks_per_iter)
+    payloads = [(c.payload, c.payload_crc, c.record_count) for c in template]
+    seq = itertools.count()
+    request_ids = itertools.count(1)
+    nbytes = sum(c.size for c in template)
+
+    def pump() -> None:
+        while True:
+            batches = broker.collect_batches()
+            if not batches:
+                return
+            for batch in batches:
+                request = KeraSystem.replicate_request(0, batch)
+                for node in batch.backups:
+                    core = backups[node]
+                    _, flush = core.handle_replicate(request)
+                    works = core.take_sealed_flushes()
+                    if flush is not None:
+                        works.append(flush)
+                    for work in works:
+                        flushers[node].submit(work, work.nbytes)
+                broker.complete_batch(batch)
+
+    def run():
+        chunks = [
+            Chunk(
+                stream_id=1,
+                streamlet_id=0,
+                producer_id=7,
+                chunk_seq=next(seq),
+                record_count=count,
+                payload_len=len(payload),
+                payload=payload,
+                payload_crc=crc,
+            )
+            for payload, crc, count in payloads
+        ]
+        broker.handle_produce(
+            ProduceRequest(request_id=next(request_ids), producer_id=7, chunks=chunks)
+        )
+        pump()
+        return chunks_per_iter, nbytes
+
+    def cleanup():
+        for node, flusher in flushers.items():
+            flusher.stop(drain=True)
+            backups[node].close_persistence()
+
+    return run, cleanup
+
+
+def _write_recovery_tree(pool, root: str, files: int, chunks_per_file: int) -> int:
+    """One epoch directory of ``files`` closed segment files; returns the
+    total chunk count."""
+    core = KeraBackupCore(
+        node_id=9, materialize=True, flush_threshold=1, disk_dir=root
+    )
+    for vseg_id in range(files):
+        template = _premade_chunks(pool, chunks_per_file, seq0=vseg_id * chunks_per_file)
+        batch_bytes = sum(c.size for c in template)
+        _, flush = core.handle_replicate(
+            _replicate_request(template, vseg_id, batch_bytes)
+        )
+        if flush is not None:
+            core.persist(flush)
+    for flush in core.drain_flush():
+        core.persist(flush)
+    core.close_persistence()
+    return files * chunks_per_file
+
+
+def stage_disk_recovery(pool, root: str, files: int, chunks_per_file: int):
+    chunks_total = _write_recovery_tree(pool, root, files, chunks_per_file)
+
+    def run():
+        report = SegmentPersistence(root).load(parallel=4)
+        assert len(report.segments) == files
+        assert report.chunks_loaded == chunks_total
+        return chunks_total, chunks_total * CHUNK_CAPACITY
+
+    return run
+
+
+def recovery_scaling(pool, *, quick: bool) -> None:
+    """Print recovery time vs segment count (not part of the JSON)."""
+    counts = [4, 16] if quick else [8, 32, 64]
+    chunks_per_file = 4 if quick else 8
+    print("  recovery time vs segment count:")
+    for files in counts:
+        with tempfile.TemporaryDirectory(prefix="bench_recover_") as root:
+            chunks_total = _write_recovery_tree(pool, root, files, chunks_per_file)
+            t0 = time.perf_counter()
+            report = SegmentPersistence(root).load(parallel=4)
+            elapsed = time.perf_counter() - t0
+            assert report.chunks_loaded == chunks_total
+            print(
+                f"    {files:>4} files / {chunks_total:>5} chunks:"
+                f" {elapsed * 1e3:8.2f} ms"
+                f" ({chunks_total / elapsed:>12,.0f} chunks/s)"
+            )
+
+
+def run_suite(*, quick: bool) -> dict:
+    min_time = 0.08 if quick else 0.4
+    chunks_per_iter = 2 if quick else 8
+    pool = _record_pool(4096)
+    results: dict[str, dict] = {}
+
+    def bench(name: str, fn, unit: str) -> None:
+        stats = _measure(fn, min_time=min_time)
+        results[name] = {
+            "value": stats["units_per_s"],
+            "unit": unit,
+            "mb_per_s": stats["mb_per_s"],
+            "seconds": stats["seconds"],
+            "iters": stats["iters"],
+        }
+        print(
+            f"  {name:<22} {stats['units_per_s']:>14,.0f} {unit:<10}"
+            f" ({stats['mb_per_s']:8.2f} MB/s, {stats['iters']} iters)"
+        )
+
+    print(f"durable-tier microbenchmarks ({'quick' if quick else 'full'} mode)")
+    for policy in FSYNC_POLICIES:
+        name = f"seg_flush_{policy.split(':')[0]}"
+        with tempfile.TemporaryDirectory(prefix="bench_persist_") as tmpdir:
+            bench(name, stage_seg_flush(pool, chunks_per_iter, tmpdir, policy), "chunks/s")
+    with tempfile.TemporaryDirectory(prefix="bench_persist_") as tmpdir:
+        run, cleanup = stage_ship_with_flusher(pool, chunks_per_iter, tmpdir)
+        try:
+            bench("replication_ship", run, "chunks/s")
+        finally:
+            cleanup()
+    files = 8 if quick else 32
+    chunks_per_file = 4 if quick else 8
+    with tempfile.TemporaryDirectory(prefix="bench_recover_") as root:
+        bench(
+            "disk_recovery",
+            stage_disk_recovery(pool, root, files, chunks_per_file),
+            "chunks/s",
+        )
+    recovery_scaling(pool, quick=quick)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="persist", help="name for this run")
+    parser.add_argument("--out", default=None, help="write/merge JSON here")
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="merge into --out instead of overwriting (replaces same label)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="short timings for CI smoke"
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = run_suite(quick=args.quick)
+    run = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "workload": {
+            "record_size": RECORD_SIZE,
+            "chunk_capacity": CHUNK_CAPACITY,
+            "records_per_chunk": RECORDS_PER_CHUNK,
+            "segment_size": SEGMENT_SIZE,
+            "replication_factor": REPLICATION_FACTOR,
+        },
+        "benchmarks": benchmarks,
+    }
+
+    if args.out is None:
+        print(json.dumps(run, indent=2))
+        return 0
+    out = Path(args.out)
+    doc = {"schema": 1, "runs": []}
+    if args.append and out.exists():
+        doc = json.loads(out.read_text())
+    doc["runs"] = [r for r in doc["runs"] if r["label"] != args.label]
+    doc["runs"].append(run)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"saved run '{args.label}' to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

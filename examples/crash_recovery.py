@@ -1,16 +1,27 @@
-"""Crash recovery: lose a broker, recover its data from the backups.
+"""Crash recovery: lose a broker, recover its data from the backups —
+then lose the *whole cluster* and restart it from disk.
 
-Ingests records over 8 streamlets with replication factor 3, kills broker
-1, and runs the recovery protocol: the coordinator reassigns the dead
-broker's streamlets to the survivors, the backups hand over the
-replicated virtual segments they hold for it, the copies are merged in
-virtual-segment order (replica divergence is checked), and every chunk is
-replayed through the ordinary produce path — metadata reconstructed from
-the [group, segment] tags, duplicates across backup copies collapsed, and
-the recovered data re-replicated to the surviving backups.
+Act one (live recovery): ingests records over 8 streamlets with
+replication factor 3, kills broker 1, and runs the recovery protocol:
+the coordinator reassigns the dead broker's streamlets to the survivors,
+the backups hand over the replicated virtual segments they hold for it,
+the copies are merged in virtual-segment order (replica divergence is
+checked), and every chunk is replayed through the ordinary produce path —
+metadata reconstructed from the [group, segment] tags, duplicates across
+backup copies collapsed, and the recovered data re-replicated to the
+surviving backups.
+
+Act two (restart from disk): a threaded cluster with a ``persist_dir``
+ingests the same workload while its backups stream segment files to disk
+(``fsync_policy="always"``), then dies abruptly — no drain, no clean
+close. A fresh incarnation pointed at the same directory re-ingests the
+segment files (torn tails truncated, indexes rebuilt), merges the
+per-backup copies, and replays every acked record through produce.
 
 Run:  python examples/crash_recovery.py
 """
+
+import tempfile
 
 from repro.common.units import KB
 from repro.replication.config import ReplicationConfig
@@ -22,9 +33,11 @@ from repro.kera import (
     KeraProducer,
     recover_broker,
 )
+from repro.kera.recovery import restore_cluster_from_disk
+from repro.kera.threaded import ThreadedKeraCluster
 
 
-def main() -> None:
+def live_recovery() -> None:
     config = KeraConfig(
         num_brokers=4,
         storage=StorageConfig(segment_size=64 * KB),
@@ -70,6 +83,66 @@ def main() -> None:
     for streamlet, values in per_streamlet.items():
         assert values == sorted(values), f"order broken in streamlet {streamlet}"
     print(f"recovery OK: all {len(expected)} acked records intact, order preserved")
+
+
+def restart_from_disk(persist_dir: str) -> None:
+    def make_config() -> KeraConfig:
+        return KeraConfig(
+            num_brokers=4,
+            storage=StorageConfig(segment_size=16 * KB),
+            replication=ReplicationConfig(
+                replication_factor=3, vlogs_per_broker=1, fsync_policy="always"
+            ),
+            chunk_size=1 * KB,
+            flush_threshold=1,  # every replicate batch reaches the flusher
+            persist_dir=persist_dir,
+        )
+
+    cluster = ThreadedKeraCluster(make_config())
+    cluster.create_stream(0, num_streamlets=8)
+    expected = set()
+    with KeraProducer(cluster, producer_id=0) as producer:
+        for i in range(1_000):
+            value = f"d{i:05d}".encode()
+            producer.send(0, value, streamlet_id=i % 8)
+            expected.add(value)
+    cluster.wait_flush_idle(30.0)
+    on_disk = sum(cluster.segments_on_disk(n) for n in cluster.system.node_ids)
+    print(f"\n{len(expected)} records acked; {on_disk} segment files on disk — "
+          "killing the whole cluster (no drain, no clean close)")
+    cluster.simulate_power_loss()
+
+    restarted = ThreadedKeraCluster(make_config())
+    restarted.create_stream(0, num_streamlets=8)
+    report = restore_cluster_from_disk(restarted)
+    print(f"restore read {report.segment_files_read} segment files from "
+          f"{report.backups_loaded} backups "
+          f"({report.bytes_truncated} torn bytes truncated, "
+          f"{report.indexes_rebuilt} indexes rebuilt)")
+    print(f"replayed {report.chunks_replayed} chunks / "
+          f"{report.records_restored} records for brokers "
+          f"{report.brokers_restored}")
+
+    consumer = KeraConsumer(restarted, consumer_id=0, stream_ids=[0])
+    records = consumer.drain()
+    got = {r.value for r in records}
+    assert got == expected, f"lost {len(expected - got)} acked records!"
+    assert len(records) == len(expected), "duplicate ingestion!"
+    per_streamlet: dict[int, list[int]] = {}
+    for record in records:
+        value = int(record.value[1:])
+        per_streamlet.setdefault(value % 8, []).append(value)
+    for streamlet, values in per_streamlet.items():
+        assert values == sorted(values), f"order broken in streamlet {streamlet}"
+    restarted.shutdown()
+    print(f"restart OK: all {len(expected)} acked records recovered from disk, "
+          "order preserved")
+
+
+def main() -> None:
+    live_recovery()
+    with tempfile.TemporaryDirectory(prefix="kera_restart_") as persist_dir:
+        restart_from_disk(persist_dir)
 
 
 if __name__ == "__main__":

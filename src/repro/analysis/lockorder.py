@@ -39,8 +39,12 @@ RULE_ID = "A005"
 
 LockNode = tuple[str, str]  # (class name, lock attribute)
 
-#: Method names shadowed by the builtin containers / queues / events:
-#: never resolved by bare name across classes (still resolved on self).
+#: Method names shadowed by the builtin containers / queues / events /
+#: file objects: never resolved by bare name across classes (still
+#: resolved on self). ``flush`` joined the list with the durable tier:
+#: ``self._fh.flush()`` on a file handle would otherwise bind to every
+#: project class with a ``flush`` method (e.g. the producer client),
+#: manufacturing lock chains through the disk writers.
 UNRESOLVED_NAMES = frozenset(
     {
         "acquire",
@@ -53,6 +57,7 @@ UNRESOLVED_NAMES = frozenset(
         "count",
         "discard",
         "extend",
+        "flush",
         "get",
         "get_nowait",
         "index",

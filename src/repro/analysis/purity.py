@@ -12,7 +12,15 @@ roots:
 * the module-level ``random`` functions (process-global, unseeded
   state). Constructing a seeded ``random.Random(seed)`` instance stays
   legal — that is exactly how deterministic workloads should draw
-  randomness.
+  randomness;
+* real file I/O — the builtin ``open``, the ``os`` module (file
+  descriptors, fsync, process state), and the ``pathlib``-style
+  read/write attribute calls (``write_bytes``, ``read_text``, ...). The
+  simulated world has a :class:`repro.sim.disk.DiskModel`; bytes that
+  touch the real platter come back at wall-clock speed and in
+  platform-dependent order, which is the same determinism leak as
+  wall-clock time. The durable tier (:mod:`repro.persist`) is live-mode
+  only and must never become import-reachable from a sim root.
 
 Roots are the sim tree and the sim/inproc transports: every module with
 a ``sim`` path component (``repro.sim.*``, ``repro.runtime.sim``) plus
@@ -56,6 +64,10 @@ BANNED_TIME = frozenset(
 #: ``random.Random`` (and the SystemRandom class) are fine; everything
 #: else on the module is process-global state.
 ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: Pathlib-style file I/O attribute calls: distinctive enough to flag by
+#: name on any receiver (``.open`` is deliberately absent — too generic).
+PATH_IO_ATTRS = frozenset({"write_bytes", "write_text", "read_bytes", "read_text"})
 
 
 def is_root(name: str) -> bool:
@@ -113,11 +125,28 @@ def _banned_usages(module: SourceModule) -> list[tuple[int, int, str]]:
                     found.append(
                         (node.lineno, node.col_offset, "import of `threading`")
                     )
+                elif alias.name == "os" or alias.name.startswith("os."):
+                    found.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of `{alias.name}` (real file I/O)",
+                        )
+                    )
         elif isinstance(node, ast.ImportFrom):
             if node.module == "threading":
                 found.append(
                     (node.lineno, node.col_offset, "import from `threading`")
                 )
+            elif node.module == "os" or (node.module or "").startswith("os."):
+                for alias in node.names:
+                    found.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of `{node.module}.{alias.name}` (real file I/O)",
+                        )
+                    )
             elif node.module == "time":
                 for alias in node.names:
                     if alias.name in BANNED_TIME:
@@ -164,6 +193,34 @@ def _banned_usages(module: SourceModule) -> list[tuple[int, int, str]]:
                         f"use of `threading.{node.attr}`",
                     )
                 )
+            elif owner == "os":
+                found.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"use of `os.{node.attr}` (real file I/O)",
+                    )
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+        ):
+            found.append(
+                (node.lineno, node.col_offset, "call of builtin `open` (real file I/O)")
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in PATH_IO_ATTRS
+        ):
+            found.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"path-style file I/O `.{node.func.attr}(...)`",
+                )
+            )
     return found
 
 

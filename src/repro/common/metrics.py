@@ -89,6 +89,36 @@ class ThroughputMeter:
         return hist
 
 
+class Gauge:
+    """A thread-safe point-in-time value (e.g. ``flush_lag_bytes``).
+
+    Writers :meth:`add` deltas (possibly from several threads — the ack
+    path increments while the flusher thread decrements); readers take
+    :attr:`value` snapshots without coordination beyond the lock.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def add(self, delta: int) -> int:
+        """Apply ``delta`` and return the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
 class LatencyReservoir:
     """Bounded reservoir of latency samples with percentile queries.
 

@@ -5,10 +5,13 @@ One backup service runs on every node, colocated with a broker
 and asynchronously persists them ``with the same in-memory format``; at
 recovery time it serves the crashed broker's chunks back to the cluster.
 
-When constructed with ``disk_dir`` (live mode), flushes write real files:
-one file per replicated segment, appended incrementally, decodable with
-the ordinary chunk framing — which is what lets recovery read segments
-back from disk after a restart.
+When constructed with ``disk_dir`` (live mode), flushes write real
+log-structured segment files through :class:`repro.persist.SegmentPersistence`:
+one ``*.seg`` + ``*.idx`` pair per replicated segment inside an epoch
+directory, appended verbatim from the segment buffer (the frames carry
+their own CRCs, so nothing is re-encoded), fsynced per the configured
+policy — which is what lets a restarted cluster recover every acked
+record from disk.
 """
 
 from __future__ import annotations
@@ -17,15 +20,20 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import StorageError
+from repro.persist import DiskLoadReport, FlushPolicy, LoadedSegment, SegmentPersistence
+from repro.persist.segment_file import DEFAULT_INDEX_INTERVAL
 from repro.replication.backup_store import BackupStore, ReplicatedSegment
 from repro.kera.messages import ReplicateRequest, ReplicateResponse
 from repro.wire.chunk import Chunk
-from repro.wire.framing import decode_chunks
 
 
 @dataclass
 class FlushWork:
-    """An asynchronous disk write the driver should schedule."""
+    """An asynchronous disk write the driver should schedule.
+
+    ``nbytes`` may be zero: a policy/spill checkpoint for a segment that
+    sealed with nothing left to flush.
+    """
 
     segment: ReplicatedSegment
     nbytes: int
@@ -34,7 +42,13 @@ class FlushWork:
 
 
 class KeraBackupCore:
-    """Sans-IO backup state machine for one node."""
+    """Sans-IO backup state machine for one node.
+
+    "Sans-IO" up to the durable tier: the replication/ack path never
+    touches the disk — it only *emits* :class:`FlushWork` — while
+    :meth:`persist` executes that work and is called either inline
+    (inproc driver) or from a dedicated flusher thread (live drivers).
+    """
 
     def __init__(
         self,
@@ -43,44 +57,70 @@ class KeraBackupCore:
         materialize: bool = True,
         flush_threshold: int = 1 << 20,
         disk_dir: str | Path | None = None,
+        fsync_policy: str = "never",
+        spill: bool = False,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
     ) -> None:
         self.node_id = node_id
-        self.store = BackupStore(node_id, materialize=materialize)
         self.flush_threshold = flush_threshold
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.persistence: SegmentPersistence | None = None
         if self.disk_dir is not None:
             if not materialize:
                 raise StorageError("disk persistence requires materialized segments")
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self.persistence = SegmentPersistence(
+                self.disk_dir,
+                policy=FlushPolicy.parse(fsync_policy),
+                spill=spill,
+                index_interval=index_interval,
+            )
+        self.store = BackupStore(
+            node_id,
+            materialize=materialize,
+            seal_on_rollover=spill and self.persistence is not None,
+        )
+        #: Prior incarnations' segments re-ingested from disk. Kept apart
+        #: from the live store: virtual-segment ids restart from zero on
+        #: every incarnation, so an old generation's (src, vlog, vseg)
+        #: keys would collide with new replication traffic.
+        self._loaded: list[LoadedSegment] = []
+        self._load_report: DiskLoadReport | None = None
 
     # -- secondary storage ----------------------------------------------------
 
     def _segment_path(self, segment: ReplicatedSegment) -> Path:
-        assert self.disk_dir is not None
-        return (
-            self.disk_dir
-            / f"b{segment.src_broker}_v{segment.vlog_id}_s{segment.vseg_id}.seg"
+        if self.persistence is None:
+            raise StorageError("backup has no secondary storage configured")
+        return self.persistence.path_for(
+            segment.src_broker, segment.vlog_id, segment.vseg_id
         )
 
     def persist(self, flush: FlushWork) -> Path | None:
         """Execute a flush: append the covered byte range to the segment's
-        file (same format on disk and in memory). No-op without a
-        ``disk_dir``."""
-        if self.disk_dir is None:
+        file (same format on disk and in memory) and apply the fsync
+        policy. No-op without a ``disk_dir``."""
+        if self.persistence is None:
             return None
-        segment = flush.segment
-        path = self._segment_path(segment)
-        data = segment.buffer.view(flush.start, flush.nbytes)
-        with path.open("ab") as f:
-            f.write(data)
-        return path
+        return self.persistence.persist_region(
+            flush.segment, flush.start, flush.nbytes
+        )
+
+    def tick_persistence(self) -> None:
+        """Idle-time hook (flusher thread): time-batched fsync."""
+        if self.persistence is not None:
+            self.persistence.tick()
+
+    def close_persistence(self, *, sync: bool | None = None) -> None:
+        if self.persistence is not None:
+            self.persistence.close(sync=sync)
 
     def read_persisted(self, segment: ReplicatedSegment) -> list[Chunk]:
         """Recovery read path: decode a segment's chunks from its file."""
-        if self.disk_dir is None:
+        if self.persistence is None:
             raise StorageError("backup has no secondary storage configured")
-        path = self._segment_path(segment)
-        return decode_chunks(path.read_bytes())
+        return self.persistence.read_chunks(
+            segment.src_broker, segment.vlog_id, segment.vseg_id
+        )
 
     def handle_replicate(
         self, request: ReplicateRequest
@@ -119,12 +159,33 @@ class KeraBackupCore:
             )
         return ReplicateResponse(ok=True, bytes_held=segment.bytes_held), flush
 
+    def take_sealed_flushes(self) -> list[FlushWork]:
+        """Flush work for segments just sealed by virtual-log rollover.
+
+        Drains each one's unflushed tail so the file is complete, which
+        in spill mode lets :meth:`persist` migrate it out of memory. A
+        segment whose bytes were already all flushed still gets a
+        zero-byte checkpoint so the spill happens.
+        """
+        work = []
+        for segment in self.store.take_just_sealed():
+            start = segment.flushed_bytes
+            work.append(
+                FlushWork(
+                    segment=segment,
+                    nbytes=self.store.take_flush_work(segment),
+                    start=start,
+                )
+            )
+        return work
+
     def drain_flush(self) -> list[FlushWork]:
         """Flush work for everything still unflushed (shutdown / idle)."""
-        work = []
+        work = self.take_sealed_flushes()
+        queued = {id(w.segment) for w in work}
         for src_broker in {k[0] for k in self.store._segments}:
             for segment in self.store.segments_for_broker(src_broker):
-                if segment.unflushed_bytes > 0:
+                if segment.unflushed_bytes > 0 and id(segment) not in queued:
                     start = segment.flushed_bytes
                     work.append(
                         FlushWork(
@@ -134,6 +195,57 @@ class KeraBackupCore:
                         )
                     )
         return work
+
+    # -- restart path ---------------------------------------------------------
+
+    def load_from_disk(self, *, parallel: int = 4) -> DiskLoadReport:
+        """Re-ingest prior incarnations' segment files (torn tails
+        truncated, indexes rebuilt, files recovered in parallel). The
+        loaded segments serve :meth:`disk_recovery_chunks` — a restarted
+        backup answers restart-recovery reads from what its disk
+        survived."""
+        if self.persistence is None:
+            raise StorageError("backup has no secondary storage configured")
+        report = self.persistence.load(parallel=parallel)
+        self._loaded = [seg for seg in report.segments if seg.chunks]
+        self._load_report = report
+        return report
+
+    def disk_recovery_chunks(
+        self, failed_broker: int
+    ) -> list[tuple[int, list[Chunk]]]:
+        """A prior incarnation's chunks for ``failed_broker``, from disk,
+        as ``(vseg_id, chunks)`` runs in virtual-log order (mirrors
+        :meth:`recovery_chunks`, but over the loaded generation)."""
+        picked = sorted(
+            (seg for seg in self._loaded if seg.meta.src_broker == failed_broker),
+            key=lambda seg: (seg.meta.vlog_id, seg.meta.vseg_id),
+        )
+        return [(seg.meta.vseg_id, list(seg.chunks)) for seg in picked]
+
+    def loaded_brokers(self) -> list[int]:
+        """Source brokers with disk-loaded data awaiting restore."""
+        return sorted({seg.meta.src_broker for seg in self._loaded})
+
+    def retire_loaded_epochs(self, report: DiskLoadReport | None = None) -> None:
+        """Drop the loaded generation once its data has been replayed and
+        re-persisted by this incarnation."""
+        if report is None:
+            report = self._load_report
+        if report is not None and self.persistence is not None:
+            self.persistence.retire_loaded_epochs(report)
+        self._loaded = []
+        self._load_report = None
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def segments_on_disk(self) -> int:
+        return 0 if self.persistence is None else self.persistence.segments_on_disk
+
+    @property
+    def spilled_segments(self) -> int:
+        return self.store.spilled_segments
 
     # -- recovery -----------------------------------------------------------
 

@@ -33,8 +33,15 @@ class KeraConfig:
     #: many unflushed bytes (flushes are always asynchronous).
     flush_threshold: int = 1 * KB * 1024
     #: Live mode only: directory for the backups' secondary storage. When
-    #: set, flushes write real segment files (one per replicated virtual
-    #: segment, same format on disk and in memory).
+    #: set, flushes write real log-structured segment files (one per
+    #: replicated virtual segment, same frame format on disk and in
+    #: memory, inside per-incarnation epoch directories) and a restarted
+    #: cluster can recover acked data from them. The fsync cadence and
+    #: memory/disk migration are configured on the replication config
+    #: (``fsync_policy`` / ``spill_sealed``).
+    persist_dir: str | None = None
+    #: Backward-compatible alias for ``persist_dir`` (earlier revisions'
+    #: name); ``persist_dir`` wins when both are set.
     disk_dir: str | None = None
 
     def __post_init__(self) -> None:
@@ -49,3 +56,8 @@ class KeraConfig:
             raise ConfigError("chunk_size must be positive")
         if self.linger < 0:
             raise ConfigError("linger must be >= 0")
+
+    @property
+    def storage_dir(self) -> str | None:
+        """The effective secondary-storage root (``persist_dir`` wins)."""
+        return self.persist_dir if self.persist_dir is not None else self.disk_dir

@@ -24,7 +24,8 @@ from repro.common.idgen import IdGenerator
 from repro.runtime.runtime import ClusterRuntime
 from repro.runtime.system import KeraSystem
 from repro.runtime.transport import LiveService, Transport
-from repro.kera.backup import KeraBackupCore
+from repro.kera.backup import FlushWork, KeraBackupCore
+from repro.persist import BackupFlusher
 from repro.kera.broker import KeraBrokerCore
 from repro.kera.config import KeraConfig
 from repro.kera.messages import (
@@ -41,10 +42,18 @@ CLIENT_NODE = -1
 
 
 class LiveBackupService(LiveService):
-    """Backup effect handler: ingest replicate RPCs, run flushes."""
+    """Backup effect handler: ingest replicate RPCs, schedule flushes.
+
+    With a flusher thread registered for the node (threaded driver with
+    a persist dir), flush work is submitted asynchronously and the ack
+    returns without touching the disk — the paper's ack-from-buffer,
+    flush-async semantics. Without one (inproc driver), flushes run
+    inline, keeping that driver single-threaded and deterministic.
+    """
 
     def __init__(self, cluster: "LiveKeraCluster", node_id: int) -> None:
         self.cluster = cluster
+        self.node_id = node_id
         self.core: KeraBackupCore = cluster.backups[node_id]
         self._lock = threading.Lock()
 
@@ -53,9 +62,17 @@ class LiveBackupService(LiveService):
             raise ConfigError(f"unknown backup method {method!r}")
         with self._lock:
             response, flush = self.core.handle_replicate(request)
+            works = self.core.take_sealed_flushes()
             if flush is not None:
-                self.cluster._record_flush()
-                self.core.persist(flush)
+                works.append(flush)
+            if works:
+                flusher = self.cluster.flusher_for(self.node_id)
+                for work in works:
+                    self.cluster._record_flush()
+                    if flusher is not None:
+                        flusher.submit(work, work.nbytes)
+                    else:
+                        self.core.persist(work)
         return response
 
 
@@ -74,13 +91,21 @@ class LiveKeraCluster:
         self._request_ids = IdGenerator()  # guarded-by: _id_lock
         self.flushes_scheduled = 0  # guarded-by: _flush_lock
         self._failed: set[int] = set()  # guarded-by: _failed_lock
+        self._flushers: dict[int, "BackupFlusher[FlushWork]"] = {}
+        self._persistence_drained = False
+        self._start_flushers()
         self._register_services()
         self.runtime.start()
 
-    # -- subclass hook -----------------------------------------------------------
+    # -- subclass hooks -----------------------------------------------------------
 
     def _register_services(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def _start_flushers(self) -> None:
+        """Create per-backup flusher threads (concurrent drivers with a
+        persist dir). The base cluster persists inline: the synchronous
+        inproc driver stays deterministic."""
 
     # -- core access --------------------------------------------------------------
 
@@ -99,6 +124,83 @@ class LiveKeraCluster:
     def _record_flush(self) -> None:
         with self._flush_lock:
             self.flushes_scheduled += 1
+
+    # -- durable tier --------------------------------------------------------------
+
+    def flusher_for(self, node_id: int) -> "BackupFlusher[FlushWork] | None":
+        return self._flushers.get(node_id)
+
+    def flush_lag_bytes(self, node_id: int) -> int:
+        """Bytes acked by the node's backup but not yet written to disk."""
+        flusher = self._flushers.get(node_id)
+        return 0 if flusher is None else flusher.flush_lag_bytes
+
+    def segments_on_disk(self, node_id: int) -> int:
+        return self.backups[node_id].segments_on_disk
+
+    def wait_flush_idle(self, timeout: float | None = None) -> bool:
+        """Block until every backup's flush queue is drained."""
+        ok = True
+        for flusher in self._flushers.values():
+            ok = flusher.wait_idle(timeout) and ok
+        return ok
+
+    def backup_sync_flush(self, node_id: int) -> int:
+        """Force one backup's unflushed tail to disk, fsync'd regardless
+        of policy; returns its segment-file count. Call only while no
+        replicate traffic is in flight for the node."""
+        core = self.backups[node_id]
+        works = core.drain_flush()
+        flusher = self._flushers.get(node_id)
+        if flusher is not None:
+            for work in works:
+                flusher.submit(work, work.nbytes)
+            flusher.wait_idle(30.0)
+            flusher.check()
+        else:
+            for work in works:
+                core.persist(work)
+        if core.persistence is not None:
+            core.persistence.sync_all()
+        return core.segments_on_disk
+
+    # -- recovery / restart accessors ----------------------------------------------
+    # Routed through the cluster so drivers whose backup cores live in
+    # another address space (process mode) can override with RPCs.
+
+    def backup_recovery_chunks(
+        self, node_id: int, failed_broker: int
+    ) -> list[tuple[int, list[Chunk]]]:
+        """A backup's held chunks for a crashed broker (live recovery)."""
+        return self.backups[node_id].recovery_chunks(failed_broker)
+
+    def backup_load_disk(self, node_id: int, *, parallel: int = 4) -> dict:
+        """Re-ingest a backup's segment files; returns a summary dict."""
+        report = self.backups[node_id].load_from_disk(parallel=parallel)
+        return {
+            "segments": len(report.segments),
+            "chunks_loaded": report.chunks_loaded,
+            "bytes_truncated": report.bytes_truncated,
+            "files_scanned": report.files_scanned,
+            "files_skipped": report.files_skipped,
+            "files_superseded": report.files_superseded,
+            "indexes_rebuilt": report.indexes_rebuilt,
+            "epochs_loaded": list(report.epochs_loaded),
+        }
+
+    def backup_loaded_brokers(self, node_id: int) -> list[int]:
+        """Source brokers a restarted backup holds disk data for."""
+        return self.backups[node_id].loaded_brokers()
+
+    def backup_disk_recovery_chunks(
+        self, node_id: int, failed_broker: int
+    ) -> list[tuple[int, list[Chunk]]]:
+        """A restarted backup's disk-loaded chunks for a prior broker."""
+        return self.backups[node_id].disk_recovery_chunks(failed_broker)
+
+    def backup_retire_epochs(self, node_id: int) -> None:
+        """Drop a backup's loaded generation after a completed restore."""
+        self.backups[node_id].retire_loaded_epochs()
 
     # -- cluster management --------------------------------------------------------
 
@@ -229,8 +331,43 @@ class LiveKeraCluster:
 
     # -- lifecycle ----------------------------------------------------------------------------
 
+    def _drain_persistence(self) -> None:
+        """Flush every backup's unflushed tail and close the segment files.
+
+        Called once, after the transport stopped delivering replicate
+        RPCs, so nothing races the cores. Flusher threads drain their
+        queues before stopping; a clean close syncs unless the policy is
+        ``never``.
+        """
+        if self._persistence_drained:
+            return
+        self._persistence_drained = True
+        for node_id in sorted(self.backups):
+            core = self.backups[node_id]
+            flusher = self._flushers.get(node_id)
+            works = core.drain_flush()
+            if flusher is not None:
+                for work in works:
+                    flusher.submit(work, work.nbytes)
+                flusher.stop(drain=True)
+            else:
+                for work in works:
+                    core.persist(work)
+            core.close_persistence()
+
     def shutdown(self) -> None:
         self.runtime.shutdown()
+        self._drain_persistence()
+
+    def simulate_power_loss(self) -> None:
+        """Crash-test hook: stop the cluster *without* the durable tier's
+        clean drain/close. Segment files keep exactly what the fsync
+        policy already pushed — the state a process kill leaves behind —
+        so restart tests and demos can prove recovery from it."""
+        self._persistence_drained = True  # makes the clean drain a no-op
+        self.shutdown()
+        for flusher in self._flushers.values():
+            flusher.stop(drain=False)
 
     def __enter__(self) -> "LiveKeraCluster":
         return self

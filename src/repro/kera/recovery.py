@@ -19,11 +19,13 @@ of an entry flow through one virtual log.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.common.errors import RecoveryError
 from repro.wire.chunk import Chunk
 from repro.kera.inproc import InprocKeraCluster
+from repro.kera.live import LiveKeraCluster
 from repro.kera.messages import ProduceRequest
 
 
@@ -86,12 +88,14 @@ def recover_broker(cluster: InprocKeraCluster, failed_broker: int) -> RecoveryRe
     report.reassignments = dict(plan.reassignments)
     cluster.crash_broker(failed_broker)
 
-    # Gather the lost data from every surviving backup.
+    # Gather the lost data from every surviving backup. Routed through
+    # the cluster accessor so drivers whose backup cores live in another
+    # address space answer over their transport.
     copies = []
-    for node, backup in cluster.backups.items():
+    for node in sorted(cluster.backups):
         if node == failed_broker:
             continue
-        run = backup.recovery_chunks(failed_broker)
+        run = cluster.backup_recovery_chunks(node, failed_broker)
         if run:
             copies.append(run)
             report.backups_read += 1
@@ -136,4 +140,99 @@ def recover_broker(cluster: InprocKeraCluster, failed_broker: int) -> RecoveryRe
     for node, backup in cluster.backups.items():
         if node != failed_broker:
             backup.store.drop_broker(failed_broker)
+    return report
+
+
+@dataclass
+class RestoreReport:
+    """What a restart-from-disk restore pass did."""
+
+    #: Backups whose disk held at least one segment file.
+    backups_loaded: int = 0
+    segment_files_read: int = 0
+    chunks_loaded: int = 0
+    #: Torn-tail bytes discarded while recovering segment files.
+    bytes_truncated: int = 0
+    indexes_rebuilt: int = 0
+    #: Prior-incarnation brokers whose data was replayed, in id order.
+    brokers_restored: list[int] = field(default_factory=list)
+    vsegs_merged: int = 0
+    chunks_replayed: int = 0
+    records_restored: int = 0
+    duplicates_dropped: int = 0
+
+
+def restore_cluster_from_disk(
+    cluster: LiveKeraCluster, *, parallel: int = 4, retire: bool = True
+) -> RestoreReport:
+    """Restart path: rebuild a fresh cluster from its backups' disks.
+
+    Run against a *new* cluster incarnation pointed at the previous
+    incarnation's ``persist_dir`` (streams re-created, no traffic yet):
+
+    1. Every backup re-ingests its surviving segment files
+       (:meth:`~repro.kera.backup.KeraBackupCore.load_from_disk` — torn
+       tails truncated, indexes rebuilt, files read in parallel).
+    2. For each prior broker, the per-backup copies are merged by virtual
+       segment id exactly as live recovery merges them — with R >= 2 a
+       backup that lost its unsynced tail is healed by a replica that
+       fsynced further.
+    3. Chunks are replayed in virtual-log order through the ordinary
+       client produce path, so they land on the new leaders, re-replicate,
+       and re-persist under the new incarnation's epoch. Exactly-once
+       de-duplication drops chunks that reached several prior virtual
+       logs (repair migration), keeping the replay idempotent.
+    4. With ``retire=True`` the replay is fsynced and the consumed epoch
+       directories are retired, so a second restart restores from the new
+       epoch alone.
+    """
+    report = RestoreReport()
+    nodes = sorted(cluster.backups)
+    for node in nodes:
+        summary = cluster.backup_load_disk(node, parallel=parallel)
+        if summary["segments"]:
+            report.backups_loaded += 1
+        report.segment_files_read += summary["segments"]
+        report.chunks_loaded += summary["chunks_loaded"]
+        report.bytes_truncated += summary["bytes_truncated"]
+        report.indexes_rebuilt += summary["indexes_rebuilt"]
+
+    prior_brokers = sorted(
+        {broker for node in nodes for broker in cluster.backup_loaded_brokers(node)}
+    )
+    for failed_broker in prior_brokers:
+        copies = []
+        for node in nodes:
+            run = cluster.backup_disk_recovery_chunks(node, failed_broker)
+            if run:
+                copies.append(run)
+        merged = merge_backup_copies(copies)
+        report.vsegs_merged += len(merged)
+        report.brokers_restored.append(failed_broker)
+        for _, chunks in merged:
+            responses = cluster.produce(chunks, producer_id=0)
+            # produce() groups chunks by leader and answers in sorted
+            # broker order; rebuild that grouping to pair each assignment
+            # with its chunk for duplicate/record accounting.
+            by_broker: dict[int, list[Chunk]] = defaultdict(list)
+            for chunk in chunks:
+                leader = cluster.leader_of(chunk.stream_id, chunk.streamlet_id)
+                by_broker[leader].append(chunk)
+            for response, broker_id in zip(responses, sorted(by_broker), strict=True):
+                sent = by_broker[broker_id]
+                for assignment, chunk in zip(response.assignments, sent, strict=True):
+                    if assignment.duplicate:
+                        report.duplicates_dropped += 1
+                    else:
+                        report.chunks_replayed += 1
+                        report.records_restored += chunk.record_count
+
+    if retire:
+        # Only drop the consumed generation once the replay itself is on
+        # disk under the new epoch — a crash mid-restore must still find
+        # one complete copy.
+        for node in nodes:
+            cluster.backup_sync_flush(node)
+        for node in nodes:
+            cluster.backup_retire_epochs(node)
     return report

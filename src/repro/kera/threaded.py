@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 
 from repro.common.errors import ConfigError, ReplicationError
+from repro.persist import BackupFlusher
 from repro.runtime.threaded import ThreadedTransport
 from repro.runtime.transport import LiveService, Transport
 from repro.kera.config import KeraConfig
@@ -129,6 +130,17 @@ class ThreadedKeraCluster(LiveKeraCluster):
             shipper = PipelinedShipper(self, node)
             self._shippers[node] = shipper
             shipper.start()
+
+    def _start_flushers(self) -> None:
+        # One flusher thread per backup with secondary storage: the
+        # backup service acks from the buffer, this thread owns the disk.
+        for node, core in self.backups.items():
+            if core.persistence is not None:
+                self._flushers[node] = BackupFlusher(
+                    core.persist,
+                    name=f"backup-flusher-{node}",
+                    on_tick=core.tick_persistence,
+                )
 
     def _register_services(self) -> None:
         for node in self.system.node_ids:

@@ -1,0 +1,53 @@
+"""Durable on-disk backup tier: log-structured segment files.
+
+The paper's backups "asynchronously write buffered segments to disk with
+the same in-memory format" (Section III). This package is that storage
+tier for the live drivers:
+
+* :mod:`repro.persist.segment_file` — append-only ``*.seg`` files
+  holding verbatim wire frames behind a fixed file header, with a sparse
+  ``*.idx`` sidecar for O(log n) chunk lookup and torn-tail recovery
+  (scan, CRC-validate, truncate at the first bad frame, rebuild index);
+* :mod:`repro.persist.policy` — the fsync policy knob
+  (``never`` / ``interval:<ms>`` / ``bytes:<n>`` / ``always``), the
+  dominant durability/throughput trade-off to expose;
+* :mod:`repro.persist.flusher` — the per-backup flusher thread that
+  keeps the ack path off the disk (ack from buffer, flush async) and
+  exports the ``flush_lag_bytes`` gauge;
+* :mod:`repro.persist.store` — :class:`SegmentPersistence`, one backup
+  node's on-disk state: epoch directories of segment files, policy-driven
+  fsync batching, sealed-segment spill to disk, and parallel
+  re-ingestion at restart.
+
+Layering: this package depends only on :mod:`repro.wire` and
+:mod:`repro.common`. It is **never** imported from sim-reachable code —
+the cost-model disk (:mod:`repro.sim.disk`) and the real disk must not
+cross (analysis rule A002 enforces the boundary statically).
+"""
+
+from repro.persist.policy import FlushMode, FlushPolicy
+from repro.persist.segment_file import (
+    SEG_FILE_HEADER_SIZE,
+    RecoveredSegmentFile,
+    SegmentFileMeta,
+    SegmentFileReader,
+    SegmentFileWriter,
+    recover_segment_file,
+)
+from repro.persist.flusher import BackupFlusher
+from repro.persist.store import DiskLoadReport, LoadedSegment, SegmentPersistence
+
+__all__ = [
+    "FlushMode",
+    "FlushPolicy",
+    "SEG_FILE_HEADER_SIZE",
+    "SegmentFileMeta",
+    "SegmentFileReader",
+    "SegmentFileWriter",
+    "RecoveredSegmentFile",
+    "recover_segment_file",
+    "BackupFlusher",
+    "SegmentPersistence",
+    "DiskLoadReport",
+    "LoadedSegment",
+]

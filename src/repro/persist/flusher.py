@@ -1,0 +1,139 @@
+"""Per-backup flusher thread: ack from buffer, flush async.
+
+The paper's backups acknowledge replication from memory and write to
+disk asynchronously (Section III). :class:`BackupFlusher` is that
+decoupling point for the live drivers: the backup service thread
+:meth:`submit`\\ s flush work and returns to acking immediately; this
+thread drains the queue into the persistence layer. The distance
+between the two — bytes submitted but not yet written — is exported as
+the ``flush_lag_bytes`` gauge, the direct measure of how much acked
+data a crash of the *machine* (not just the process) could lose under
+a relaxed fsync policy.
+
+The flusher also drives time-based fsync batching: when the queue goes
+idle it invokes ``on_tick`` so an ``interval:<ms>`` policy can sync
+accumulated writes even with no new traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable
+from typing import Generic, TypeVar
+
+from repro.common.metrics import Gauge
+
+__all__ = ["BackupFlusher"]
+
+W = TypeVar("W")
+
+#: How long the flusher sleeps when idle before running ``on_tick``.
+_IDLE_WAIT_S = 0.02
+
+
+class BackupFlusher(Generic[W]):
+    """Dedicated thread draining flush work into a persist callable.
+
+    ``persist`` is invoked with each submitted work item, in submission
+    order, on this thread only — so the persistence layer below never
+    needs its own locking for the write path. A persist failure is
+    latched on :attr:`error` and re-raised to the next caller that
+    checks in (submit/drain), rather than silently dropping durability.
+    """
+
+    def __init__(
+        self,
+        persist: Callable[[W], object],
+        *,
+        name: str = "backup-flusher",
+        on_tick: Callable[[], None] | None = None,
+    ) -> None:
+        self._persist = persist
+        self._on_tick = on_tick
+        self._queue: deque[tuple[W, int]] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._lag = Gauge()
+        self._stopping = False
+        self._inflight = False
+        self.error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def flush_lag_bytes(self) -> int:
+        """Bytes acked to the replica path but not yet written to disk."""
+        return self._lag.value
+
+    def check(self) -> None:
+        """Re-raise a latched persist failure on the caller's thread."""
+        if self.error is not None:
+            raise RuntimeError("backup flusher failed") from self.error
+
+    def submit(self, work: W, nbytes: int) -> None:
+        """Queue flush work; returns immediately (the ack path calls this)."""
+        self.check()
+        with self._work_ready:
+            if self._stopping:
+                raise RuntimeError("submit on stopped backup flusher")
+            self._queue.append((work, nbytes))
+            self._lag.add(nbytes)
+            self._work_ready.notify()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until the queue is drained; returns False on timeout."""
+        with self._idle:
+            ok = self._idle.wait_for(
+                lambda: (not self._queue and not self._inflight) or self.error is not None,
+                timeout=timeout,
+            )
+        self.check()
+        return ok
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the thread; with ``drain`` (default) finish queued work first."""
+        with self._work_ready:
+            if not drain:
+                for _, nbytes in self._queue:
+                    self._lag.add(-nbytes)
+                self._queue.clear()
+            self._stopping = True
+            self._work_ready.notify_all()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            item: tuple[W, int] | None = None
+            with self._work_ready:
+                while not self._queue and not self._stopping:
+                    if not self._work_ready.wait(timeout=_IDLE_WAIT_S):
+                        break  # fall through to the idle tick
+                if self._queue:
+                    item = self._queue.popleft()
+                    self._inflight = True
+                elif self._stopping:
+                    return
+            try:
+                if item is None:
+                    if self._on_tick is not None:
+                        self._on_tick()
+                    continue
+                self._persist(item[0])
+            except BaseException as exc:  # noqa: BLE001 -- latched and re-raised on the submitting thread; the flusher must not die silently mid-queue.
+                with self._work_ready:
+                    self.error = exc
+                    if item is not None:
+                        self._lag.add(-item[1])
+                        self._inflight = False
+                    for _, pending in self._queue:
+                        self._lag.add(-pending)
+                    self._queue.clear()
+                    self._idle.notify_all()
+                return
+            with self._work_ready:
+                self._lag.add(-item[1])
+                self._inflight = False
+                if not self._queue:
+                    self._idle.notify_all()

@@ -1,0 +1,108 @@
+"""Fsync policy for the durable backup tier.
+
+Flush (write to the file) and sync (``fsync`` to the platter) are
+separate events. The backup always *writes* flushed regions promptly so
+the OS page cache holds them; the policy decides when to pay for an
+``fsync``:
+
+===============  =====================================================
+``never``        OS decides; fastest, loses the page cache on power
+                 failure (but not on process crash).
+``interval:<ms>``  a time-batched sync every ``<ms>`` milliseconds,
+                 driven by the flusher thread's idle tick.
+``bytes:<n>``    sync once ``<n>`` unsynced bytes accumulate
+                 (``every_n_bytes`` in the issue/paper phrasing).
+``always``       sync after every flushed region; slowest, no window.
+===============  =====================================================
+
+The policy object is pure — it decides, the store acts — so it can be
+unit-tested without a filesystem.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FlushMode", "FlushPolicy"]
+
+
+class FlushMode(enum.Enum):
+    """When the durable tier calls ``fsync``."""
+
+    NEVER = "never"
+    INTERVAL = "interval"
+    EVERY_N_BYTES = "bytes"
+    ALWAYS = "always"
+
+
+@dataclass(frozen=True, slots=True)
+class FlushPolicy:
+    """Parsed fsync policy; construct via :meth:`parse`."""
+
+    mode: FlushMode
+    interval_s: float = 0.0
+    every_bytes: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> FlushPolicy:
+        """Parse ``never`` / ``always`` / ``interval:<ms>`` / ``bytes:<n>``.
+
+        ``every_n_bytes:<n>`` is accepted as an alias for ``bytes:<n>``.
+        """
+        head, _, arg = spec.strip().partition(":")
+        head = head.lower()
+        if head == FlushMode.NEVER.value:
+            if arg:
+                raise ValueError(f"fsync policy 'never' takes no argument: {spec!r}")
+            return cls(FlushMode.NEVER)
+        if head == FlushMode.ALWAYS.value:
+            if arg:
+                raise ValueError(f"fsync policy 'always' takes no argument: {spec!r}")
+            return cls(FlushMode.ALWAYS)
+        if head == FlushMode.INTERVAL.value:
+            try:
+                millis = float(arg)
+            except ValueError:
+                raise ValueError(f"fsync policy needs interval:<ms>: {spec!r}") from None
+            if millis <= 0:
+                raise ValueError(f"fsync interval must be positive: {spec!r}")
+            return cls(FlushMode.INTERVAL, interval_s=millis / 1000.0)
+        if head in (FlushMode.EVERY_N_BYTES.value, "every_n_bytes"):
+            try:
+                nbytes = int(arg)
+            except ValueError:
+                raise ValueError(f"fsync policy needs bytes:<n>: {spec!r}") from None
+            if nbytes <= 0:
+                raise ValueError(f"fsync byte threshold must be positive: {spec!r}")
+            return cls(FlushMode.EVERY_N_BYTES, every_bytes=nbytes)
+        raise ValueError(
+            f"unknown fsync policy {spec!r} "
+            "(expected never | always | interval:<ms> | bytes:<n>)"
+        )
+
+    @property
+    def sync_on_write(self) -> bool:
+        return self.mode is FlushMode.ALWAYS
+
+    def due_after_write(self, unsynced_bytes: int) -> bool:
+        """Should the store sync right after appending a region?"""
+        if self.mode is FlushMode.ALWAYS:
+            return True
+        if self.mode is FlushMode.EVERY_N_BYTES:
+            return unsynced_bytes >= self.every_bytes
+        return False
+
+    def due_on_tick(self, elapsed_s: float, unsynced_bytes: int) -> bool:
+        """Should the flusher's idle tick sync accumulated writes?"""
+        if self.mode is FlushMode.INTERVAL:
+            return unsynced_bytes > 0 and elapsed_s >= self.interval_s
+        return False
+
+    def spec(self) -> str:
+        """Round-trippable textual form (``parse(p.spec()) == p``)."""
+        if self.mode is FlushMode.INTERVAL:
+            return f"interval:{self.interval_s * 1000.0:g}"
+        if self.mode is FlushMode.EVERY_N_BYTES:
+            return f"bytes:{self.every_bytes}"
+        return self.mode.value

@@ -1,0 +1,486 @@
+"""Append-only segment files holding verbatim wire frames.
+
+File layout (LogBase-style log-structured storage: append-only files,
+sparse index kept separately)::
+
+    *.seg                                  *.idx (sidecar)
+    +----------------------------+         +---------------------------+
+    | file header (44 bytes)     |         | idx header (12 bytes)     |
+    |   magic/version/flags      |         |   magic/version/interval  |
+    |   src_broker/vlog/vseg     |         +---------------------------+
+    |   base_offset/capacity     |         | entry: chunk_idx, offset  |
+    |   header crc32c            |         | entry: chunk_idx, offset  |
+    +----------------------------+         | ... (sparse, appended)    |
+    | chunk frame (wire bytes)   |         +---------------------------+
+    | chunk frame                |
+    | ...                        |
+
+Chunk frames are the exact bytes shipped over replication — the chunk
+header is self-describing (``payload_len``) and carries its own payload
+CRC, so the flush path appends flushed buffer regions verbatim (zero
+re-encode) and recovery can scan, validate, and truncate a torn tail
+without any per-file metadata beyond the fixed header.
+
+The ``*.idx`` sidecar maps every Nth chunk index to its file offset for
+O(log n) point lookup. It is advisory: appended without fsync, validated
+on open, and rebuilt from a scan whenever missing, stale, or corrupt.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from bisect import bisect_right
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.common.checksum import crc32c
+from repro.common.errors import StorageError, WireFormatError
+from repro.wire.chunk import CHUNK_HEADER_SIZE, CHUNK_MAGIC, Chunk, decode_chunk
+
+__all__ = [
+    "SEG_FILE_MAGIC",
+    "SEG_FILE_VERSION",
+    "SEG_FILE_HEADER_SIZE",
+    "DEFAULT_INDEX_INTERVAL",
+    "SegmentFileMeta",
+    "SegmentFileWriter",
+    "SegmentFileReader",
+    "RecoveredSegmentFile",
+    "recover_segment_file",
+]
+
+SEG_FILE_MAGIC = 0x564C_5347  # "VLSG" — virtual-log segment
+SEG_FILE_VERSION = 1
+#: magic, version, flags, src_broker, vlog_id, vseg_id, base_offset,
+#: capacity, header_crc (crc32c over all preceding header bytes).
+_SEG_HEADER = struct.Struct("<IHHiiqqqI")
+SEG_FILE_HEADER_SIZE = _SEG_HEADER.size
+
+IDX_FILE_MAGIC = 0x564C_4958  # "VLIX"
+IDX_FILE_VERSION = 1
+#: magic, version, reserved, index_interval (bytes of frames per entry).
+_IDX_HEADER = struct.Struct("<IHHI")
+#: chunk_index, reserved, file_offset.
+_IDX_ENTRY = struct.Struct("<IIq")
+
+#: Emit one index entry per ~64 KiB of frame bytes by default.
+DEFAULT_INDEX_INTERVAL = 64 * 1024
+
+#: ``payload_len`` field offset within a chunk header (see repro.wire.chunk).
+_PAYLOAD_LEN = struct.Struct("<I")
+_PAYLOAD_LEN_OFFSET = 32
+_CHUNK_MAGIC_FIELD = struct.Struct("<H")
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentFileMeta:
+    """Identity stamped into a segment file's fixed header."""
+
+    src_broker: int
+    vlog_id: int
+    vseg_id: int
+    capacity: int
+    base_offset: int = 0
+
+    def pack(self) -> bytes:
+        head = _SEG_HEADER.pack(
+            SEG_FILE_MAGIC,
+            SEG_FILE_VERSION,
+            0,
+            self.src_broker,
+            self.vlog_id,
+            self.vseg_id,
+            self.base_offset,
+            self.capacity,
+            0,
+        )
+        body = head[: SEG_FILE_HEADER_SIZE - 4]
+        return body + struct.pack("<I", crc32c(body))
+
+    @classmethod
+    def unpack(cls, raw: bytes | memoryview) -> SegmentFileMeta:
+        if len(raw) < SEG_FILE_HEADER_SIZE:
+            raise StorageError(
+                f"segment file header truncated: {len(raw)} < {SEG_FILE_HEADER_SIZE}"
+            )
+        magic, version, _flags, src, vlog, vseg, base, cap, crc = _SEG_HEADER.unpack_from(
+            raw, 0
+        )
+        if magic != SEG_FILE_MAGIC:
+            raise StorageError(f"bad segment file magic {magic:#010x}")
+        if version != SEG_FILE_VERSION:
+            raise StorageError(f"unsupported segment file version {version}")
+        actual = crc32c(bytes(raw[: SEG_FILE_HEADER_SIZE - 4]))
+        if actual != crc:
+            raise StorageError(
+                f"segment file header crc mismatch: stored {crc:#010x}, computed {actual:#010x}"
+            )
+        return cls(
+            src_broker=src, vlog_id=vlog, vseg_id=vseg, capacity=cap, base_offset=base
+        )
+
+
+def _frame_length(view: memoryview, offset: int) -> int:
+    """Length of the frame at ``offset``; raises on a malformed header."""
+    if offset + CHUNK_HEADER_SIZE > len(view):
+        raise StorageError(f"flush region holds a partial chunk header at {offset}")
+    (magic,) = _CHUNK_MAGIC_FIELD.unpack_from(view, offset)
+    if magic != CHUNK_MAGIC:
+        raise StorageError(f"flush region is not frame-aligned at {offset}")
+    (payload_len,) = _PAYLOAD_LEN.unpack_from(view, offset + _PAYLOAD_LEN_OFFSET)
+    length = CHUNK_HEADER_SIZE + payload_len
+    if offset + length > len(view):
+        raise StorageError(f"flush region holds a partial chunk payload at {offset}")
+    return length
+
+
+class SegmentFileWriter:
+    """Appends whole wire frames to a fresh ``*.seg`` + ``*.idx`` pair.
+
+    Flush regions always end on frame boundaries (the backup buffer only
+    ever appends whole frames), so :meth:`append` walks the region's
+    self-describing chunk headers to keep the chunk count and the sparse
+    index current without decoding payloads. ``fsync`` is a separate,
+    policy-driven step (:meth:`sync`) — the data file is synced, the
+    index sidecar is not (it is rebuilt from a scan on recovery anyway).
+    """
+
+    __slots__ = (
+        "path",
+        "idx_path",
+        "meta",
+        "index_interval",
+        "_file",
+        "_idx",
+        "_frame_bytes",
+        "_chunk_count",
+        "_since_index",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        path: str | Path,
+        meta: SegmentFileMeta,
+        *,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
+    ) -> None:
+        if index_interval <= 0:
+            raise StorageError("index interval must be positive")
+        self.path = Path(path)
+        self.idx_path = self.path.with_suffix(".idx")
+        self.meta = meta
+        self.index_interval = index_interval
+        self._file: IO[bytes] = open(self.path, "wb")
+        self._file.write(meta.pack())
+        self._idx: IO[bytes] = open(self.idx_path, "wb")
+        self._idx.write(
+            _IDX_HEADER.pack(IDX_FILE_MAGIC, IDX_FILE_VERSION, 0, index_interval)
+        )
+        self._frame_bytes = 0
+        self._chunk_count = 0
+        self._since_index = 0
+        self._closed = False
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes of chunk frames appended (excluding the file header)."""
+        return self._frame_bytes
+
+    @property
+    def chunk_count(self) -> int:
+        return self._chunk_count
+
+    @property
+    def file_bytes(self) -> int:
+        return SEG_FILE_HEADER_SIZE + self._frame_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, region: bytes | bytearray | memoryview) -> int:
+        """Append a frame-aligned region; returns bytes written."""
+        if self._closed:
+            raise StorageError(f"append on closed segment file {self.path.name}")
+        view = memoryview(region)
+        offset = 0
+        while offset < len(view):
+            length = _frame_length(view, offset)
+            if self._chunk_count == 0 or self._since_index >= self.index_interval:
+                file_offset = SEG_FILE_HEADER_SIZE + self._frame_bytes + offset
+                self._idx.write(_IDX_ENTRY.pack(self._chunk_count, 0, file_offset))
+                self._since_index = 0
+            self._since_index += length
+            self._chunk_count += 1
+            offset += length
+        self._file.write(view)
+        self._frame_bytes += len(view)
+        return len(view)
+
+    def flush(self) -> None:
+        """Push buffered writes to the OS (no fsync)."""
+        self._file.flush()
+        self._idx.flush()
+
+    def sync(self) -> None:
+        """``fsync`` the data file (the index sidecar is rebuildable)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._idx.flush()
+
+    def close(self, *, sync: bool = False) -> None:
+        if self._closed:
+            return
+        if sync:
+            self.sync()
+        else:
+            self.flush()
+        self._file.close()
+        self._idx.close()
+        self._closed = True
+
+
+def _load_index(
+    idx_path: Path, frame_end: int
+) -> tuple[list[tuple[int, int]], int] | None:
+    """Load and validate a sidecar; ``None`` means rebuild from a scan.
+
+    Returns ``(entries, index_interval)`` with entries as
+    ``(chunk_index, file_offset)`` pairs. Entries pointing past
+    ``frame_end`` (a tail that was truncated by recovery) invalidate the
+    sidecar rather than being silently dropped — positions before the
+    torn tail might still disagree with the file.
+    """
+    try:
+        raw = idx_path.read_bytes()
+    except OSError:
+        return None
+    if len(raw) < _IDX_HEADER.size:
+        return None
+    magic, version, _reserved, interval = _IDX_HEADER.unpack_from(raw, 0)
+    if magic != IDX_FILE_MAGIC or version != IDX_FILE_VERSION or interval <= 0:
+        return None
+    body = raw[_IDX_HEADER.size :]
+    if len(body) % _IDX_ENTRY.size != 0:
+        return None
+    entries: list[tuple[int, int]] = []
+    prev_chunk, prev_off = -1, -1
+    for off in range(0, len(body), _IDX_ENTRY.size):
+        chunk_index, _reserved2, file_offset = _IDX_ENTRY.unpack_from(body, off)
+        if chunk_index <= prev_chunk or file_offset <= prev_off:
+            return None
+        if file_offset < SEG_FILE_HEADER_SIZE or file_offset >= frame_end:
+            return None
+        entries.append((chunk_index, file_offset))
+        prev_chunk, prev_off = chunk_index, file_offset
+    if not entries and frame_end > SEG_FILE_HEADER_SIZE:
+        return None
+    return entries, interval
+
+
+def _scan_index(
+    data: memoryview, *, index_interval: int
+) -> tuple[list[tuple[int, int]], int]:
+    """Rebuild sparse index entries by walking frame headers.
+
+    Mirrors the writer's emission rule exactly, so a scan of an intact
+    file reproduces the sidecar byte for byte. Returns ``(entries,
+    chunk_count)``; ``data`` must start at the first frame.
+    """
+    entries: list[tuple[int, int]] = []
+    offset = 0
+    chunk_count = 0
+    since = 0
+    while offset < len(data):
+        length = _frame_length(data, offset)
+        if chunk_count == 0 or since >= index_interval:
+            entries.append((chunk_count, SEG_FILE_HEADER_SIZE + offset))
+            since = 0
+        since += length
+        chunk_count += 1
+        offset += length
+    return entries, chunk_count
+
+
+class SegmentFileReader:
+    """Random and sequential access over one recovered ``*.seg`` file.
+
+    The file is read into memory once at :meth:`open` (virtual segments
+    are bounded by their configured capacity, a few MiB). :meth:`chunk_at`
+    uses the sparse index for O(log n) point lookup: bisect to the floor
+    entry, then walk self-describing headers forward.
+    """
+
+    __slots__ = ("path", "meta", "_data", "_index", "_chunk_count")
+
+    def __init__(
+        self,
+        path: Path,
+        meta: SegmentFileMeta,
+        data: bytes,
+        index: list[tuple[int, int]],
+        chunk_count: int,
+    ) -> None:
+        self.path = path
+        self.meta = meta
+        self._data = data
+        self._index = index
+        self._chunk_count = chunk_count
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, index_interval: int = DEFAULT_INDEX_INTERVAL
+    ) -> SegmentFileReader:
+        """Open a segment file, loading (or rebuilding) its sparse index.
+
+        Trusts frame structure — run :func:`recover_segment_file` first
+        for files that may have a torn tail.
+        """
+        seg_path = Path(path)
+        raw = seg_path.read_bytes()
+        meta = SegmentFileMeta.unpack(raw)
+        data = raw[SEG_FILE_HEADER_SIZE:]
+        loaded = _load_index(seg_path.with_suffix(".idx"), len(raw))
+        if loaded is not None:
+            entries, interval = loaded
+            _, chunk_count = _scan_index(memoryview(data), index_interval=interval)
+        else:
+            entries, chunk_count = _scan_index(
+                memoryview(data), index_interval=index_interval
+            )
+        return cls(seg_path, meta, data, entries, chunk_count)
+
+    @property
+    def frame_bytes(self) -> int:
+        return len(self._data)
+
+    @property
+    def chunk_count(self) -> int:
+        return self._chunk_count
+
+    @property
+    def index_entries(self) -> list[tuple[int, int]]:
+        return list(self._index)
+
+    def frame_data(self) -> memoryview:
+        """The raw back-to-back chunk frames (no file header)."""
+        return memoryview(self._data)
+
+    def iter_chunks(self, *, verify: bool = True) -> Iterator[Chunk]:
+        offset = 0
+        view = memoryview(self._data)
+        while offset < len(view):
+            chunk, offset = decode_chunk(view, offset, verify=verify)
+            yield chunk
+
+    def chunks(self, *, verify: bool = True) -> list[Chunk]:
+        return list(self.iter_chunks(verify=verify))
+
+    def chunk_at(self, index: int, *, verify: bool = True) -> Chunk:
+        """Decode the ``index``-th chunk via the sparse index."""
+        if not 0 <= index < self._chunk_count:
+            raise StorageError(
+                f"chunk index {index} out of range [0, {self._chunk_count})"
+            )
+        view = memoryview(self._data)
+        pos = bisect_right(self._index, (index, 2**63)) - 1
+        if pos >= 0:
+            current, file_offset = self._index[pos]
+            offset = file_offset - SEG_FILE_HEADER_SIZE
+        else:  # no index entries (empty sidecar on a tiny file)
+            current, offset = 0, 0
+        while current < index:
+            offset += _frame_length(view, offset)
+            current += 1
+        chunk, _ = decode_chunk(view, offset, verify=verify)
+        return chunk
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveredSegmentFile:
+    """Outcome of torn-tail recovery on one segment file."""
+
+    path: Path
+    meta: SegmentFileMeta
+    chunk_count: int
+    frame_bytes: int
+    truncated_bytes: int
+    index_rebuilt: bool
+
+
+def recover_segment_file(
+    path: str | Path, *, index_interval: int = DEFAULT_INDEX_INTERVAL
+) -> RecoveredSegmentFile:
+    """Scan, CRC-validate, truncate a torn tail, and rebuild the index.
+
+    The recovery state machine on open::
+
+        read header ──bad magic/version/crc──▶ StorageError (file unusable)
+              │ok
+              ▼
+        scan frames, CRC-validating each payload
+              │
+              ├─ all frames valid ──▶ keep file as-is
+              │
+              └─ torn/corrupt frame ──▶ truncate file at last good frame
+              ▼
+        sidecar matches scan? ──no──▶ rewrite *.idx from the scan
+
+    A file whose *fixed header* is unreadable cannot even be attributed
+    to a virtual segment; that raises :class:`StorageError` and the
+    caller (``SegmentPersistence.load``) skips it. Everything after a
+    valid header degrades gracefully: the good frame prefix survives,
+    the torn tail is cut, and the sidecar is regenerated.
+    """
+    seg_path = Path(path)
+    raw = seg_path.read_bytes()
+    meta = SegmentFileMeta.unpack(raw)
+
+    view = memoryview(raw)
+    offset = SEG_FILE_HEADER_SIZE
+    chunk_count = 0
+    good_end = offset
+    while offset < len(view):
+        try:
+            _, offset = decode_chunk(view, offset, verify=True)
+        except WireFormatError:  # includes ChecksumError: torn or corrupt tail
+            break
+        good_end = offset
+        chunk_count += 1
+
+    truncated = len(raw) - good_end
+    if truncated:
+        with open(seg_path, "r+b") as fh:
+            fh.truncate(good_end)
+            fh.flush()
+            os.fsync(fh.fileno())
+        view = memoryview(raw)[:good_end]
+
+    data = memoryview(raw)[SEG_FILE_HEADER_SIZE:good_end]
+    idx_path = seg_path.with_suffix(".idx")
+    loaded = _load_index(idx_path, good_end)
+    if loaded is not None:
+        interval = loaded[1]
+        expected, _ = _scan_index(data, index_interval=interval)
+    else:
+        interval = index_interval
+        expected, _ = _scan_index(data, index_interval=index_interval)
+    index_rebuilt = loaded is None or loaded[0] != expected
+    if index_rebuilt:
+        with open(idx_path, "wb") as ih:
+            ih.write(_IDX_HEADER.pack(IDX_FILE_MAGIC, IDX_FILE_VERSION, 0, interval))
+            for chunk_index, file_offset in expected:
+                ih.write(_IDX_ENTRY.pack(chunk_index, 0, file_offset))
+
+    return RecoveredSegmentFile(
+        path=seg_path,
+        meta=meta,
+        chunk_count=chunk_count,
+        frame_bytes=good_end - SEG_FILE_HEADER_SIZE,
+        truncated_bytes=truncated,
+        index_rebuilt=index_rebuilt,
+    )

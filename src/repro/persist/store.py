@@ -1,0 +1,353 @@
+"""One backup node's on-disk state: epoch directories of segment files.
+
+Layout under the node's root (``persist_dir/node<N>``)::
+
+    epoch-0001/              <- a previous incarnation's files (read at load)
+        b0_v1_s3.seg         <- frames of (src_broker=0, vlog=1, vseg=3)
+        b0_v1_s3.idx
+    epoch-0002/              <- this incarnation's write epoch (lazy)
+        ...
+
+Virtual-segment ids restart from zero on every cluster incarnation, so
+files from different runs may share a name; epoch directories keep the
+generations apart. The write epoch is created lazily on the first flush
+(``max existing + 1``), which also keeps parent-side cores in process
+mode — which never see replication traffic — from littering the tree.
+
+All write-path methods (``persist_region``, ``tick``, ``sync_all``) are
+called from a single thread: the flusher thread in the live drivers, or
+the caller's thread in inproc mode. Stats reads are int snapshots and
+need no coordination.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol
+
+from repro.common.errors import StorageError
+from repro.wire.buffers import AppendBuffer
+from repro.wire.chunk import Chunk
+from repro.persist.policy import FlushMode, FlushPolicy
+from repro.persist.segment_file import (
+    DEFAULT_INDEX_INTERVAL,
+    SEG_FILE_HEADER_SIZE,
+    SegmentFileMeta,
+    SegmentFileReader,
+    SegmentFileWriter,
+    recover_segment_file,
+)
+
+__all__ = ["SegmentPersistence", "DiskLoadReport", "LoadedSegment"]
+
+_EPOCH_PREFIX = "epoch-"
+_CONSUMED_SUFFIX = "-consumed"
+
+
+class PersistableSegment(Protocol):
+    """What the durable tier needs from a replicated segment.
+
+    Satisfied structurally by
+    :class:`repro.replication.backup_store.ReplicatedSegment`; declared
+    as a protocol so this package never imports the replication layer.
+    """
+
+    src_broker: int
+    vlog_id: int
+    vseg_id: int
+    capacity: int
+    sealed: bool
+    buffer: AppendBuffer
+
+    @property
+    def unflushed_bytes(self) -> int: ...
+
+    @property
+    def spilled(self) -> bool: ...
+
+    def spill(self, reader: SegmentFileReader) -> int: ...
+
+
+@dataclass(frozen=True, slots=True)
+class LoadedSegment:
+    """One virtual segment re-ingested from disk at restart."""
+
+    meta: SegmentFileMeta
+    path: Path
+    chunks: list[Chunk]
+    frame_bytes: int
+    truncated_bytes: int
+    index_rebuilt: bool
+
+
+@dataclass(slots=True)
+class DiskLoadReport:
+    """Outcome of :meth:`SegmentPersistence.load`."""
+
+    segments: list[LoadedSegment] = field(default_factory=list)
+    epochs_loaded: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+    files_skipped: int = 0
+    files_superseded: int = 0
+    chunks_loaded: int = 0
+    bytes_truncated: int = 0
+    indexes_rebuilt: int = 0
+
+
+def _epoch_number(name: str) -> int | None:
+    if not name.startswith(_EPOCH_PREFIX) or name.endswith(_CONSUMED_SUFFIX):
+        return None
+    try:
+        return int(name[len(_EPOCH_PREFIX) :])
+    except ValueError:
+        return None
+
+
+class SegmentPersistence:
+    """Owns segment files, fsync policy, and spill for one backup node."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        policy: FlushPolicy | None = None,
+        spill: bool = False,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
+    ) -> None:
+        self.root = Path(root)
+        self.policy = policy if policy is not None else FlushPolicy(FlushMode.NEVER)
+        self.spill = spill
+        self.index_interval = index_interval
+        self._epoch_dir: Path | None = None
+        self._writers: dict[tuple[int, int, int], SegmentFileWriter] = {}
+        self._spilled = 0
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+        self._closed = False
+
+    # -- write epoch -----------------------------------------------------------
+
+    def epoch_dir(self) -> Path:
+        """This incarnation's write directory, created on first use."""
+        if self._epoch_dir is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            numbers = [
+                n
+                for entry in self.root.iterdir()
+                if (n := _epoch_number(entry.name)) is not None
+            ]
+            epoch = max(numbers, default=0) + 1
+            self._epoch_dir = self.root / f"{_EPOCH_PREFIX}{epoch:04d}"
+            self._epoch_dir.mkdir()
+        return self._epoch_dir
+
+    def path_for(self, src_broker: int, vlog_id: int, vseg_id: int) -> Path:
+        return self.epoch_dir() / f"b{src_broker}_v{vlog_id}_s{vseg_id}.seg"
+
+    # -- flush path ------------------------------------------------------------
+
+    def _writer_for(self, segment: PersistableSegment) -> SegmentFileWriter:
+        key = (segment.src_broker, segment.vlog_id, segment.vseg_id)
+        writer = self._writers.get(key)
+        if writer is None:
+            meta = SegmentFileMeta(
+                src_broker=segment.src_broker,
+                vlog_id=segment.vlog_id,
+                vseg_id=segment.vseg_id,
+                capacity=segment.capacity,
+            )
+            writer = SegmentFileWriter(
+                self.path_for(*key), meta, index_interval=self.index_interval
+            )
+            self._writers[key] = writer
+        return writer
+
+    def persist_region(
+        self, segment: PersistableSegment, start: int, nbytes: int
+    ) -> Path:
+        """Append a flushed buffer region verbatim; apply the fsync policy.
+
+        Regions must arrive in order per segment (the flusher preserves
+        submission order). A zero-byte region is a pure policy/spill
+        checkpoint — emitted when a segment seals with nothing left to
+        flush.
+        """
+        if self._closed:
+            raise StorageError("persist on closed segment persistence")
+        writer = self._writer_for(segment)
+        if nbytes > 0:
+            if start != writer.frame_bytes:
+                raise StorageError(
+                    f"out-of-order flush for {writer.path.name}: region starts at "
+                    f"{start}, file holds {writer.frame_bytes} frame bytes"
+                )
+            writer.append(segment.buffer.view(start, nbytes))
+            self._unsynced += nbytes
+            if self.policy.due_after_write(self._unsynced):
+                self.sync_all()
+        if (
+            self.spill
+            and segment.sealed
+            and not segment.spilled
+            and segment.unflushed_bytes == 0
+        ):
+            self._spill(segment, writer)
+        return writer.path
+
+    def _spill(self, segment: PersistableSegment, writer: SegmentFileWriter) -> None:
+        """Hand the segment over to its file: sync, reopen as a reader.
+
+        The disk copy becomes the only copy, so it is synced regardless
+        of the fsync policy — spill must never lose acked data.
+        """
+        key = (segment.src_broker, segment.vlog_id, segment.vseg_id)
+        writer.close(sync=True)
+        del self._writers[key]
+        reader = SegmentFileReader.open(writer.path, index_interval=self.index_interval)
+        segment.spill(reader)
+        self._spilled += 1
+
+    def tick(self) -> None:
+        """Idle-time hook: time-batched fsync for ``interval:<ms>``."""
+        if self._closed or self.policy.mode is not FlushMode.INTERVAL:
+            return
+        if self.policy.due_on_tick(time.monotonic() - self._last_sync, self._unsynced):
+            self.sync_all()
+
+    def sync_all(self) -> None:
+        """``fsync`` every open segment file."""
+        for writer in self._writers.values():
+            writer.sync()
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    # -- read path -------------------------------------------------------------
+
+    def read_chunks(
+        self, src_broker: int, vlog_id: int, vseg_id: int, *, verify: bool = True
+    ) -> list[Chunk]:
+        """Decode one persisted segment's chunks from its file."""
+        key = (src_broker, vlog_id, vseg_id)
+        writer = self._writers.get(key)
+        if writer is not None:
+            writer.flush()
+        path = self.path_for(*key)
+        if not path.exists():
+            raise StorageError(f"no persisted segment file {path.name}")
+        reader = SegmentFileReader.open(path, index_interval=self.index_interval)
+        return reader.chunks(verify=verify)
+
+    def load(self, *, parallel: int = 4) -> DiskLoadReport:
+        """Re-ingest prior incarnations' segment files, in parallel.
+
+        Every non-consumed epoch directory other than this incarnation's
+        write epoch is scanned; each file goes through torn-tail
+        recovery (:func:`recover_segment_file`) on a worker thread, then
+        decodes its chunks. When generations collide — the same (source
+        broker, virtual log, virtual segment) in several epochs — the
+        newest epoch wins: a restore replays older data through the
+        cluster, so later epochs supersede earlier ones.
+        """
+        report = DiskLoadReport()
+        if not self.root.is_dir():
+            return report
+        epochs = sorted(
+            (n, entry)
+            for entry in self.root.iterdir()
+            if (n := _epoch_number(entry.name)) is not None
+            and entry != self._epoch_dir
+        )
+        # Newest epoch first so the first file seen for a key wins.
+        chosen: dict[tuple[int, int, int], Path] = {}
+        for _, epoch_path in reversed(epochs):
+            loaded_any = False
+            for seg_path in sorted(epoch_path.glob("*.seg")):
+                report.files_scanned += 1
+                try:
+                    with open(seg_path, "rb") as fh:
+                        meta = SegmentFileMeta.unpack(fh.read(SEG_FILE_HEADER_SIZE))
+                except (StorageError, OSError):
+                    report.files_skipped += 1
+                    continue
+                key = (meta.src_broker, meta.vlog_id, meta.vseg_id)
+                if key in chosen:
+                    report.files_superseded += 1
+                    continue
+                chosen[key] = seg_path
+                loaded_any = True
+            if loaded_any:
+                report.epochs_loaded.append(epoch_path.name)
+        report.epochs_loaded.sort()
+
+        def _load_one(seg_path: Path) -> LoadedSegment | None:
+            try:
+                recovered = recover_segment_file(
+                    seg_path, index_interval=self.index_interval
+                )
+                reader = SegmentFileReader.open(
+                    seg_path, index_interval=self.index_interval
+                )
+            except (StorageError, OSError):
+                return None
+            # recover_segment_file already CRC-validated every surviving frame.
+            return LoadedSegment(
+                meta=recovered.meta,
+                path=seg_path,
+                chunks=reader.chunks(verify=False),
+                frame_bytes=recovered.frame_bytes,
+                truncated_bytes=recovered.truncated_bytes,
+                index_rebuilt=recovered.index_rebuilt,
+            )
+
+        paths = [chosen[key] for key in sorted(chosen)]
+        if parallel > 1 and len(paths) > 1:
+            with ThreadPoolExecutor(max_workers=parallel) as pool:
+                results = list(pool.map(_load_one, paths))
+        else:
+            results = [_load_one(p) for p in paths]
+        for loaded in results:
+            if loaded is None:
+                report.files_skipped += 1
+                continue
+            report.segments.append(loaded)
+            report.chunks_loaded += len(loaded.chunks)
+            report.bytes_truncated += loaded.truncated_bytes
+            report.indexes_rebuilt += int(loaded.index_rebuilt)
+        return report
+
+    def retire_loaded_epochs(self, report: DiskLoadReport) -> None:
+        """Mark loaded epochs consumed (after their data was replayed and
+        re-persisted by the new incarnation) so later restarts skip them."""
+        for name in report.epochs_loaded:
+            path = self.root / name
+            if path.is_dir():
+                path.rename(self.root / f"{name}{_CONSUMED_SUFFIX}")
+
+    # -- lifecycle / stats -----------------------------------------------------
+
+    def close(self, *, sync: bool | None = None) -> None:
+        """Close open writers. ``sync`` defaults to the policy's intent:
+        any policy except ``never`` syncs on a clean close."""
+        if self._closed:
+            return
+        do_sync = sync if sync is not None else self.policy.mode is not FlushMode.NEVER
+        for writer in self._writers.values():
+            writer.close(sync=do_sync)
+        self._writers.clear()
+        self._closed = True
+
+    @property
+    def segments_on_disk(self) -> int:
+        """Segment files this incarnation has written (open + spilled)."""
+        return len(self._writers) + self._spilled
+
+    @property
+    def spilled_segments(self) -> int:
+        return self._spilled
+
+    @property
+    def unsynced_bytes(self) -> int:
+        return self._unsynced

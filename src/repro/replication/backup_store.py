@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import struct
 from collections.abc import Iterator
+from typing import Protocol
 
 from repro.common.checksum import crc32c, crc32c_many
 from repro.common.errors import ChecksumError, ReplicationError
@@ -62,6 +63,24 @@ def _checked_frame(frame: bytes | memoryview) -> tuple[memoryview, int]:
     return view, payload_crc
 
 
+class SpilledSegmentReader(Protocol):
+    """What a spilled segment needs from its on-disk replacement.
+
+    Satisfied structurally by :class:`repro.persist.SegmentFileReader`;
+    declared here as a protocol so the replication layer stays
+    importable from sim-reachable code without dragging in real file
+    I/O (analysis rule A002).
+    """
+
+    @property
+    def chunk_count(self) -> int: ...
+
+    @property
+    def frame_bytes(self) -> int: ...
+
+    def chunks(self, *, verify: bool = True) -> list[Chunk]: ...
+
+
 class ReplicatedSegment:
     """A backup's in-memory copy of one virtual segment's chunks.
 
@@ -70,6 +89,11 @@ class ReplicatedSegment:
     appended verbatim — the backup never re-encodes) or as
     :class:`Chunk` objects (metadata fidelity and recovery migration).
     Frame entries are decoded lazily when :attr:`chunks` is read.
+
+    A sealed, fully-flushed segment can :meth:`spill`: its in-memory
+    buffer is released and reads transparently fall back to the on-disk
+    :class:`SpilledSegmentReader` — the paper's memory/disk migration
+    for cold virtual segments.
     """
 
     __slots__ = (
@@ -82,6 +106,7 @@ class ReplicatedSegment:
         "flushed_bytes",
         "sealed",
         "_entries",
+        "_spilled",
     )
 
     def __init__(
@@ -104,13 +129,22 @@ class ReplicatedSegment:
         # Chunk objects, or (offset, length) spans of frames appended
         # verbatim to ``buffer``.
         self._entries: list[Chunk | tuple[int, int]] = []
+        self._spilled: SpilledSegmentReader | None = None
+
+    @property
+    def spilled(self) -> bool:
+        return self._spilled is not None
 
     @property
     def bytes_held(self) -> int:
+        if self._spilled is not None:
+            return self._spilled.frame_bytes
         return self.buffer.head
 
     @property
     def unflushed_bytes(self) -> int:
+        if self._spilled is not None:
+            return 0
         return self.buffer.head - self.flushed_bytes
 
     @property
@@ -119,8 +153,12 @@ class ReplicatedSegment:
 
         Frame entries decode on demand (payloads were CRC-verified on
         arrival), so the replication hot path never materializes
-        :class:`Chunk` objects it does not need.
+        :class:`Chunk` objects it does not need. Spilled segments decode
+        from disk instead — with CRC verification, because those bytes
+        crossed an address-space boundary (the platter).
         """
+        if self._spilled is not None:
+            return self._spilled.chunks(verify=True)
         out = []
         for entry in self._entries:
             if isinstance(entry, Chunk):
@@ -135,9 +173,37 @@ class ReplicatedSegment:
 
     @property
     def chunk_count(self) -> int:
+        if self._spilled is not None:
+            return self._spilled.chunk_count
         return len(self._entries)
 
+    def spill(self, reader: SpilledSegmentReader) -> int:
+        """Release the in-memory buffer; serve reads from ``reader``.
+
+        Only a sealed segment whose bytes are all on disk may spill —
+        anything less would make the disk copy lose acked data. Returns
+        the bytes of buffer memory released.
+        """
+        if not self.sealed:
+            raise ReplicationError("spill of an unsealed backup segment")
+        if self.unflushed_bytes > 0:
+            raise ReplicationError(
+                f"spill with {self.unflushed_bytes} unflushed bytes would lose data"
+            )
+        if reader.frame_bytes != self.buffer.head:
+            raise ReplicationError(
+                f"spill reader holds {reader.frame_bytes} bytes; "
+                f"segment holds {self.buffer.head}"
+            )
+        freed = self.buffer.head
+        self._spilled = reader
+        self.buffer = AppendBuffer(1, materialize=False)
+        self._entries = []
+        return freed
+
     def append(self, chunk: Chunk) -> None:
+        if self._spilled is not None:
+            raise ReplicationError("replication append on spilled backup segment")
         if chunk.payload is not None:
             chunk.verify_payload()
         if self.materialize:
@@ -158,6 +224,8 @@ class ReplicatedSegment:
         just checked). The bytes are then copied into the segment buffer
         untouched — placement stamps included.
         """
+        if self._spilled is not None:
+            raise ReplicationError("replication append on spilled backup segment")
         if not self.materialize:
             raise ReplicationError(
                 "frame replication requires a materialized backup segment"
@@ -172,12 +240,26 @@ class ReplicatedSegment:
 
 
 class BackupStore:
-    """All replicated segments held by one backup node."""
+    """All replicated segments held by one backup node.
 
-    def __init__(self, node_id: int, *, materialize: bool = True) -> None:
+    With ``seal_on_rollover`` (the durable tier's spill mode), creating
+    a segment for a *newer* virtual segment of the same (source broker,
+    virtual log) seals its predecessor — the broker has rolled over, no
+    further appends can arrive for it — and records it so the driver can
+    drain its tail to disk and spill the buffer. Repair traffic that
+    back-fills an *older* virtual segment (recovery re-replication)
+    never triggers a seal.
+    """
+
+    def __init__(
+        self, node_id: int, *, materialize: bool = True, seal_on_rollover: bool = False
+    ) -> None:
         self.node_id = node_id
         self.materialize = materialize
+        self.seal_on_rollover = seal_on_rollover
         self._segments: dict[tuple[int, int, int], ReplicatedSegment] = {}
+        self._latest: dict[tuple[int, int], ReplicatedSegment] = {}
+        self._just_sealed: list[ReplicatedSegment] = []
         self._chunks_received = 0
         self._batches_received = 0
 
@@ -197,11 +279,27 @@ class BackupStore:
                 materialize=self.materialize,
             )
             self._segments[key] = segment
+            if self.seal_on_rollover:
+                vlog_key = (src_broker, vlog_id)
+                latest = self._latest.get(vlog_key)
+                if latest is None or vseg_id > latest.vseg_id:
+                    if latest is not None and not latest.sealed:
+                        latest.sealed = True
+                        self._just_sealed.append(latest)
+                    self._latest[vlog_key] = segment
         if segment.sealed:
             raise ReplicationError(
                 f"replication append on sealed backup segment {key}"
             )
         return segment
+
+    def take_just_sealed(self) -> list[ReplicatedSegment]:
+        """Segments sealed by rollover since the last call (driver drains
+        their unflushed tail and spills them)."""
+        if not self._just_sealed:
+            return []
+        sealed, self._just_sealed = self._just_sealed, []
+        return sealed
 
     def append_batch(
         self,
@@ -315,3 +413,12 @@ class BackupStore:
     @property
     def bytes_held(self) -> int:
         return sum(s.bytes_held for s in self._segments.values())
+
+    @property
+    def spilled_segments(self) -> int:
+        return sum(1 for s in self._segments.values() if s.spilled)
+
+    @property
+    def bytes_in_memory(self) -> int:
+        """Bytes still held in RAM (spilled segments no longer count)."""
+        return sum(s.bytes_held for s in self._segments.values() if not s.spilled)

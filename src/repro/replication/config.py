@@ -58,6 +58,16 @@ class ReplicationConfig:
     #: the current consolidation target, the shipper waits up to this long
     #: for more appends before shipping a small batch. 0 ships eagerly.
     ship_linger_s: float = 0.0
+    #: Durable tier (live drivers with a persist dir): when backups
+    #: ``fsync`` their segment files — ``never`` (OS decides), ``always``
+    #: (every flush), ``interval:<ms>`` (time-batched), or ``bytes:<n>``
+    #: (every n unsynced bytes). Parsed by
+    #: :meth:`repro.persist.FlushPolicy.parse`; validated structurally
+    #: here so the config layer stays free of file-I/O imports.
+    fsync_policy: str = "never"
+    #: Durable tier: migrate sealed, fully-flushed virtual segments out
+    #: of backup memory; reads fall back to the on-disk segment file.
+    spill_sealed: bool = False
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
@@ -72,6 +82,12 @@ class ReplicationConfig:
             raise ConfigError("pipeline_depth must be >= 1")
         if self.ship_window_bytes < 0 or self.ship_linger_s < 0:
             raise ConfigError("ship window and linger must be >= 0")
+        head = self.fsync_policy.strip().partition(":")[0].lower()
+        if head not in ("never", "always", "interval", "bytes", "every_n_bytes"):
+            raise ConfigError(
+                f"unknown fsync policy {self.fsync_policy!r} "
+                "(expected never | always | interval:<ms> | bytes:<n>)"
+            )
 
     @property
     def num_backup_copies(self) -> int:

@@ -178,6 +178,14 @@ def _service_worker(
             if not responses.write(out_kind, payload, timeout=30.0):
                 break  # reaper gone; parent will fail the pending call
     finally:
+        close = getattr(service, "close", None)
+        if callable(close):
+            try:
+                # Service shutdown hook: lets a durable backup drain its
+                # flusher and fsync segment files before the child exits.
+                close()
+            except Exception:  # noqa: S110 -- nothing to relay to: the rings are closing; a failed drain must not mask the clean exit path.
+                pass
         responses.close()
         del requests, responses
         _close_shm(request_shm)

@@ -66,15 +66,16 @@ class KeraSystem(SystemAdapter):
                 on_request_complete=completion.callback_for(node),
                 zero_copy_fetch=self.zero_copy_fetch,
             )
+            storage_dir = config.storage_dir
             self.backup_cores[node] = KeraBackupCore(
                 node_id=node,
                 materialize=config.storage.materialize,
                 flush_threshold=config.flush_threshold,
                 disk_dir=(
-                    f"{config.disk_dir}/node{node}"
-                    if config.disk_dir is not None
-                    else None
+                    f"{storage_dir}/node{node}" if storage_dir is not None else None
                 ),
+                fsync_policy=config.replication.fsync_policy,
+                spill=config.replication.spill_sealed,
             )
 
     def on_stream_created(self, meta: Any) -> None:

@@ -1,5 +1,6 @@
 """A002 fixture: nondeterminism helpers a sim module reaches."""
 
+import os
 import random
 import threading
 import time
@@ -17,3 +18,13 @@ def spawn(fn):
     thread = threading.Thread(target=fn)
     thread.start()
     return thread
+
+
+def persist(path, data):
+    with open(path, "wb") as fh:
+        fh.write(data)
+        os.fsync(fh.fileno())
+
+
+def note(path, text):
+    path.write_text(text)

@@ -87,3 +87,51 @@ def test_direct_sim_module_violation(analyze):
         rules=["A002"],
     )
     assert any(f.rule == "A002" for f in findings)
+
+
+def test_builtin_open_reachable_from_sim_fires():
+    assert any("builtin `open`" in f.message for f in _clock_findings())
+
+
+def test_os_module_reachable_from_sim_fires():
+    msgs = [f.message for f in _clock_findings()]
+    assert any("import of `os`" in m for m in msgs)
+    assert any("use of `os.fsync`" in m for m in msgs)
+
+
+def test_path_write_reachable_from_sim_fires():
+    assert any(".write_text(...)" in f.message for f in _clock_findings())
+
+
+def test_file_io_not_reachable_from_sim_is_clean(analyze):
+    # Real disk writes are fine anywhere the sim cannot reach.
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/storage.py": """
+            import os
+
+            def persist(path, data):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+                    os.fsync(fh.fileno())
+            """,
+        },
+        rules=["A002"],
+    )
+    assert findings == []
+
+
+def test_file_io_in_sim_module_fires(analyze):
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/sim/__init__.py": "",
+            "pkg/sim/core.py": """
+            def checkpoint(path, state):
+                path.write_bytes(state)
+            """,
+        },
+        rules=["A002"],
+    )
+    assert any("write_bytes" in f.message for f in findings)

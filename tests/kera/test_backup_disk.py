@@ -62,17 +62,34 @@ def test_persisted_segments_decode_to_original_records(tmp_path):
 
 
 def test_incremental_flushes_append(tmp_path):
+    from repro.persist import SEG_FILE_HEADER_SIZE
+
     cluster = make_cluster(tmp_path, flush_threshold=1 * KB)
     ingest(cluster, count=600)
     for backup in cluster.backups.values():
         for flush in backup.drain_flush():
             backup.persist(flush)
-    # On-disk length equals the in-memory segment length for every segment.
+        backup.close_persistence()
+    # On-disk frame length equals the in-memory segment length for every
+    # segment: incremental flushes appended, never rewrote.
     for backup in cluster.backups.values():
         for src in list(cluster.brokers):
             for segment in backup.store.segments_for_broker(src):
                 path = backup._segment_path(segment)
-                assert path.stat().st_size == segment.bytes_held
+                expected = SEG_FILE_HEADER_SIZE + segment.bytes_held
+                assert path.stat().st_size == expected
+
+
+def test_segment_files_live_in_epoch_directory(tmp_path):
+    cluster = make_cluster(tmp_path)
+    ingest(cluster)
+    files = sorted((tmp_path / "backups").rglob("*.seg"))
+    assert files
+    # First incarnation: every file sits in a node's epoch-0001, with an
+    # index sidecar alongside.
+    for path in files:
+        assert path.parent.name == "epoch-0001"
+        assert path.with_suffix(".idx").exists()
 
 
 def test_disk_requires_materialized_segments(tmp_path):

@@ -1,0 +1,43 @@
+"""Shared helpers for durable-tier tests: real encoded chunk frames."""
+
+import pytest
+
+from repro.wire.chunk import Chunk, encode_chunk
+from repro.wire.record import Record, encode_records
+
+
+def make_chunks(n=20, *, records_per_chunk=3, value_size=40, producer_id=7):
+    """``n`` self-describing chunks with real payloads and CRCs."""
+    chunks = []
+    for seq in range(n):
+        records = [
+            Record(value=bytes([seq % 251]) * value_size)
+            for _ in range(records_per_chunk)
+        ]
+        payload = encode_records(records)
+        chunks.append(
+            Chunk(
+                stream_id=1,
+                streamlet_id=0,
+                producer_id=producer_id,
+                chunk_seq=seq,
+                record_count=records_per_chunk,
+                payload_len=len(payload),
+                payload=payload,
+            )
+        )
+    return chunks
+
+
+def frames_for(chunks):
+    return [bytes(encode_chunk(c)) for c in chunks]
+
+
+@pytest.fixture
+def chunks():
+    return make_chunks()
+
+
+@pytest.fixture
+def frames(chunks):
+    return frames_for(chunks)

@@ -1,0 +1,81 @@
+"""FlushPolicy: parse, decide, round-trip — no filesystem involved."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.persist import FlushMode, FlushPolicy
+from repro.replication.config import ReplicationConfig
+
+
+def test_parse_simple_modes():
+    assert FlushPolicy.parse("never").mode is FlushMode.NEVER
+    assert FlushPolicy.parse("always").mode is FlushMode.ALWAYS
+    assert FlushPolicy.parse(" ALWAYS ").mode is FlushMode.ALWAYS
+
+
+def test_parse_interval_converts_ms():
+    policy = FlushPolicy.parse("interval:50")
+    assert policy.mode is FlushMode.INTERVAL
+    assert policy.interval_s == pytest.approx(0.05)
+
+
+def test_parse_bytes_and_alias():
+    assert FlushPolicy.parse("bytes:4096").every_bytes == 4096
+    alias = FlushPolicy.parse("every_n_bytes:512")
+    assert alias.mode is FlushMode.EVERY_N_BYTES
+    assert alias.every_bytes == 512
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "fsync",
+        "interval",
+        "interval:zero",
+        "interval:-5",
+        "bytes",
+        "bytes:x",
+        "bytes:0",
+        "never:3",
+        "always:1",
+    ],
+)
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        FlushPolicy.parse(spec)
+
+
+@pytest.mark.parametrize(
+    "spec", ["never", "always", "interval:50", "bytes:4096", "interval:12.5"]
+)
+def test_spec_roundtrips(spec):
+    policy = FlushPolicy.parse(spec)
+    assert FlushPolicy.parse(policy.spec()) == policy
+
+
+def test_due_after_write():
+    assert FlushPolicy.parse("always").due_after_write(1)
+    assert not FlushPolicy.parse("never").due_after_write(1 << 30)
+    by_bytes = FlushPolicy.parse("bytes:100")
+    assert not by_bytes.due_after_write(99)
+    assert by_bytes.due_after_write(100)
+    # Interval syncs on the tick, never on the write path.
+    assert not FlushPolicy.parse("interval:1").due_after_write(1 << 30)
+
+
+def test_due_on_tick_interval_only():
+    interval = FlushPolicy.parse("interval:50")
+    assert not interval.due_on_tick(0.01, 10)
+    assert interval.due_on_tick(0.06, 10)
+    # Nothing unsynced: nothing to pay an fsync for.
+    assert not interval.due_on_tick(0.06, 0)
+    assert not FlushPolicy.parse("always").due_on_tick(10.0, 10)
+    assert not FlushPolicy.parse("bytes:1").due_on_tick(10.0, 10)
+
+
+def test_replication_config_validates_fsync_policy_structurally():
+    # The config layer must reject junk without importing repro.persist.
+    assert ReplicationConfig(fsync_policy="bytes:4096").fsync_policy == "bytes:4096"
+    assert ReplicationConfig(fsync_policy="interval:10")
+    with pytest.raises(ConfigError):
+        ReplicationConfig(fsync_policy="bogus")

@@ -1,0 +1,103 @@
+"""Segment file writer/reader: header, verbatim frames, sparse index."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.persist import (
+    SEG_FILE_HEADER_SIZE,
+    SegmentFileMeta,
+    SegmentFileReader,
+    SegmentFileWriter,
+)
+
+META = SegmentFileMeta(src_broker=3, vlog_id=1, vseg_id=9, capacity=1 << 20)
+
+
+def write_file(path, frames, *, index_interval=200, appends=None, sync=True):
+    writer = SegmentFileWriter(path, META, index_interval=index_interval)
+    if appends is None:
+        appends = [b"".join(frames)]
+    for region in appends:
+        writer.append(region)
+    writer.close(sync=sync)
+    return writer
+
+
+def test_meta_header_roundtrip():
+    packed = META.pack()
+    assert len(packed) == SEG_FILE_HEADER_SIZE
+    assert SegmentFileMeta.unpack(packed) == META
+
+
+def test_meta_header_rejects_corruption():
+    packed = bytearray(META.pack())
+    packed[8] ^= 0xFF  # src_broker byte: crc must catch it
+    with pytest.raises(StorageError):
+        SegmentFileMeta.unpack(bytes(packed))
+    with pytest.raises(StorageError):
+        SegmentFileMeta.unpack(packed[:10])
+
+
+def test_writer_reader_roundtrip(tmp_path, chunks, frames):
+    path = tmp_path / "b3_v1_s9.seg"
+    # Several appends of several frames each: incremental flush regions.
+    regions = [b"".join(frames[:7]), b"".join(frames[7:12]), b"".join(frames[12:])]
+    writer = write_file(path, frames, appends=regions)
+    assert writer.chunk_count == len(chunks)
+    assert writer.file_bytes == path.stat().st_size
+    reader = SegmentFileReader.open(path)
+    assert reader.meta == META
+    assert reader.chunk_count == len(chunks)
+    assert reader.frame_bytes == sum(len(f) for f in frames)
+    assert reader.chunks(verify=True) == chunks
+
+
+def test_sparse_index_enables_point_lookup(tmp_path, chunks, frames):
+    path = tmp_path / "seg.seg"
+    write_file(path, frames, index_interval=200)
+    reader = SegmentFileReader.open(path, index_interval=200)
+    entries = reader.index_entries
+    # Sparse: more than the initial entry, fewer than one per chunk.
+    assert 1 < len(entries) < len(chunks)
+    assert entries[0] == (0, SEG_FILE_HEADER_SIZE)
+    for i in range(len(chunks)):
+        assert reader.chunk_at(i) == chunks[i]
+    with pytest.raises(StorageError):
+        reader.chunk_at(len(chunks))
+    with pytest.raises(StorageError):
+        reader.chunk_at(-1)
+
+
+def test_reader_rebuilds_missing_sidecar(tmp_path, chunks, frames):
+    path = tmp_path / "seg.seg"
+    write_file(path, frames, index_interval=200)
+    with_sidecar = SegmentFileReader.open(path, index_interval=200).index_entries
+    path.with_suffix(".idx").unlink()
+    reader = SegmentFileReader.open(path, index_interval=200)
+    assert reader.index_entries == with_sidecar
+    assert reader.chunks() == chunks
+
+
+def test_append_requires_frame_alignment(tmp_path, frames):
+    writer = SegmentFileWriter(tmp_path / "x.seg", META)
+    with pytest.raises(StorageError):
+        writer.append(frames[0][:-3])  # partial payload
+    with pytest.raises(StorageError):
+        writer.append(b"\x00" * 64)  # not a chunk header
+    writer.close()
+
+
+def test_append_on_closed_writer_rejected(tmp_path, frames):
+    writer = SegmentFileWriter(tmp_path / "x.seg", META)
+    writer.close()
+    assert writer.closed
+    with pytest.raises(StorageError):
+        writer.append(frames[0])
+
+
+def test_empty_file_roundtrip(tmp_path):
+    path = tmp_path / "empty.seg"
+    write_file(path, [])
+    reader = SegmentFileReader.open(path)
+    assert reader.chunk_count == 0
+    assert reader.chunks() == []

@@ -1,0 +1,203 @@
+"""SegmentPersistence: epoch layout, fsync accounting, spill, load."""
+
+import pytest
+
+from repro.common.errors import ReplicationError, StorageError
+from repro.common.units import MB
+from repro.persist import FlushPolicy, SegmentPersistence
+from repro.replication.backup_store import BackupStore
+from tests.persist.conftest import make_chunks
+
+
+def fill_store(store, *, vsegs=3, chunks_per_vseg=6, src_broker=0, vlog_id=0):
+    """Append ``vsegs`` consecutive virtual segments' worth of chunks."""
+    per_vseg = []
+    seq = 0
+    for vseg in range(vsegs):
+        batch = make_chunks(chunks_per_vseg, producer_id=1)
+        # Re-stamp sequences so consecutive vsegs carry distinct chunks.
+        batch = [
+            type(c)(
+                stream_id=c.stream_id,
+                streamlet_id=c.streamlet_id,
+                producer_id=c.producer_id,
+                chunk_seq=seq + i,
+                record_count=c.record_count,
+                payload_len=c.payload_len,
+                payload=c.payload,
+            )
+            for i, c in enumerate(batch)
+        ]
+        seq += chunks_per_vseg
+        store.append_batch(
+            src_broker=src_broker,
+            vlog_id=vlog_id,
+            vseg_id=vseg,
+            chunks=batch,
+            segment_capacity=1 * MB,
+        )
+        per_vseg.append(batch)
+    return per_vseg
+
+
+def drain_to_disk(store, persistence):
+    for segment in store.take_just_sealed():
+        nbytes = store.take_flush_work(segment)
+        persistence.persist_region(segment, segment.flushed_bytes - nbytes, nbytes)
+    for src in {key[0] for key in store._segments}:
+        for segment in store.segments_for_broker(src):
+            nbytes = store.take_flush_work(segment)
+            if nbytes or (segment.sealed and not segment.spilled):
+                persistence.persist_region(
+                    segment, segment.flushed_bytes - nbytes, nbytes
+                )
+
+
+def test_write_epoch_is_lazy_and_monotonic(tmp_path):
+    persistence = SegmentPersistence(tmp_path / "node0")
+    assert not (tmp_path / "node0").exists()  # nothing until first flush
+    assert persistence.epoch_dir().name == "epoch-0001"
+    persistence.close()
+    again = SegmentPersistence(tmp_path / "node0")
+    assert again.epoch_dir().name == "epoch-0002"
+    again.close()
+
+
+def test_consumed_epochs_do_not_advance_numbering(tmp_path):
+    root = tmp_path / "node0"
+    first = SegmentPersistence(root)
+    assert first.epoch_dir().name == "epoch-0001"
+    first.close()
+    (root / "epoch-0001").rename(root / "epoch-0001-consumed")
+    # Consumed dirs are no longer epochs; numbering restarts above the rest.
+    nxt = SegmentPersistence(root)
+    assert nxt.epoch_dir().name == "epoch-0001"
+    nxt.close()
+
+
+def test_persist_rejects_out_of_order_regions(tmp_path):
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(tmp_path / "node1")
+    (batch,) = fill_store(store, vsegs=1)
+    (segment,) = store.segments_for_broker(0)
+    nbytes = store.take_flush_work(segment)
+    persistence.persist_region(segment, 0, nbytes)
+    with pytest.raises(StorageError):
+        persistence.persist_region(segment, nbytes + 10, 5)
+    persistence.close()
+
+
+def test_unsynced_accounting_follows_policy(tmp_path):
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(
+        tmp_path / "node1", policy=FlushPolicy.parse("bytes:1000000")
+    )
+    fill_store(store, vsegs=1)
+    (segment,) = store.segments_for_broker(0)
+    nbytes = store.take_flush_work(segment)
+    persistence.persist_region(segment, 0, nbytes)
+    assert persistence.unsynced_bytes == nbytes  # below the byte threshold
+    persistence.sync_all()
+    assert persistence.unsynced_bytes == 0
+    persistence.close()
+
+
+def test_always_policy_syncs_every_region(tmp_path):
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(
+        tmp_path / "node1", policy=FlushPolicy.parse("always")
+    )
+    fill_store(store, vsegs=1)
+    (segment,) = store.segments_for_broker(0)
+    nbytes = store.take_flush_work(segment)
+    persistence.persist_region(segment, 0, nbytes)
+    assert persistence.unsynced_bytes == 0
+    persistence.close()
+
+
+def test_spill_migrates_sealed_segments_out_of_memory(tmp_path):
+    store = BackupStore(node_id=1, materialize=True, seal_on_rollover=True)
+    persistence = SegmentPersistence(tmp_path / "node1", spill=True)
+    per_vseg = fill_store(store, vsegs=3)
+    drain_to_disk(store, persistence)
+    # Rollover sealed vsegs 0 and 1; both must now live on disk only.
+    segments = {s.vseg_id: s for s in store.segments_for_broker(0)}
+    assert segments[0].spilled and segments[1].spilled
+    assert not segments[2].spilled
+    assert store.spilled_segments == 2
+    assert store.bytes_in_memory == segments[2].bytes_held
+    assert store.bytes_held == sum(s.bytes_held for s in segments.values())
+    # Reads transparently fall back to the segment file, verified.
+    for vseg_id, expected in enumerate(per_vseg):
+        assert segments[vseg_id].chunks == expected
+    # Appending to a spilled segment is a protocol violation.
+    with pytest.raises(ReplicationError):
+        store.append_batch(
+            src_broker=0,
+            vlog_id=0,
+            vseg_id=0,
+            chunks=make_chunks(1),
+            segment_capacity=1 * MB,
+        )
+    assert persistence.spilled_segments == 2
+    persistence.close()
+
+
+def test_load_returns_newest_generation_and_retires(tmp_path):
+    root = tmp_path / "node1"
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(root, policy=FlushPolicy.parse("always"))
+    per_vseg = fill_store(store, vsegs=2)
+    drain_to_disk(store, persistence)
+    persistence.close()
+
+    # A second incarnation writes nothing but loads the first's files.
+    second = SegmentPersistence(root)
+    report = second.load()
+    assert sorted(seg.meta.vseg_id for seg in report.segments) == [0, 1]
+    assert report.epochs_loaded == ["epoch-0001"]
+    assert report.chunks_loaded == sum(len(b) for b in per_vseg)
+    assert report.bytes_truncated == 0
+    loaded = {seg.meta.vseg_id: seg.chunks for seg in report.segments}
+    assert loaded[0] == per_vseg[0]
+    assert loaded[1] == per_vseg[1]
+
+    second.retire_loaded_epochs(report)
+    assert not (root / "epoch-0001").exists()
+    assert (root / "epoch-0001-consumed").is_dir()
+    # A third load finds nothing: the generation was consumed.
+    assert second.load().segments == []
+    second.close()
+
+
+def test_load_skips_unreadable_files_and_counts_them(tmp_path):
+    root = tmp_path / "node1"
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(root, policy=FlushPolicy.parse("always"))
+    fill_store(store, vsegs=2)
+    drain_to_disk(store, persistence)
+    persistence.close()
+    # Corrupt one file's fixed header beyond recognition.
+    victim = sorted((root / "epoch-0001").glob("*.seg"))[0]
+    victim.write_bytes(b"\x00" * 64)
+
+    report = SegmentPersistence(root).load()
+    assert report.files_scanned == 2
+    assert report.files_skipped == 1
+    assert len(report.segments) == 1
+
+
+def test_newer_epoch_supersedes_older(tmp_path):
+    root = tmp_path / "node1"
+    for generation in range(2):
+        store = BackupStore(node_id=1, materialize=True)
+        persistence = SegmentPersistence(root, policy=FlushPolicy.parse("always"))
+        fill_store(store, vsegs=1, chunks_per_vseg=3 + generation)
+        drain_to_disk(store, persistence)
+        persistence.close()
+
+    report = SegmentPersistence(root).load()
+    assert report.files_superseded == 1
+    assert sorted(report.epochs_loaded) == ["epoch-0002"]
+    (segment,) = report.segments
+    assert len(segment.chunks) == 4  # the newer generation's count
