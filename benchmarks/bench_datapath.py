@@ -41,7 +41,12 @@ except ModuleNotFoundError:  # pragma: no cover
 
 from repro.kera.backup import KeraBackupCore
 from repro.kera.broker import KeraBrokerCore
-from repro.kera.messages import ProduceRequest, ReplicateRequest
+from repro.kera.messages import (
+    FetchPosition,
+    FetchRequest,
+    ProduceRequest,
+    ReplicateRequest,
+)
 from repro.replication.config import ReplicationConfig
 from repro.runtime.system import KeraSystem
 from repro.storage.config import StorageConfig
@@ -296,6 +301,167 @@ def stage_encode_append_ship(pool: list[Record], chunks_per_iter: int):
     return run
 
 
+def _fetch_field(name: str) -> bool:
+    """Whether this checkout's FetchRequest knows ``name`` (the reader-plane
+    stages run unchanged against pre-refactor checkouts to record baselines)."""
+    import dataclasses
+
+    return any(f.name == name for f in dataclasses.fields(FetchRequest))
+
+
+def _preloaded_broker(pool: list[Record], n_chunks: int):
+    """A broker holding ``n_chunks`` durably-replicated chunks of stream 1."""
+    broker, backups = _fresh_broker_and_backups()
+    chunks = _premade_chunks(pool, n_chunks)
+    broker.handle_produce(
+        ProduceRequest(request_id=1, producer_id=7, chunks=chunks)
+    )
+    _pump_replication(broker, backups)
+    return broker
+
+
+def stage_consume_decode(pool: list[Record], n_chunks: int):
+    """The consume path: fetch every durable chunk and decode its records.
+
+    On a pre-refactor checkout the fetch re-encodes stored chunks
+    (``to_wire_chunk``: header decode + payload copy) and the consumer
+    decodes record by record with per-record CRC verification — the
+    seed-era read path. With the reader plane in place the fetch serves
+    cached, CRC-validated frame views and the consumer walks lazy record
+    views without copying a payload byte.
+    """
+    broker = _preloaded_broker(pool, n_chunks)
+    serve_views = _fetch_field("serve_views")
+    request_ids = itertools.count(100)
+    position = FetchPosition(stream_id=1, streamlet_id=0, entry=0)
+    extra = {"serve_views": True} if serve_views else {}
+
+    def run():
+        request = FetchRequest(
+            request_id=next(request_ids),
+            consumer_id=1,
+            positions=[position],
+            max_chunks_per_entry=n_chunks,
+            **extra,
+        )
+        response = broker.handle_fetch(request)
+        records = 0
+        nbytes = 0
+        for entry in response.entries:
+            for chunk in entry.chunks:
+                if serve_views:
+                    for rv in chunk.record_views():
+                        records += 1
+                        nbytes += rv.value_len
+                else:
+                    for record in chunk.records():
+                        records += 1
+                        nbytes += len(record.value)
+        assert records == n_chunks * RECORDS_PER_CHUNK
+        return records, nbytes
+
+    return run
+
+
+def _fanout_consumer(cluster, consumer_id: int, total_records: int, rates: dict):
+    from repro.kera.client import KeraConsumer
+
+    consumer = KeraConsumer(cluster, consumer_id, [1])
+    poll = getattr(consumer, "poll_views", None) or consumer.poll_chunks
+    read = 0
+    t0 = time.perf_counter()
+    while read < total_records:
+        polled = sum(len(c.records()) for c in poll(64))
+        if polled == 0:
+            time.sleep(0.001)
+        read += polled
+    rates[consumer_id] = total_records / (time.perf_counter() - t0)
+
+
+def _fanout_round(
+    cluster, n_consumers: int, total_records: int, id0: int, *, rounds: int = 3
+) -> float:
+    """Mean per-consumer records/s for ``n_consumers`` concurrent groups,
+    each reading the whole stream from a cold fan-out cache.  Best of
+    ``rounds`` runs: a single run is one wall-clock sample and scheduler
+    jitter swamps the 1-vs-8 comparison."""
+    import threading
+
+    best = 0.0
+    for round_ in range(rounds):
+        for core in cluster.brokers.values():
+            cache = getattr(core, "fancache", None)
+            if cache is not None:
+                cache.clear()
+        rates: dict[int, float] = {}
+        threads = [
+            threading.Thread(
+                target=_fanout_consumer,
+                args=(cluster, id0 + round_ * 16 + i, total_records, rates),
+            )
+            for i in range(n_consumers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        best = max(best, sum(rates.values()) / len(rates))
+    return best
+
+
+def run_fanout_serve(*, quick: bool) -> dict[str, dict]:
+    """Fan-out serving on the threaded driver: N consumer groups over one
+    stream. Reports aggregate throughput at 8 groups and the per-consumer
+    scaling from 1 to 8 groups (>= 0.9x is the reader-plane acceptance:
+    the shared hot-chunk cache pays validation/decode once per chunk, so
+    adding groups adds only cache-hit work)."""
+    from repro.kera.config import KeraConfig
+    from repro.kera.client import KeraProducer
+    from repro.kera.threaded import ThreadedKeraCluster
+
+    n_chunks = 48 if quick else 256
+    config = KeraConfig(
+        num_brokers=4,
+        storage=StorageConfig(segment_size=SEGMENT_SIZE),
+        replication=ReplicationConfig(
+            replication_factor=REPLICATION_FACTOR,
+            virtual_segment_size=SEGMENT_SIZE,
+        ),
+        chunk_size=CHUNK_CAPACITY,
+    )
+    with ThreadedKeraCluster(config) as cluster:
+        cluster.create_stream(1, 1)
+        producer = KeraProducer(cluster, producer_id=7)
+        payload = encode_records(_record_pool(RECORDS_PER_CHUNK))
+        total_records = 0
+        for built in range(1, n_chunks + 1):
+            builder = producer._builder(1, 0)
+            assert builder.try_append_encoded(payload, RECORDS_PER_CHUNK)
+            producer._seal(1, 0)
+            total_records += RECORDS_PER_CHUNK
+            if built % 16 == 0:
+                producer.flush()
+        producer.close()
+        per_1 = _fanout_round(cluster, 1, total_records, id0=100)
+        per_8 = _fanout_round(cluster, 8, total_records, id0=200)
+    scaling = per_8 / per_1 if per_1 else 0.0
+    print(
+        f"  {'fanout_serve':<22} {per_8 * 8:>14,.0f} records/s "
+        f"(8 groups; per-consumer {per_8:,.0f}, 1-group {per_1:,.0f}, "
+        f"scaling {scaling:.2f}x)"
+    )
+    return {
+        "fanout_serve": {
+            "value": per_8 * 8,
+            "unit": "records/s",
+            "per_consumer_1": per_1,
+            "per_consumer_8": per_8,
+            "chunks": n_chunks,
+        },
+        "fanout_scaling_1_to_8": {"value": scaling, "unit": "x"},
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 
@@ -355,6 +521,12 @@ def run_suite(*, quick: bool) -> dict:
         stage_encode_append_ship(pool, chunks_per_iter),
         "records/s",
     )
+    bench(
+        "consume_decode",
+        stage_consume_decode(pool, 16 if quick else 48),
+        "records/s",
+    )
+    results.update(run_fanout_serve(quick=quick))
     return results
 
 

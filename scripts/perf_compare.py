@@ -9,7 +9,12 @@ kinds of thresholds:
   microbenchmarks);
 * ``--require NAME=RATIO`` — a named benchmark must reach at least
   ``RATIO`` times the baseline (e.g. ``encode_append_ship=3.0``, the
-  zero-copy data-path acceptance bar).
+  zero-copy data-path acceptance bar);
+* ``--require-abs NAME=VALUE`` — the candidate's named benchmark must
+  reach ``VALUE`` in absolute terms, regardless of the baseline.  Used
+  for metrics that are already ratios, e.g.
+  ``fanout_scaling_1_to_8=0.9``, the reader-plane fan-out acceptance
+  bar.
 
 By default violations are reported but the exit code stays 0 so a CI
 perf-smoke job is informative rather than flaky; pass ``--strict`` to
@@ -99,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
         help="named benchmark must reach RATIO x baseline (repeatable)",
     )
     parser.add_argument(
+        "--require-abs",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="candidate benchmark must reach VALUE absolutely (repeatable)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero on violations (default: report only)",
@@ -116,6 +128,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_run(doc, args.baseline)
     candidate = load_run(doc, args.candidate)
     requirements = dict(parse_requirement(spec) for spec in args.require)
+    absolutes = dict(parse_requirement(spec) for spec in args.require_abs)
 
     base_bench = baseline["benchmarks"]
     cand_bench = candidate["benchmarks"]
@@ -142,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
             marks.append(f"regression > {args.max_regression:.0%}")
         if name in requirements and ratio < requirements[name]:
             marks.append(f"below required {requirements[name]:.2f}x")
+        if name in absolutes and cand < absolutes[name]:
+            marks.append(f"below required absolute {absolutes[name]:g}")
         if marks:
             violations.append(f"{name}: {ratio:.2f}x ({'; '.join(marks)})")
         flag = " !" if marks else ""
@@ -152,6 +167,19 @@ def main(argv: list[str] | None = None) -> int:
     for name, ratio in requirements.items():
         if name not in shared:
             violations.append(f"{name}: required {ratio:.2f}x but not measured")
+    for name, value in absolutes.items():
+        if name in shared:
+            continue  # already checked in the table above
+        bench = cand_bench.get(name)
+        if bench is None:
+            violations.append(f"{name}: required absolute {value:g} but not measured")
+        elif bench["value"] < value:
+            violations.append(
+                f"{name}: {bench['value']:g} below required absolute {value:g}"
+            )
+        else:
+            unit = bench.get("unit", "")
+            print(f"  {name:<22} {'':>14}    {bench['value']:>14,.2f} {unit:<10} (abs)")
 
     if violations:
         print("threshold violations:")

@@ -46,6 +46,7 @@ MUTATORS = frozenset(
         "discard",
         "extend",
         "insert",
+        "move_to_end",
         "next",
         "pop",
         "popitem",

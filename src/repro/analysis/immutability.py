@@ -13,6 +13,13 @@ default to a shared mutable object (use ``field(default_factory=...)``).
 The one deliberate exception in this tree, :class:`repro.wire.chunk
 .Chunk`, carries a justified ``# noqa: A004`` at its declaration; see
 DESIGN.md for the suppression contract.
+
+The zero-copy decode views (:mod:`repro.wire.views`) are plain classes,
+not dataclasses — laziness needs memoizing attributes — but they share
+the same hot-path contract: a ``*View`` class in the ``wire`` package
+must declare ``__slots__``, so a typo'd attribute write fails loudly
+instead of silently growing a ``__dict__`` on millions of per-chunk
+objects.
 """
 
 from __future__ import annotations
@@ -61,15 +68,46 @@ def _mutable_default(value: ast.expr | None) -> bool:
     return False
 
 
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
 def check(modules: ModuleSet) -> Iterator[Finding]:
     for module in modules:
         if not applies_to(module.name):
             continue
+        in_wire = "wire" in module.name.split(".")
         for cls in [
             n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
         ]:
             dec = _dataclass_decorator(cls)
             if dec is None:
+                if (
+                    in_wire
+                    and cls.name.endswith("View")
+                    and not _declares_slots(cls)
+                ):
+                    yield Finding(
+                        path=str(module.path),
+                        line=cls.lineno,
+                        col=cls.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"wire view class {cls.name} must declare "
+                            f"__slots__ — per-chunk hot-path objects must "
+                            f"not grow a __dict__"
+                        ),
+                    )
                 continue
             missing = [
                 flag

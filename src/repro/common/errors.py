@@ -57,6 +57,35 @@ class SegmentSealedError(StorageError):
     """An append was attempted on a sealed (immutable) segment."""
 
 
+class OffsetOutOfRangeError(StorageError):
+    """A seek targeted a record offset outside the retained log range.
+
+    Raised when a consumer positions below the earliest retained offset
+    (the data was retired) or beyond the sub-partition's contents. Carries
+    the valid range so clients can reposition explicitly instead of
+    silently restarting from the log head.
+    """
+
+    def __init__(self, offset: int, earliest: int, latest: int, context: str = ""):
+        self.offset = offset
+        self.earliest = earliest
+        self.latest = latest
+        self.context = context
+        msg = (
+            f"record offset {offset} outside retained range "
+            f"[{earliest}, {latest})"
+        )
+        if context:
+            msg = f"{context}: {msg}"
+        super().__init__(msg)
+
+    def __reduce__(self) -> tuple[type, tuple[int, int, int, str]]:
+        # Same pickling care as ChecksumError: args holds the formatted
+        # message, not the constructor signature, and fetch errors may be
+        # relayed across the process transport.
+        return (type(self), (self.offset, self.earliest, self.latest, self.context))
+
+
 class GroupFullError(StorageError):
     """A group (fixed-size sub-partition) has exhausted its segment quota.
 

@@ -43,6 +43,7 @@ from repro.kera.threaded import ThreadedKeraCluster
 from repro.kera.process import ProcessKeraCluster
 from repro.kera.shipper import PipelinedShipper
 from repro.kera.client import KeraProducer, KeraConsumer
+from repro.kera.fork import VirtualLog, LogReader
 from repro.kera.recovery import recover_broker, RecoveryReport, merge_backup_copies
 from repro.kera.cluster_sim import SimKeraCluster, SimWorkload, SimResult
 from repro.kera.objects import ObjectStore, ObjectInfo
@@ -72,6 +73,8 @@ __all__ = [
     "PipelinedShipper",
     "KeraProducer",
     "KeraConsumer",
+    "VirtualLog",
+    "LogReader",
     "recover_broker",
     "RecoveryReport",
     "merge_backup_copies",

@@ -23,14 +23,18 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable
 
 from repro.common.errors import ReplicationError
+from repro.common.units import MB
 from repro.replication.config import ReplicationConfig
 from repro.replication.manager import ReplicationManager
 from repro.replication.virtual_log import ReplicationBatch, VirtualLog
 from repro.storage.config import StorageConfig
+from repro.storage.fancache import FanoutCache
 from repro.storage.memory import SegmentAllocator
 from repro.storage.offsets import StreamletCursor
 from repro.storage.segment import StoredChunk
 from repro.storage.stream import Stream, StreamRegistry
+from repro.wire.chunk import Chunk
+from repro.wire.views import ChunkView
 from repro.kera.messages import (
     ChunkAssignment,
     FetchEntry,
@@ -73,6 +77,7 @@ class KeraBrokerCore:
         replication_config: ReplicationConfig,
         on_request_complete: RequestDoneCallback | None = None,
         zero_copy_fetch: bool = False,
+        fanout_cache_bytes: int = 64 * MB,
     ) -> None:
         self.broker_id = broker_id
         self.storage_config = storage_config
@@ -91,6 +96,10 @@ class KeraBrokerCore:
         #: shared client/broker binary format enables. The simulation
         #: driver uses it; serialization-boundary drivers must re-encode.
         self.zero_copy_fetch = zero_copy_fetch
+        #: Shared hot-chunk cache for the view-serving fetch path: N
+        #: consumer groups fanning out over one stream validate and
+        #: decode each hot chunk once, keyed by (vlog, vseg, chunk).
+        self.fancache = FanoutCache(fanout_cache_bytes)
         # Exactly-once state.
         self._last_durable_seq: dict[tuple[int, int, int], int] = {}
         self._inflight: dict[tuple[int, int, int, int], StoredChunk] = {}
@@ -269,12 +278,37 @@ class KeraBrokerCore:
     # -- fetch path ----------------------------------------------------------------
 
     def handle_fetch(self, request: FetchRequest) -> FetchResponse:
-        """Serve durably-replicated chunks from the requested positions."""
-        with self._mutex:
-            return self._handle_fetch(request)
+        """Serve durably-replicated chunks from the requested positions.
 
-    def _handle_fetch(self, request: FetchRequest) -> FetchResponse:
+        Cursor resolution (including ``seek_record`` repositioning through
+        the offset index) happens under the broker mutex; the per-chunk
+        serving work — cache admission with its boundary CRC and record
+        decode, or legacy re-encode — happens *outside* it, against
+        immutable durable bytes, so concurrent consumer groups don't
+        serialize on the produce path's lock.
+        """
+        with self._mutex:
+            plans = self._plan_fetch(request)
         entries: list[FetchEntry] = []
+        for pos, stored_chunks, next_position in plans:
+            chunks: list[Chunk] | list[ChunkView]
+            if request.serve_views:
+                vlog = (pos.stream_id, pos.streamlet_id, pos.entry)
+                chunks = [self._serve_view(vlog, s) for s in stored_chunks]
+            elif self.zero_copy_fetch:
+                chunks = stored_chunks  # type: ignore[assignment]
+            else:
+                chunks = [s.to_wire_chunk() for s in stored_chunks]
+            entries.append(
+                FetchEntry(position=pos, chunks=chunks, next_position=next_position)
+            )
+        return FetchResponse(request_id=request.request_id, entries=entries)
+
+    def _plan_fetch(
+        self, request: FetchRequest
+    ) -> list[tuple[FetchPosition, list[StoredChunk], FetchPosition]]:
+        """Resolve each position to its durable chunk run (mutex held)."""
+        plans: list[tuple[FetchPosition, list[StoredChunk], FetchPosition]] = []
         for pos in request.positions:
             stream = self.registry.get(pos.stream_id)
             streamlet = stream.streamlet(pos.streamlet_id)
@@ -284,17 +318,16 @@ class KeraBrokerCore:
                 group_pos=pos.group_pos,
                 chunk_pos=pos.chunk_pos,
             )
+            if pos.seek_record is not None:
+                cursor.seek_record(pos.seek_record)
             stored_chunks = cursor.next_chunks(request.max_chunks_per_entry)
-            chunks = (
-                stored_chunks  # type: ignore[assignment]
-                if self.zero_copy_fetch
-                else [s.to_wire_chunk() for s in stored_chunks]
-            )
-            entries.append(
-                FetchEntry(
-                    position=pos,
-                    chunks=chunks,
-                    next_position=FetchPosition(
+            # next_position never carries seek_record: the seek is one-shot
+            # and the resolved cursor coordinates replace it.
+            plans.append(
+                (
+                    pos,
+                    stored_chunks,
+                    FetchPosition(
                         stream_id=pos.stream_id,
                         streamlet_id=pos.streamlet_id,
                         entry=pos.entry,
@@ -303,7 +336,36 @@ class KeraBrokerCore:
                     ),
                 )
             )
-        return FetchResponse(request_id=request.request_id, entries=entries)
+        return plans
+
+    def _serve_view(self, vlog: tuple[int, int, int], stored: StoredChunk) -> ChunkView:
+        """Decode-ready view of a stored chunk via the fan-out cache.
+
+        The cache key's chunk component is the chunk's base record offset
+        within its group — unique and stable in append order, and O(1) to
+        derive from the stored-chunk reference. A miss admits the frame
+        once: CRC re-validation at the serving boundary (the established
+        discipline for bytes crossing out of the storage engine) plus one
+        record pre-decode shared by every later consumer.
+        """
+        key = (vlog, stored.group_id, stored.base_record_offset)
+        return self.fancache.get(key, stored.encoded_view)
+
+    def retire_before(
+        self, stream_id: int, streamlet_id: int, entry: int, record_offset: int
+    ) -> int:
+        """Retire the fully-durable group prefix of an entry below
+        ``record_offset`` and drop its fan-out cache entries; return the
+        number of groups retired. Consumers positioned below the new
+        retention floor get :class:`OffsetOutOfRangeError` on their next
+        fetch instead of stale (freed) frames."""
+        with self._mutex:
+            streamlet = self.registry.get(stream_id).streamlet(streamlet_id)
+            retired = streamlet.retire_before(entry, record_offset)
+        vlog = (stream_id, streamlet_id, entry)
+        for group in retired:
+            self.fancache.invalidate_group(vlog, group.group_id)
+        return len(retired)
 
     # -- failure handling ----------------------------------------------------------
 

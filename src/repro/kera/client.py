@@ -19,6 +19,7 @@ from repro.common.idgen import IdGenerator
 from repro.wire.chunk import Chunk, ChunkBuilder, CHUNK_HEADER_SIZE
 from repro.wire.pool import BufferPool
 from repro.wire.record import Record
+from repro.wire.views import ChunkView
 from repro.kera.live import LiveKeraCluster
 from repro.kera.messages import FetchPosition
 
@@ -227,6 +228,35 @@ class KeraConsumer:
                 self.stats.records_read += entry.record_count
         return out
 
+    def poll_views(self, max_chunks_per_entry: int = 16) -> list[ChunkView]:
+        """One fetch round returning zero-copy chunk views; advances the
+        cursors.
+
+        Views come through the broker's fan-out cache: the frame CRC was
+        re-validated at the serving boundary and the record decode is
+        memoized on the shared view, so ``view.records()`` is free when
+        another consumer group already touched the chunk. Payload bytes
+        are never copied until the caller materializes them.
+        """
+        responses = self.cluster.fetch(
+            list(self._positions.values()),
+            consumer_id=self.consumer_id,
+            max_chunks_per_entry=max_chunks_per_entry,
+            serve_views=True,
+        )
+        out: list[ChunkView] = []
+        self.stats.fetches += len(responses)
+        for response in responses:
+            for entry in response.entries:
+                pos = entry.position
+                self._positions[(pos.stream_id, pos.streamlet_id, pos.entry)] = (
+                    entry.next_position
+                )
+                out.extend(entry.chunks)  # type: ignore[arg-type]
+                self.stats.chunks_read += len(entry.chunks)
+                self.stats.records_read += entry.record_count
+        return out
+
     def poll(self, max_chunks_per_entry: int = 16) -> list[Record]:
         """Like :meth:`poll_chunks` but decoded to records (live mode)."""
         records: list[Record] = []
@@ -258,6 +288,28 @@ class KeraConsumer:
             if key not in self._positions:
                 raise ConfigError(f"position for unknown assignment {key}")
             self._positions[key] = pos
+
+    def seek_offset(
+        self, stream_id: int, streamlet_id: int, entry: int, record_offset: int
+    ) -> None:
+        """Position one cursor at a logical record offset.
+
+        The offset is resolved broker-side through the per-group offset
+        index on the next poll (O(log n) bisect, O(1) frames touched —
+        never a scan); the poll's ``next_position`` replaces the one-shot
+        seek with resolved cursor coordinates. Seeking below the retention
+        floor or past the end raises
+        :class:`~repro.common.errors.OffsetOutOfRangeError` from that poll.
+        """
+        key = (stream_id, streamlet_id, entry)
+        if key not in self._positions:
+            raise ConfigError(f"position for unknown assignment {key}")
+        self._positions[key] = FetchPosition(
+            stream_id=stream_id,
+            streamlet_id=streamlet_id,
+            entry=entry,
+            seek_record=record_offset,
+        )
 
     def rewind(self) -> None:
         """Reset every cursor to the beginning of its sub-partition."""

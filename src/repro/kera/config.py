@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
-from repro.common.units import KB, MSEC
+from repro.common.units import KB, MB, MSEC
 from repro.replication.config import ReplicationConfig
 from repro.storage.config import StorageConfig
 
@@ -43,6 +43,9 @@ class KeraConfig:
     #: Backward-compatible alias for ``persist_dir`` (earlier revisions'
     #: name); ``persist_dir`` wins when both are set.
     disk_dir: str | None = None
+    #: Per-broker byte budget for the shared hot-chunk fan-out cache on
+    #: the view-serving read path (``repro.storage.fancache``).
+    fanout_cache_bytes: int = 64 * MB
 
     def __post_init__(self) -> None:
         if self.num_brokers < 1:
@@ -56,6 +59,8 @@ class KeraConfig:
             raise ConfigError("chunk_size must be positive")
         if self.linger < 0:
             raise ConfigError("linger must be >= 0")
+        if self.fanout_cache_bytes <= 0:
+            raise ConfigError("fanout_cache_bytes must be positive")
 
     @property
     def storage_dir(self) -> str | None:

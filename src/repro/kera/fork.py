@@ -1,0 +1,167 @@
+"""Forkable virtual logs: copy-on-write reader-plane branches.
+
+AgileLog (PAPERS.md) motivates cheap *forks* of a log for speculative or
+agent consumers: a fork sees a consistent snapshot of the parent's
+committed prefix and may grow its own private tail, without copying a
+byte of shared data. This module implements that shape at the client
+layer over encoded chunk frames — the same frames the reader plane
+serves zero-copy (:class:`~repro.wire.views.ChunkView`).
+
+Semantics:
+
+* ``fork()`` snapshots the parent's current length. The child *shares*
+  the prefix by reference — ``child.frame_at(i) is parent.frame_at(i)``
+  for every prefix index (buffer identity, pinned by tests) — and owns a
+  private tail past it.
+* The parent keeps appending after a fork; those appends are invisible
+  to the child (snapshot isolation), exactly as the child's tail is
+  invisible to the parent. Neither ever blocks or copies for the other.
+* Forks nest: a fork of a fork chains prefix resolution through its
+  ancestors, so a deep branch still stores only its own tail.
+
+This is deliberately distinct from
+:class:`repro.replication.virtual_log.VirtualLog`, the broker-side
+replication vlog: that one orders chunk *references* for durability;
+this one branches *consumption* over immutable frame bytes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.common.errors import OffsetOutOfRangeError, StorageError
+from repro.wire.views import ChunkView
+
+
+class VirtualLog:
+    """An append-only log of encoded chunk frames, forkable with CoW."""
+
+    __slots__ = ("name", "_parent", "_fork_point", "_tail", "_cumulative", "_forks")
+
+    def __init__(self, name: str = "root") -> None:
+        self.name = name
+        self._parent: "VirtualLog | None" = None
+        #: Number of parent frames visible to this log (0 for a root).
+        self._fork_point = 0
+        #: Frames appended to this log itself (the private tail).
+        self._tail: list[memoryview | bytes] = []
+        #: Cumulative record counts over *visible* frames (prefix + tail),
+        #: mirroring the segment offset-index discipline so seeks bisect.
+        self._cumulative: list[int] = []
+        self._forks = 0
+
+    @classmethod
+    def _fork_of(cls, parent: "VirtualLog") -> "VirtualLog":
+        child = cls(name=f"{parent.name}/fork{parent._forks}")
+        child._parent = parent
+        child._fork_point = len(parent)
+        # Seed the child's cumulative array with the prefix totals so
+        # record offsets stay log-global across the fork point.
+        if parent._cumulative:
+            child._cumulative = parent._cumulative[: child._fork_point]
+        return child
+
+    # -- write side ----------------------------------------------------------
+
+    def append(self, frame: memoryview | bytes) -> int:
+        """Append one encoded chunk frame; return its frame index.
+
+        The frame's record count is read from its fixed header (one
+        struct unpack — no payload work) to keep the seek index current.
+        """
+        count = ChunkView(frame).record_count
+        self._tail.append(frame)
+        total = (self._cumulative[-1] if self._cumulative else 0) + count
+        self._cumulative.append(total)
+        return len(self._cumulative) - 1
+
+    def fork(self) -> "VirtualLog":
+        """A copy-on-write branch sharing this log's current prefix."""
+        child = VirtualLog._fork_of(self)
+        self._forks += 1
+        return child
+
+    # -- read side -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Visible frames: inherited prefix plus private tail."""
+        return self._fork_point + len(self._tail)
+
+    @property
+    def record_count(self) -> int:
+        return self._cumulative[-1] if self._cumulative else 0
+
+    @property
+    def fork_point(self) -> int:
+        """Frames inherited from the parent (0 for a root log)."""
+        return self._fork_point
+
+    def frame_at(self, index: int) -> memoryview | bytes:
+        """The ``index``-th visible frame — the *same object* the parent
+        holds when ``index`` is below the fork point (zero-copy sharing)."""
+        if index < 0 or index >= len(self):
+            raise StorageError(
+                f"frame index {index} outside [0, {len(self)}) in log {self.name}"
+            )
+        log: VirtualLog = self
+        while index < log._fork_point:
+            assert log._parent is not None  # fork_point > 0 implies a parent
+            log = log._parent
+        return log._tail[index - log._fork_point]
+
+    def view_at(self, index: int) -> ChunkView:
+        """Zero-copy decode view of the ``index``-th frame."""
+        return ChunkView(self.frame_at(index))
+
+    def frame_record_base(self, index: int) -> int:
+        """Record offset of frame ``index``'s first record."""
+        return self._cumulative[index - 1] if index > 0 else 0
+
+    def locate(self, record_offset: int) -> int:
+        """Frame index containing ``record_offset`` (one bisect)."""
+        if record_offset < 0 or record_offset >= self.record_count:
+            raise OffsetOutOfRangeError(
+                record_offset, 0, self.record_count, f"virtual log {self.name}"
+            )
+        return bisect_right(self._cumulative, record_offset)
+
+    def reader(self, *, start_frame: int = 0) -> "LogReader":
+        return LogReader(self, start_frame=start_frame)
+
+
+class LogReader:
+    """A fork-aware cursor over a :class:`VirtualLog`.
+
+    Readers resolve frames through the log they were opened on, so a
+    reader on a fork walks the shared prefix and then the fork's private
+    tail; a reader on the parent never sees the fork's tail. Positioned
+    reads go through the log's record index (bisect, no scan).
+    """
+
+    __slots__ = ("log", "frame_pos", "records_read")
+
+    def __init__(self, log: VirtualLog, *, start_frame: int = 0) -> None:
+        self.log = log
+        self.frame_pos = start_frame
+        self.records_read = log.frame_record_base(start_frame) if start_frame else 0
+
+    def read(self, max_frames: int = 1) -> list[ChunkView]:
+        """Pull up to ``max_frames`` views, advancing the cursor."""
+        out: list[ChunkView] = []
+        end = len(self.log)
+        while self.frame_pos < end and len(out) < max_frames:
+            view = self.log.view_at(self.frame_pos)
+            out.append(view)
+            self.frame_pos += 1
+            self.records_read += view.record_count
+        return out
+
+    def seek_record(self, record_offset: int) -> None:
+        """Position at the frame containing ``record_offset``."""
+        index = self.log.locate(record_offset)
+        self.frame_pos = index
+        self.records_read = self.log.frame_record_base(index)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.frame_pos >= len(self.log)

@@ -276,6 +276,7 @@ class LiveKeraCluster:
         *,
         consumer_id: int,
         max_chunks_per_entry: int = 16,
+        serve_views: bool = False,
     ) -> list[FetchResponse]:
         """Fetch durable chunks, grouping positions by leader."""
         by_broker: dict[int, list[FetchPosition]] = defaultdict(list)
@@ -288,6 +289,7 @@ class LiveKeraCluster:
                 consumer_id=consumer_id,
                 positions=by_broker[broker_id],
                 max_chunks_per_entry=max_chunks_per_entry,
+                serve_views=serve_views,
             )
             responses.append(
                 self.transport.call(

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.wire.chunk import Chunk
+from repro.wire.views import ChunkView
 
 #: Wire overhead per request beyond its chunks (ids, counts).
 _REQUEST_HEADER_BYTES = 32
@@ -71,24 +72,43 @@ class ProduceResponse:
 
 @dataclass(frozen=True, slots=True)
 class FetchPosition:
-    """A consumer's cursor over one (streamlet, active entry)."""
+    """A consumer's cursor over one (streamlet, active entry).
+
+    ``seek_record`` is a one-shot repositioning request: when set, the
+    broker resolves the logical record offset through the offset index
+    (O(log n), never a scan) before pulling, and the returned
+    ``next_position`` carries the resolved ``group_pos``/``chunk_pos``
+    with ``seek_record`` cleared. Seeking below the retention floor or
+    beyond the entry's contents raises
+    :class:`~repro.common.errors.OffsetOutOfRangeError`.
+    """
 
     stream_id: int
     streamlet_id: int
     entry: int
     group_pos: int = 0
     chunk_pos: int = 0
+    seek_record: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class FetchRequest:
     """One pull: up to ``max_chunks_per_entry`` durable chunks per position
-    (the paper's consumers pull ``one chunk per streamlet`` per request)."""
+    (the paper's consumers pull ``one chunk per streamlet`` per request).
+
+    With ``serve_views=True`` the broker answers with zero-copy
+    :class:`~repro.wire.views.ChunkView` objects over indexed frame
+    ranges, deduplicated through the shared fan-out cache — the reader
+    plane's fast path. The default stays the seed-era materialized-chunk
+    form so existing drivers (and the fig13 simulation) are byte-for-byte
+    unchanged.
+    """
 
     request_id: int
     consumer_id: int
     positions: list[FetchPosition]
     max_chunks_per_entry: int = 1
+    serve_views: bool = False
 
     def payload_bytes(self) -> int:
         return _REQUEST_HEADER_BYTES + _POSITION_BYTES * len(self.positions)
@@ -96,10 +116,16 @@ class FetchRequest:
 
 @dataclass(frozen=True, slots=True)
 class FetchEntry:
-    """Chunks for one position plus the advanced cursor."""
+    """Chunks for one position plus the advanced cursor.
+
+    ``chunks`` holds :class:`Chunk` objects on the legacy path and
+    :class:`~repro.wire.views.ChunkView` objects when the request asked
+    for ``serve_views`` — both expose ``size``/``record_count``, so the
+    accounting below is form-agnostic.
+    """
 
     position: FetchPosition
-    chunks: list[Chunk]
+    chunks: list[Chunk] | list[ChunkView]
     next_position: FetchPosition
 
     @property

@@ -34,10 +34,14 @@ from bisect import bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wire.views import ChunkView
 
 from repro.common.checksum import crc32c
 from repro.common.errors import StorageError, WireFormatError
+from repro.storage.index import SegmentOffsetIndex
 from repro.wire.chunk import CHUNK_HEADER_SIZE, CHUNK_MAGIC, Chunk, decode_chunk
 
 __all__ = [
@@ -315,7 +319,7 @@ class SegmentFileReader:
     entry, then walk self-describing headers forward.
     """
 
-    __slots__ = ("path", "meta", "_data", "_index", "_chunk_count")
+    __slots__ = ("path", "meta", "_data", "_index", "_chunk_count", "_offset_index")
 
     def __init__(
         self,
@@ -330,6 +334,7 @@ class SegmentFileReader:
         self._data = data
         self._index = index
         self._chunk_count = chunk_count
+        self._offset_index: SegmentOffsetIndex | None = None
 
     @classmethod
     def open(
@@ -398,6 +403,46 @@ class SegmentFileReader:
             current += 1
         chunk, _ = decode_chunk(view, offset, verify=verify)
         return chunk
+
+    # -- positioned reads (reader plane over recovered bytes) -----------------
+
+    def offset_index(self) -> SegmentOffsetIndex:
+        """The dense record offset index, rebuilt from the loaded frames.
+
+        This is the same per-segment index the broker maintains
+        incrementally at append time (:class:`SegmentOffsetIndex`),
+        reconstructed here by a header-only scan so segments recovered
+        from disk answer positioned reads without replay. Built once,
+        memoized.
+        """
+        if self._offset_index is None:
+            self._offset_index = SegmentOffsetIndex.rebuild(memoryview(self._data))
+        return self._offset_index
+
+    @property
+    def record_count(self) -> int:
+        return self.offset_index().record_count
+
+    def read_at(self, record_offset: int) -> memoryview:
+        """The encoded frame containing ``record_offset``, zero-copy.
+
+        O(log n) bisect through the rebuilt offset index; the returned
+        view aliases the loaded file bytes (frame-aligned, verbatim).
+        """
+        index = self.offset_index()
+        start, end = index.frame_range(index.locate(record_offset))
+        return memoryview(self._data)[start:end]
+
+    def view_at(self, record_offset: int) -> "ChunkView":
+        """Lazy decode view over the frame containing ``record_offset``.
+
+        ``verified=False``: these bytes crossed an address-space boundary
+        (the platter), so the caller re-earns the CRC bit via
+        :meth:`~repro.wire.views.ChunkView.verify_payload`.
+        """
+        from repro.wire.views import ChunkView
+
+        return ChunkView(self.read_at(record_offset))
 
 
 @dataclass(frozen=True, slots=True)

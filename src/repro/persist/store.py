@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Protocol
 
 from repro.common.errors import StorageError
+from repro.storage.index import SegmentOffsetIndex
 from repro.wire.buffers import AppendBuffer
 from repro.wire.chunk import Chunk
 from repro.persist.policy import FlushMode, FlushPolicy
@@ -81,6 +82,9 @@ class LoadedSegment:
     frame_bytes: int
     truncated_bytes: int
     index_rebuilt: bool
+    #: Dense record offset index rebuilt over the recovered frames, so a
+    #: loaded segment answers positioned reads before any replay.
+    index: SegmentOffsetIndex
 
 
 @dataclass(slots=True)
@@ -300,6 +304,7 @@ class SegmentPersistence:
                 frame_bytes=recovered.frame_bytes,
                 truncated_bytes=recovered.truncated_bytes,
                 index_rebuilt=recovered.index_rebuilt,
+                index=reader.offset_index(),
             )
 
         paths = [chosen[key] for key in sorted(chosen)]

@@ -65,6 +65,9 @@ class KeraSystem(SystemAdapter):
                 replication_config=config.replication,
                 on_request_complete=completion.callback_for(node),
                 zero_copy_fetch=self.zero_copy_fetch,
+                fanout_cache_bytes=getattr(
+                    config, "fanout_cache_bytes", 64 * 1024 * 1024
+                ),
             )
             storage_dir = config.storage_dir
             self.backup_cores[node] = KeraBackupCore(

@@ -25,6 +25,8 @@ from repro.storage.group import Group
 from repro.storage.streamlet import Streamlet
 from repro.storage.stream import Stream, StreamRegistry
 from repro.storage.offsets import GroupOffsetIndex, StreamletCursor
+from repro.storage.index import SegmentOffsetIndex
+from repro.storage.fancache import FanoutCache, FanoutCacheStats
 from repro.storage.memory import SegmentAllocator
 
 __all__ = [
@@ -36,6 +38,9 @@ __all__ = [
     "Stream",
     "StreamRegistry",
     "GroupOffsetIndex",
+    "SegmentOffsetIndex",
+    "FanoutCache",
+    "FanoutCacheStats",
     "StreamletCursor",
     "SegmentAllocator",
 ]

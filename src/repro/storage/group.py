@@ -33,6 +33,7 @@ class Group:
         "segments",
         "index",
         "_closed",
+        "_retired",
         "_record_count",
     )
 
@@ -56,6 +57,7 @@ class Group:
         self.segments: list[Segment] = []
         self.index = GroupOffsetIndex()
         self._closed = False
+        self._retired = False
         self._record_count = 0
 
     # -- write path -----------------------------------------------------------
@@ -114,6 +116,40 @@ class Group:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def retire(self) -> None:
+        """Release the group's segment memory (retention kicked in).
+
+        Only closed, fully-durable groups may retire — an open group is
+        still the producers' append target and non-durable bytes are the
+        replication layer's working set. The group object itself stays in
+        the streamlet's per-entry list so consumer ``group_pos`` indices
+        remain stable; its record count keeps contributing to offset math,
+        but its bytes are gone and any attempt to read them is a typed
+        error at the cursor layer.
+        """
+        if self._retired:
+            return
+        if not self._closed:
+            raise StorageError(f"cannot retire open group {self.group_id}")
+        for segment in self.segments:
+            if segment.durable_head < segment.head:
+                raise StorageError(
+                    f"cannot retire group {self.group_id}: segment "
+                    f"{segment.segment_id} has non-durable bytes"
+                )
+        self._retired = True
+        for segment in self.segments:
+            self.allocator.free(segment)
+        # Drop the frame references so the buffers can actually be
+        # reclaimed; stale StoredChunk handles held elsewhere keep their
+        # own segment alive but the group no longer serves them.
+        self.segments = []
+        self.index = GroupOffsetIndex()
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
 
     # -- read path ------------------------------------------------------------
 

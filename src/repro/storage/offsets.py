@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
-from repro.common.errors import StorageError
+from repro.common.errors import OffsetOutOfRangeError, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.storage.segment import StoredChunk
@@ -26,12 +26,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 class GroupOffsetIndex:
     """Maps logical record offsets within a group to stored chunks."""
 
-    __slots__ = ("_cumulative", "_chunks")
+    __slots__ = ("_cumulative", "_chunks", "frames_touched")
 
     def __init__(self) -> None:
         # _cumulative[i] = records in chunks [0, i] inclusive.
         self._cumulative: list[int] = []
         self._chunks: list["StoredChunk"] = []
+        #: Chunks resolved by offset lookups (instrumentation: positioned
+        #: reads must touch O(1) frames, never scan).
+        self.frames_touched = 0
 
     def add(self, stored: "StoredChunk") -> None:
         total = (self._cumulative[-1] if self._cumulative else 0) + stored.record_count
@@ -46,14 +49,19 @@ class GroupOffsetIndex:
     def chunk_count(self) -> int:
         return len(self._chunks)
 
-    def locate(self, record_offset: int) -> "StoredChunk":
-        """Return the chunk containing the record at ``record_offset``."""
+    def locate_index(self, record_offset: int) -> int:
+        """Position (in append order) of the chunk containing
+        ``record_offset`` — one bisect, one frame touched."""
         if record_offset < 0 or record_offset >= self.record_count:
             raise StorageError(
                 f"record offset {record_offset} outside [0, {self.record_count})"
             )
-        idx = bisect_right(self._cumulative, record_offset)
-        return self._chunks[idx]
+        self.frames_touched += 1
+        return bisect_right(self._cumulative, record_offset)
+
+    def locate(self, record_offset: int) -> "StoredChunk":
+        """Return the chunk containing the record at ``record_offset``."""
+        return self._chunks[self.locate_index(record_offset)]
 
     def chunks_from(self, record_offset: int) -> Iterator["StoredChunk"]:
         """Iterate chunks starting with the one containing ``record_offset``."""
@@ -96,6 +104,17 @@ class StreamletCursor:
         groups = self._entry_groups()
         while len(out) < max_chunks and self.group_pos < len(groups):
             group = groups[self.group_pos]
+            if group.retired:
+                # The cursor sits below the retention floor: the bytes it
+                # points at are gone. Surface a typed error instead of
+                # serving stale frames or silently skipping ahead.
+                raise OffsetOutOfRangeError(
+                    self.records_read,
+                    self.streamlet.retained_floor(self.entry),
+                    self.streamlet.entry_record_count(self.entry),
+                    f"stream {self.streamlet.stream_id} streamlet "
+                    f"{self.streamlet.streamlet_id} entry {self.entry}",
+                )
             total = group.index.chunk_count
             while self.chunk_pos < total and len(out) < max_chunks:
                 stored = group.chunk_at(self.chunk_pos)
@@ -114,24 +133,43 @@ class StreamletCursor:
 
     def seek_record(self, record_offset: int) -> None:
         """Position the cursor at the chunk containing ``record_offset``
-        (offset counted across this entry's groups in order)."""
-        remaining = record_offset
+        (offset counted across this entry's groups in order).
+
+        Resolution is index-only: one group walk (groups are few and
+        bounded by retention) plus one bisect inside the owning group —
+        the cursor never inspects individual frames. Seeking below the
+        retention floor or beyond the entry's contents raises
+        :class:`OffsetOutOfRangeError` with the valid range.
+        """
         groups = self._entry_groups()
-        for gi, group in enumerate(groups):
-            if remaining < group.record_count:
-                stored = group.index.locate(remaining)
-                self.group_pos = gi
-                # Chunk position = chunks before this one within the group.
-                count = 0
-                for s in group.segments:
-                    if s is stored.segment:
-                        count += s.entries.index(stored)
-                        break
-                    count += len(s.entries)
-                self.chunk_pos = count
-                self.records_read = record_offset - (remaining - stored.base_record_offset)
-                return
-            remaining -= group.record_count
-        raise StorageError(
-            f"record offset {record_offset} beyond streamlet entry contents"
+        floor = self.streamlet.retained_floor(self.entry)
+        context = (
+            f"stream {self.streamlet.stream_id} streamlet "
+            f"{self.streamlet.streamlet_id} entry {self.entry}"
         )
+        if record_offset < floor:
+            raise OffsetOutOfRangeError(
+                record_offset,
+                floor,
+                self.streamlet.entry_record_count(self.entry),
+                context,
+            )
+        base = 0
+        for gi, group in enumerate(groups):
+            count = group.record_count
+            if record_offset < base + count:
+                if group.retired:
+                    raise OffsetOutOfRangeError(
+                        record_offset,
+                        floor,
+                        self.streamlet.entry_record_count(self.entry),
+                        context,
+                    )
+                idx = group.index.locate_index(record_offset - base)
+                stored = group.chunk_at(idx)
+                self.group_pos = gi
+                self.chunk_pos = idx
+                self.records_read = base + stored.base_record_offset
+                return
+            base += count
+        raise OffsetOutOfRangeError(record_offset, floor, base, context)

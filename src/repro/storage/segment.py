@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from collections.abc import Iterator
 
 from repro.common.errors import SegmentFullError, StorageError
+from repro.storage.index import SegmentOffsetIndex
 from repro.wire.buffers import AppendBuffer
 from repro.wire.chunk import (
     Chunk,
@@ -121,6 +122,7 @@ class Segment:
         "segment_id",
         "buffer",
         "entries",
+        "index",
         "_record_count",
     )
 
@@ -140,6 +142,8 @@ class Segment:
         self.segment_id = segment_id
         self.buffer = AppendBuffer(capacity, materialize=materialize)
         self.entries: list[StoredChunk] = []
+        #: Record offset → frame byte range, built as frames land.
+        self.index = SegmentOffsetIndex()
         self._record_count = 0
 
     # -- write path ---------------------------------------------------------
@@ -181,6 +185,7 @@ class Segment:
             base_record_offset=base_record_offset,
         )
         self.entries.append(stored)
+        self.index.add(chunk.record_count, offset, length)
         self._record_count += chunk.record_count
         return stored
 
@@ -235,6 +240,35 @@ class Segment:
                 break
             out.append(stored)
         return out
+
+    def read_at(self, record_offset: int) -> memoryview:
+        """Zero-copy view of the encoded frame containing the segment-local
+        ``record_offset`` — one bisect through the offset index, no scan."""
+        if not self.buffer.materialized:
+            raise StorageError("cannot read a metadata-only segment")
+        start, end = self.index.frame_range(self.index.locate(record_offset))
+        return self.buffer.view(start, end - start)
+
+    def read_range(self, start_record: int, end_record: int) -> memoryview:
+        """Zero-copy view spanning the frames that hold records
+        ``[start_record, end_record)``.
+
+        Frames are laid out back to back in the segment buffer, so any
+        frame run is one contiguous byte range; the result is a single
+        view regardless of how many frames the range covers. The range is
+        frame-aligned (frames are the wire framing unit).
+        """
+        if not self.buffer.materialized:
+            raise StorageError("cannot read a metadata-only segment")
+        start, end = self.index.byte_range(start_record, end_record)
+        return self.buffer.view(start, end - start)
+
+    def rebuild_index(self) -> None:
+        """Reconstruct the offset index from raw bytes (disk recovery:
+        loaded segments arrive as frames without append-time metadata)."""
+        if not self.buffer.materialized:
+            raise StorageError("cannot rebuild the index of a metadata-only segment")
+        self.index = SegmentOffsetIndex.rebuild(self.buffer.view(0, self.buffer.head))
 
     def scan(self, *, verify: bool = True) -> Iterator[Chunk]:
         """Decode all appended chunks from the raw bytes (recovery path)."""

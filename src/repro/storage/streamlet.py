@@ -38,6 +38,7 @@ class Streamlet:
         "_groups_by_entry",
         "_group_ids",
         "_on_group_open",
+        "_retained_floor",
     )
 
     def __init__(
@@ -63,6 +64,9 @@ class Streamlet:
         ]
         self._group_ids = IdGenerator()
         self._on_group_open = on_group_open
+        #: Per entry: record offset of the earliest retained record (the
+        #: retention floor). Groups below it are retired prefixes.
+        self._retained_floor: list[int] = [0] * config.q_active_groups
 
     # -- partitioning ------------------------------------------------------
 
@@ -126,6 +130,42 @@ class Streamlet:
 
     def cursor(self, entry: int = 0) -> StreamletCursor:
         return StreamletCursor(streamlet=self, entry=entry)
+
+    # -- retention ----------------------------------------------------------
+
+    def retained_floor(self, entry: int) -> int:
+        """Record offset of the earliest retained record in ``entry``."""
+        return self._retained_floor[entry]
+
+    def entry_record_count(self, entry: int) -> int:
+        """Total records ever appended to ``entry`` (including retired)."""
+        return sum(g.record_count for g in self._groups_by_entry[entry])
+
+    def retire_before(self, entry: int, record_offset: int) -> list[Group]:
+        """Retire the closed, fully-durable group prefix of ``entry`` whose
+        records all fall below ``record_offset``; return the retired groups.
+
+        Retirement is group-granular (the paper's unit of eviction to
+        secondary storage): a group containing ``record_offset`` stays. The
+        per-entry retention floor advances past every retired group, so
+        subsequent seeks below it raise
+        :class:`~repro.common.errors.OffsetOutOfRangeError`. Group objects
+        stay in place — consumer ``group_pos`` indices remain stable — but
+        their segment memory is freed.
+        """
+        retired: list[Group] = []
+        base = 0
+        for group in self._groups_by_entry[entry]:
+            end = base + group.record_count
+            if end > record_offset or not group.closed:
+                break
+            if not group.retired:
+                group.retire()
+                retired.append(group)
+            base = end
+        if base > self._retained_floor[entry]:
+            self._retained_floor[entry] = base
+        return retired
 
     def chunks(self) -> Iterator[StoredChunk]:
         for group in self._groups:

@@ -42,6 +42,7 @@ from repro.wire.chunk import (
     placement_bytes,
 )
 from repro.wire.framing import encode_chunks, decode_chunks, iter_chunk_views
+from repro.wire.views import ChunkView, RecordView
 from repro.wire.buffers import AppendBuffer
 from repro.wire.ring import SpscRing, RingClosed
 
@@ -67,6 +68,8 @@ __all__ = [
     "encode_chunks",
     "decode_chunks",
     "iter_chunk_views",
+    "ChunkView",
+    "RecordView",
     "AppendBuffer",
     "SpscRing",
     "RingClosed",

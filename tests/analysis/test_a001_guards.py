@@ -108,6 +108,34 @@ def test_ancestor_lock_satisfies_declaration(analyze):
     assert findings == []
 
 
+def test_unguarded_move_to_end_fires(analyze):
+    """``OrderedDict.move_to_end`` mutates iteration order — an LRU's
+    promote path must hold the cache lock like any other write."""
+    findings = analyze(
+        {
+            "mod.py": """
+            import threading
+            from collections import OrderedDict
+
+            class Lru:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = OrderedDict()  # guarded-by: _lock
+
+                def promote(self, key):
+                    self._entries.move_to_end(key)
+
+                def promote_locked(self, key):
+                    with self._lock:
+                        self._entries.move_to_end(key)
+            """
+        },
+        rules=["A001"],
+    )
+    hits = [f for f in findings if "move_to_end" in f.message]
+    assert len(hits) == 1, hits
+
+
 def test_undeclared_lock_still_fires_with_ancestry(analyze):
     findings = analyze(
         {

@@ -45,3 +45,73 @@ def test_real_messages_module_is_sealed():
 
     messages = Path(__file__).resolve().parents[2] / "src" / "repro" / "kera" / "messages.py"
     assert findings_for("A004", paths=[messages]) == []
+
+
+def test_wire_view_without_slots_fires(analyze):
+    findings = analyze(
+        {
+            "wire/__init__.py": "",
+            "wire/badviews.py": """
+            class LeakyView:
+                def __init__(self, buf):
+                    self.buf = buf
+            """,
+        },
+        rules=["A004"],
+    )
+    assert any("LeakyView" in f.message and "__slots__" in f.message for f in findings)
+
+
+def test_wire_view_with_slots_is_clean(analyze):
+    findings = analyze(
+        {
+            "wire/__init__.py": "",
+            "wire/goodviews.py": """
+            class TightView:
+                __slots__ = ("buf",)
+
+                def __init__(self, buf):
+                    self.buf = buf
+            """,
+        },
+        rules=["A004"],
+    )
+    assert findings == []
+
+
+def test_non_view_wire_class_not_in_scope(analyze):
+    # Only *View classes carry the hot-path slots contract; helpers like
+    # builders are governed by review, not the rule.
+    findings = analyze(
+        {
+            "wire/__init__.py": "",
+            "wire/helpers.py": """
+            class FrameScratch:
+                def __init__(self):
+                    self.bytes_used = 0
+            """,
+        },
+        rules=["A004"],
+    )
+    assert findings == []
+
+
+def test_view_outside_wire_package_not_in_scope(analyze):
+    findings = analyze(
+        {
+            "display.py": """
+            class TableView:
+                def __init__(self, rows):
+                    self.rows = rows
+            """
+        },
+        rules=["A004"],
+    )
+    assert findings == []
+
+
+def test_real_wire_views_module_is_sealed():
+    from pathlib import Path
+
+    views = Path(__file__).resolve().parents[2] / "src" / "repro" / "wire" / "views.py"
+    assert findings_for("A004", paths=[views]) == []

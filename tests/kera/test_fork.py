@@ -1,0 +1,143 @@
+"""Forkable virtual logs: copy-on-write sharing, snapshot isolation, and
+fork-aware readers."""
+
+import pytest
+
+from repro.common.errors import OffsetOutOfRangeError, StorageError
+from repro.kera import VirtualLog
+from repro.wire.chunk import ChunkBuilder
+from repro.wire.record import Record
+
+
+def make_frame(seq, n_records=4):
+    builder = ChunkBuilder(4096, stream_id=1, streamlet_id=0, producer_id=0)
+    for i in range(n_records):
+        assert builder.try_append(Record(value=f"c{seq}-r{i}".encode()))
+    return bytes(builder.build(chunk_seq=seq).wire)
+
+
+def filled_log(n_frames=5, records_per_frame=4):
+    log = VirtualLog()
+    for seq in range(n_frames):
+        log.append(make_frame(seq, records_per_frame))
+    return log
+
+
+def all_values(log, reader=None):
+    reader = reader if reader is not None else log.reader()
+    values = []
+    while not reader.exhausted:
+        for view in reader.read(max_frames=4):
+            values.extend(r.value for r in view.records())
+    return values
+
+
+# -- copy-on-write sharing ----------------------------------------------------
+
+
+def test_fork_shares_prefix_by_buffer_identity():
+    """Acceptance: the fork's prefix frames ARE the parent's objects —
+    not equal copies."""
+    parent = filled_log(5)
+    child = parent.fork()
+    assert child.fork_point == 5
+    for i in range(5):
+        assert child.frame_at(i) is parent.frame_at(i)
+
+
+def test_fork_sees_consistent_snapshot():
+    parent = filled_log(3)
+    child = parent.fork()
+    parent.append(make_frame(90))  # invisible to the child
+    child.append(make_frame(80))  # invisible to the parent
+    assert len(parent) == 4
+    assert len(child) == 4
+    parent_vals = all_values(parent)
+    child_vals = all_values(child)
+    shared = [v for v in parent_vals if v.startswith((b"c0", b"c1", b"c2"))]
+    assert parent_vals == shared + [f"c90-r{i}".encode() for i in range(4)]
+    assert child_vals == shared + [f"c80-r{i}".encode() for i in range(4)]
+
+
+def test_nested_forks_chain_prefix_resolution():
+    root = filled_log(2)
+    mid = root.fork()
+    mid.append(make_frame(10))
+    leaf = mid.fork()
+    leaf.append(make_frame(20))
+    # The leaf resolves frame 0-1 through root, frame 2 through mid.
+    assert leaf.frame_at(0) is root.frame_at(0)
+    assert leaf.frame_at(2) is mid.frame_at(2)
+    assert len(leaf) == 4
+    assert all_values(leaf)[-1] == b"c20-r3"
+    # Deep branches store only their own tail.
+    assert len(leaf._tail) == 1
+
+
+def test_fork_names_are_distinct():
+    parent = filled_log(1)
+    a, b = parent.fork(), parent.fork()
+    assert a.name != b.name
+
+
+# -- offset arithmetic --------------------------------------------------------
+
+
+def test_record_offsets_stay_log_global_across_fork():
+    parent = filled_log(3, records_per_frame=4)  # records 0..11
+    child = parent.fork()
+    child.append(make_frame(7, n_records=4))  # records 12..15
+    assert child.record_count == 16
+    assert child.locate(0) == 0
+    assert child.locate(11) == 2
+    assert child.locate(12) == 3
+    assert child.frame_record_base(3) == 12
+
+
+def test_locate_out_of_range_is_typed():
+    log = filled_log(2)
+    with pytest.raises(OffsetOutOfRangeError) as exc_info:
+        log.locate(log.record_count)
+    assert exc_info.value.latest == log.record_count
+    with pytest.raises(OffsetOutOfRangeError):
+        log.locate(-1)
+
+
+def test_frame_at_out_of_range_raises():
+    log = filled_log(2)
+    with pytest.raises(StorageError):
+        log.frame_at(2)
+
+
+# -- readers ------------------------------------------------------------------
+
+
+def test_reader_seek_record_positions_at_owning_frame():
+    log = filled_log(5, records_per_frame=4)
+    reader = log.reader()
+    reader.seek_record(9)  # frame 2 (records 8..11)
+    assert reader.frame_pos == 2
+    assert reader.records_read == 8
+    first = reader.read()[0]
+    assert first.records()[0].value == b"c2-r0"
+
+
+def test_reader_on_fork_walks_prefix_then_private_tail():
+    parent = filled_log(2)
+    child = parent.fork()
+    child.append(make_frame(50))
+    values = all_values(child, child.reader())
+    assert values[:4] == [f"c0-r{i}".encode() for i in range(4)]
+    assert values[-4:] == [f"c50-r{i}".encode() for i in range(4)]
+    # A reader on the parent never sees the fork's tail.
+    assert all(not v.startswith(b"c50") for v in all_values(parent))
+
+
+def test_reader_exhaustion_and_incremental_read():
+    log = filled_log(3)
+    reader = log.reader()
+    assert len(reader.read(max_frames=2)) == 2
+    assert not reader.exhausted
+    assert len(reader.read(max_frames=5)) == 1
+    assert reader.exhausted
+    assert reader.read() == []

@@ -1,0 +1,112 @@
+"""Offset-index rebuild on disk recovery: recovered segment files answer
+positioned reads through the same dense index the broker builds at
+append time."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.persist import (
+    SegmentFileMeta,
+    SegmentFileReader,
+    SegmentFileWriter,
+    recover_segment_file,
+)
+from repro.storage.index import SegmentOffsetIndex
+from repro.wire.chunk import ChunkBuilder
+from repro.wire.record import Record
+
+
+def make_frame(seq, n_records):
+    builder = ChunkBuilder(1 << 16, stream_id=1, streamlet_id=0, producer_id=0)
+    for i in range(n_records):
+        assert builder.try_append(Record(value=f"c{seq}-r{i}".encode()))
+    return bytes(builder.build(chunk_seq=seq).wire)
+
+
+@pytest.fixture
+def seg_file(tmp_path):
+    path = tmp_path / "b0_v1_s0.seg"
+    meta = SegmentFileMeta(src_broker=0, vlog_id=1, vseg_id=0, capacity=1 << 20)
+    writer = SegmentFileWriter(path, meta)
+    frames = [make_frame(seq, n_records=3 + seq) for seq in range(6)]
+    for frame in frames:
+        writer.append(memoryview(frame))
+    writer.close(sync=True)
+    return path, frames
+
+
+def test_offset_index_rebuilt_over_recovered_frames(seg_file):
+    path, frames = seg_file
+    recover_segment_file(path)
+    reader = SegmentFileReader.open(path)
+    index = reader.offset_index()
+    assert index.frame_count == 6
+    assert index.record_count == sum(3 + s for s in range(6))
+    assert reader.record_count == index.record_count
+    assert reader.offset_index() is index  # memoized, built once
+
+
+def test_read_at_serves_verbatim_frame(seg_file):
+    path, frames = seg_file
+    recover_segment_file(path)
+    reader = SegmentFileReader.open(path)
+    # Record 7 lives in frame 2 (frames hold 3, 4, 5, ... records).
+    assert bytes(reader.read_at(7)) == frames[2]
+    view = reader.view_at(7)
+    assert not view.verified  # disk bytes must re-earn the CRC bit
+    view.verify_payload()
+    assert view.records()[0].value == b"c2-r0"
+
+
+def test_read_at_out_of_range_raises(seg_file):
+    path, _ = seg_file
+    reader = SegmentFileReader.open(path)
+    with pytest.raises(StorageError):
+        reader.read_at(reader.record_count)
+
+
+def test_rebuild_matches_reference_over_same_bytes(seg_file):
+    path, frames = seg_file
+    reader = SegmentFileReader.open(path)
+    reference = SegmentOffsetIndex.rebuild(b"".join(frames))
+    rebuilt = reader.offset_index()
+    assert rebuilt.frame_count == reference.frame_count
+    for i in range(reference.frame_count):
+        assert rebuilt.frame_range(i) == reference.frame_range(i)
+
+
+def test_loaded_segments_carry_rebuilt_index(tmp_path):
+    """SegmentPersistence.load hands every loaded segment its dense
+    offset index alongside the decoded chunks."""
+    from repro.persist import SegmentPersistence
+
+    root = tmp_path / "node0"
+    epoch = root / "epoch-0001"
+    epoch.mkdir(parents=True)
+    meta = SegmentFileMeta(src_broker=2, vlog_id=0, vseg_id=1, capacity=1 << 20)
+    writer = SegmentFileWriter(epoch / "b2_v0_s1.seg", meta)
+    for seq in range(4):
+        writer.append(memoryview(make_frame(seq, n_records=5)))
+    writer.close(sync=True)
+
+    store = SegmentPersistence(root)
+    report = store.load()
+    assert len(report.segments) == 1
+    loaded = report.segments[0]
+    assert loaded.index.frame_count == 4
+    assert loaded.index.record_count == 20
+    assert loaded.index.record_count == sum(c.record_count for c in loaded.chunks)
+
+
+def test_torn_tail_truncated_index_covers_survivors(seg_file):
+    path, frames = seg_file
+    raw = path.read_bytes()
+    # Tear mid-way through the last frame.
+    path.write_bytes(raw[: len(raw) - len(frames[-1]) // 2])
+    recovered = recover_segment_file(path)
+    assert recovered.chunk_count == 5
+    reader = SegmentFileReader.open(path)
+    index = reader.offset_index()
+    assert index.frame_count == 5
+    assert index.record_count == sum(3 + s for s in range(5))
+    assert bytes(reader.read_at(index.record_count - 1)) == frames[4]

@@ -1,0 +1,160 @@
+"""Per-segment offset index: positioned reads in O(1) frames, rebuild
+equivalence, and the segment read_at/read_range surface."""
+
+import pytest
+
+from repro.common.errors import StorageError, WireFormatError
+from repro.storage.index import SegmentOffsetIndex
+from repro.storage.segment import Segment
+from repro.wire.chunk import ChunkBuilder
+from repro.wire.record import Record
+from repro.wire.views import ChunkView
+
+
+def make_chunk(n_records, chunk_seq=0, value_size=20):
+    builder = ChunkBuilder(1 << 16, stream_id=1, streamlet_id=2, producer_id=1)
+    for i in range(n_records):
+        assert builder.try_append(Record(value=bytes([65 + chunk_seq % 26]) * value_size))
+    return builder.build(chunk_seq=chunk_seq)
+
+
+def make_segment(capacity=1 << 20):
+    return Segment(
+        stream_id=1,
+        streamlet_id=2,
+        group_id=3,
+        segment_id=0,
+        capacity=capacity,
+        materialize=True,
+    )
+
+
+def filled_segment(counts=(3, 5, 2, 7)):
+    seg = make_segment()
+    base = 0
+    for seq, count in enumerate(counts):
+        seg.append(make_chunk(count, chunk_seq=seq), base)
+        base += count
+    return seg
+
+
+# -- index bookkeeping --------------------------------------------------------
+
+
+def test_incremental_build_tracks_appends():
+    seg = filled_segment((3, 5, 2))
+    assert seg.index.frame_count == 3
+    assert seg.index.record_count == 10
+    assert [seg.index.frame_record_base(i) for i in range(3)] == [0, 3, 8]
+
+
+def test_locate_bisects_to_owning_frame():
+    seg = filled_segment((3, 5, 2))
+    index = seg.index
+    assert [index.locate(off) for off in (0, 2)] == [0, 0]
+    assert [index.locate(off) for off in (3, 7)] == [1, 1]
+    assert [index.locate(off) for off in (8, 9)] == [2, 2]
+
+
+def test_locate_out_of_range_raises():
+    seg = filled_segment((3,))
+    with pytest.raises(StorageError):
+        seg.index.locate(3)
+    with pytest.raises(StorageError):
+        seg.index.locate(-1)
+
+
+def test_positioned_read_touches_one_frame():
+    """The acceptance instrumentation: a seek must resolve through the
+    index in O(1) frames, never by scanning."""
+    seg = filled_segment(tuple([4] * 50))  # 50 frames, 200 records
+    index = seg.index
+    index.frames_touched = 0
+    seg.read_at(137)
+    assert index.frames_touched == 1
+    seg.read_at(0)
+    seg.read_at(199)
+    assert index.frames_touched == 3
+
+
+def test_range_read_counts_spanned_frames():
+    seg = filled_segment((4, 4, 4, 4))
+    index = seg.index
+    index.frames_touched = 0
+    start, end = index.byte_range(2, 11)  # frames 0..2 inclusive
+    assert index.frames_touched == 3
+    assert start == 0
+
+
+# -- segment read surface ----------------------------------------------------
+
+
+def test_read_at_returns_exact_frame_bytes():
+    seg = filled_segment((3, 5, 2))
+    stored = seg.entries[1]
+    frame = seg.read_at(4)  # record 4 lives in chunk 1 (records 3..7)
+    assert bytes(frame) == bytes(stored.encoded_view())
+    view = ChunkView(frame)
+    view.verify_payload()
+    assert view.record_count == 5
+
+
+def test_read_range_is_one_contiguous_view():
+    seg = filled_segment((3, 5, 2))
+    span = seg.read_range(1, 9)  # touches all three frames
+    assert isinstance(span, memoryview)
+    assert bytes(span) == bytes(seg.buffer.view(0, seg.buffer.head))
+
+
+def test_read_at_metadata_only_segment_raises():
+    from repro.wire.chunk import Chunk
+
+    seg = Segment(
+        stream_id=1,
+        streamlet_id=2,
+        group_id=3,
+        segment_id=0,
+        capacity=1 << 20,
+        materialize=False,
+    )
+    meta = Chunk.meta(
+        stream_id=1,
+        streamlet_id=2,
+        producer_id=1,
+        chunk_seq=0,
+        record_count=3,
+        payload_len=90,
+    )
+    seg.append(meta, 0)
+    with pytest.raises(StorageError):
+        seg.read_at(0)
+
+
+# -- rebuild ------------------------------------------------------------------
+
+
+def test_rebuild_matches_incremental_index():
+    seg = filled_segment((3, 5, 2, 7))
+    incremental = seg.index
+    rebuilt = SegmentOffsetIndex.rebuild(seg.buffer.view(0, seg.buffer.head))
+    assert rebuilt.frame_count == incremental.frame_count
+    assert rebuilt.record_count == incremental.record_count
+    for i in range(incremental.frame_count):
+        assert rebuilt.frame_range(i) == incremental.frame_range(i)
+        assert rebuilt.frame_record_base(i) == incremental.frame_record_base(i)
+
+
+def test_segment_rebuild_index_restores_positioned_reads():
+    seg = filled_segment((3, 5, 2))
+    before = bytes(seg.read_at(4))
+    seg.rebuild_index()
+    assert bytes(seg.read_at(4)) == before
+
+
+def test_rebuild_rejects_torn_bytes():
+    seg = filled_segment((3, 5))
+    raw = bytes(seg.buffer.view(0, seg.buffer.head))
+    with pytest.raises(WireFormatError):
+        SegmentOffsetIndex.rebuild(raw[:-3])
+    with pytest.raises(WireFormatError):
+        SegmentOffsetIndex.rebuild(b"\x00" * 64)

@@ -1,0 +1,155 @@
+"""Zero-copy decode views: golden equivalence with the eager decoders,
+laziness (no payload copies until materialized), and boundary checks."""
+
+import pytest
+
+from repro.common.checksum import crc32c
+from repro.common.errors import ChecksumError, WireFormatError
+from repro.wire.chunk import CHUNK_HEADER_SIZE, ChunkBuilder, decode_chunk
+from repro.wire.record import Record, decode_records, encode_record
+from repro.wire.views import ChunkView, RecordView
+
+
+RECORDS = [
+    Record(value=b"plain"),
+    Record(value=b"keyed", keys=(b"k1", b"key-two")),
+    Record(value=b"versioned", version=7),
+    Record(value=b"stamped", timestamp=123456789),
+    Record(value=b"full", keys=(b"a",), version=2, timestamp=42),
+    Record(value=b""),
+]
+
+
+def build_chunk(records=None, **kwargs):
+    builder = ChunkBuilder(
+        4096,
+        stream_id=kwargs.get("stream_id", 3),
+        streamlet_id=kwargs.get("streamlet_id", 1),
+        producer_id=kwargs.get("producer_id", 9),
+    )
+    for record in records if records is not None else RECORDS:
+        assert builder.try_append(record)
+    return builder.build(chunk_seq=kwargs.get("chunk_seq", 5))
+
+
+# -- RecordView ---------------------------------------------------------------
+
+
+def test_record_view_golden_equivalence():
+    for record in RECORDS:
+        buf = memoryview(encode_record(record))
+        view = RecordView(buf)
+        assert view.to_record() == record
+        assert view.value == record.value
+        assert view.keys == record.keys
+        assert view.version == record.version
+        assert view.timestamp == record.timestamp
+        assert view.size == record.encoded_size()
+        view.verify()  # intact bytes pass
+
+
+def test_record_view_value_is_zero_copy():
+    raw = bytearray(encode_record(Record(value=b"mutable-backing")))
+    view = RecordView(memoryview(raw))
+    value_view = view.value_view
+    assert bytes(value_view) == b"mutable-backing"
+    # The view aliases the buffer: flipping a backing byte shows through.
+    raw[view.end_offset - 1] ^= 0xFF
+    assert bytes(value_view) != b"mutable-backing"
+
+
+def test_record_view_verify_detects_corruption():
+    raw = bytearray(encode_record(Record(value=b"checked")))
+    raw[-1] ^= 0x01
+    with pytest.raises(ChecksumError):
+        RecordView(memoryview(raw)).verify()
+
+
+def test_record_view_truncated_raises():
+    raw = encode_record(Record(value=b"short"))
+    with pytest.raises(WireFormatError):
+        RecordView(memoryview(raw[: len(raw) - 2]))
+
+
+# -- ChunkView ----------------------------------------------------------------
+
+
+def test_chunk_view_header_golden_equivalence():
+    chunk = build_chunk()
+    view = ChunkView(chunk.wire)
+    assert view.stream_id == chunk.stream_id
+    assert view.streamlet_id == chunk.streamlet_id
+    assert view.producer_id == chunk.producer_id
+    assert view.chunk_seq == chunk.chunk_seq
+    assert view.record_count == chunk.record_count
+    assert view.payload_len == chunk.payload_len
+    assert view.payload_crc == chunk.payload_crc
+    assert view.size == CHUNK_HEADER_SIZE + chunk.payload_len
+
+
+def test_chunk_view_records_match_eager_decode():
+    chunk = build_chunk()
+    view = ChunkView(chunk.wire)
+    eager = decode_records(chunk.payload)
+    assert view.records() == eager
+    assert [rv.to_record() for rv in view.record_views()] == eager
+
+
+def test_chunk_view_records_memoized():
+    view = ChunkView(build_chunk().wire)
+    assert view.records() is view.records()
+
+
+def test_chunk_view_to_chunk_roundtrip():
+    chunk = build_chunk()
+    view = ChunkView(chunk.wire)
+    decoded = view.to_chunk(verify=True)
+    reference, _ = decode_chunk(chunk.wire)
+    assert decoded.dedup_key() == reference.dedup_key()
+    assert decoded.records() == reference.records()
+
+
+def test_chunk_view_verify_payload_sets_and_checks():
+    chunk = build_chunk()
+    view = ChunkView(chunk.wire)
+    assert not view.verified
+    view.verify_payload()
+    assert view.verified
+    view.verify_payload()  # idempotent
+
+    torn = bytearray(bytes(chunk.wire))
+    torn[-1] ^= 0x40
+    bad = ChunkView(memoryview(torn))
+    with pytest.raises(ChecksumError):
+        bad.verify_payload()
+    assert not bad.verified
+
+
+def test_chunk_view_payload_view_is_zero_copy():
+    chunk = build_chunk()
+    raw = bytearray(bytes(chunk.wire))
+    view = ChunkView(memoryview(raw))
+    payload = view.payload_view
+    assert crc32c(payload) == chunk.payload_crc
+    raw[CHUNK_HEADER_SIZE] ^= 0xFF
+    assert crc32c(payload) != chunk.payload_crc  # aliases, not a copy
+
+
+def test_chunk_view_header_is_lazy():
+    # A garbage buffer only fails once a header field is demanded.
+    view = ChunkView(b"\x00" * CHUNK_HEADER_SIZE)
+    with pytest.raises(WireFormatError):
+        _ = view.record_count
+
+
+def test_chunk_view_rejects_truncated_frame():
+    chunk = build_chunk()
+    view = ChunkView(bytes(chunk.wire)[: chunk.size - 3])
+    with pytest.raises(WireFormatError):
+        _ = view.payload_len
+
+
+def test_view_types_declare_slots():
+    assert not hasattr(ChunkView(build_chunk().wire), "__dict__")
+    buf = memoryview(encode_record(Record(value=b"x")))
+    assert not hasattr(RecordView(buf), "__dict__")
