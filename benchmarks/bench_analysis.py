@@ -1,0 +1,153 @@
+"""Static-analysis timing: keep the A001-A008 gate inside its CI budget.
+
+The analysis job blocks merges, so its latency is part of the developer
+loop. This bench times the whole-program run over ``src/repro`` —
+parse, the five syntactic rules, and the three dataflow rules (A006
+view-escape, A007 CFG pool balance, A008 boundary taint) — and splits
+out where the time goes:
+
+* ``analysis_full_run`` — complete ``run_analysis`` invocations/s over
+  the real tree, all rules. The CI gate enforces an absolute floor of
+  0.1 runs/s (a full run must stay under ~10 s)::
+
+      python scripts/perf_compare.py BENCH_analysis.json \
+          --baseline baseline --candidate after \
+          --require-abs analysis_full_run=0.1
+
+* ``analysis_parse`` — ``load_paths`` only: read + ``ast.parse`` cost;
+* ``analysis_dataflow_rules`` — A006+A007+A008 over a pre-parsed tree,
+  the CFG/taint share that PR 7 added on top of the syntactic rules.
+
+Emits the same JSON schema as bench_datapath.py::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py \
+        --label after --out BENCH_analysis.json --append
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # pragma: no cover - import side of the PYTHONPATH contract
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from bench_datapath import _git_rev, _measure  # noqa: E402
+from repro.analysis import ALL_RULES, run_analysis  # noqa: E402
+from repro.analysis.core import load_paths  # noqa: E402
+
+TREE = _REPO_ROOT / "src" / "repro"
+DATAFLOW_RULES = ("A006", "A007", "A008")
+
+
+def stage_full_run():
+    def run():
+        findings = run_analysis([TREE])
+        if findings:  # the gate's contract: the real tree stays clean
+            raise SystemExit(f"analysis found {len(findings)} defects in {TREE}")
+        return 1, 0
+
+    return run
+
+
+def stage_parse_only():
+    def run():
+        modules = load_paths([TREE])
+        return 1, sum(len(line) for m in modules for line in m.lines)
+
+    return run
+
+
+def stage_dataflow_rules():
+    modules = load_paths([TREE])
+
+    def run():
+        count = 0
+        for rule_id in DATAFLOW_RULES:
+            _, checker = ALL_RULES[rule_id]
+            count += sum(1 for _ in checker(modules))
+        return 1, 0
+
+    return run
+
+
+def run_suite(*, quick: bool) -> dict:
+    min_time = 0.5 if quick else 2.0
+    results: dict[str, dict] = {}
+
+    def bench(name: str, fn, unit: str) -> None:
+        stats = _measure(fn, min_time=min_time)
+        results[name] = {
+            "value": stats["units_per_s"],
+            "unit": unit,
+            "seconds": stats["seconds"],
+            "iters": stats["iters"],
+        }
+        print(
+            f"  {name:<24} {stats['units_per_s']:>10,.2f} {unit:<8}"
+            f" ({stats['seconds'] / stats['iters'] * 1e3:8.1f} ms/run,"
+            f" {stats['iters']} iters)"
+        )
+
+    print(f"analysis timing over {TREE.relative_to(_REPO_ROOT)}"
+          f" ({'quick' if quick else 'full'} mode)")
+    bench("analysis_full_run", stage_full_run(), "runs/s")
+    bench("analysis_parse", stage_parse_only(), "runs/s")
+    bench("analysis_dataflow_rules", stage_dataflow_rules(), "runs/s")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run", help="name for this run")
+    parser.add_argument("--out", default=None, help="write/merge JSON here")
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="merge into --out instead of overwriting (replaces same label)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="short timings for CI smoke"
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    benchmarks = run_suite(quick=args.quick)
+    print(f"  suite finished in {time.perf_counter() - start:.1f}s")
+    run = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "workload": {
+            "tree": str(TREE.relative_to(_REPO_ROOT)),
+            "rules": len(ALL_RULES),
+        },
+        "benchmarks": benchmarks,
+    }
+
+    if args.out is None:
+        print(json.dumps(run, indent=2))
+        return 0
+    out = Path(args.out)
+    doc = {"schema": 1, "runs": []}
+    if args.append and out.exists():
+        doc = json.loads(out.read_text())
+    doc["runs"] = [r for r in doc["runs"] if r["label"] != args.label]
+    doc["runs"].append(run)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"saved run '{args.label}' to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,11 @@
 The repository holds two worlds with opposite failure modes: the
 discrete-event simulation must stay deterministic and non-blocking (the
 paper figures replay bit-for-bit from a seed), while the threaded live
-mode must guard every piece of shared state. ``python -m repro.analysis``
-enforces both with five AST rules, run as a blocking CI job:
+mode must guard every piece of shared state — and the zero-copy data
+path in between depends on manual ownership discipline (borrowed views,
+pooled buffers, CRC'd boundary crossings) that only a whole-program
+pass can check. ``python -m repro.analysis`` enforces all of it with
+eight AST rules, run as a blocking CI job:
 
 ========  ==============================================================
 A001      unguarded-shared-mutation — writes to ``# guarded-by:``
@@ -17,6 +20,15 @@ A004      message-immutability — wire-facing dataclasses are
           ``frozen=True, slots=True`` with no shared mutable defaults
 A005      lock-order — the static lock-acquisition graph is acyclic and
           never re-acquires a non-reentrant lock
+A006      view-escape — borrowed ``memoryview``/``*View`` objects must
+          not be stored, returned, or captured beyond the owner's
+          lifetime without a ``# borrows: <owner>`` contract
+A007      pool/resource-balance — every ``rent``/``open``/shm attach /
+          ring peek reaches its release/close/consume on all CFG paths,
+          exception edges included (leaks and double-releases traced)
+A008      boundary-revalidation — bytes from a ring, ``.seg`` file, or
+          raw read must pass CRC re-validation before any unverified
+          chunk/record decode touches them
 ========  ==============================================================
 
 Findings are machine-readable (``path:line:col: RULE message``, or
@@ -31,10 +43,13 @@ from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from repro.analysis import (
+    balance,
+    boundary,
     conformance,
     guards,
     immutability,
     lockorder,
+    ownership,
     purity,
 )
 from repro.analysis.core import (
@@ -53,6 +68,9 @@ ALL_RULES: dict[str, tuple[str, RuleCheck]] = {
     conformance.RULE_ID: ("transport-conformance", conformance.check),
     immutability.RULE_ID: ("message-immutability", immutability.check),
     lockorder.RULE_ID: ("lock-order", lockorder.check),
+    ownership.RULE_ID: ("view-escape", ownership.check),
+    balance.RULE_ID: ("pool-resource-balance", balance.check),
+    boundary.RULE_ID: ("boundary-revalidation", boundary.check),
 }
 
 

@@ -3,16 +3,61 @@
 Exit status: 0 clean, 1 findings, 2 usage error. Output is one finding
 per line (``path:line:col: RULE message``) or a JSON array with
 ``--format json`` — both stable, for CI and editor integration.
+
+``--changed-only`` keeps the pass whole-program (the ownership graph,
+lock registry, and import reachability always see the full tree) but
+reports only findings anchored in files changed since the merge-base
+with ``--diff-base`` (default: ``origin/main``, falling back to
+``main``) plus untracked files — the pre-commit shape; see
+``scripts/precommit-analysis.sh``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis import ALL_RULES, run_analysis
+
+
+def _git(*args: str) -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", *args], capture_output=True, text=True, check=False
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def changed_files(diff_base: str | None) -> set[Path] | None:
+    """Files changed vs. the merge-base, plus untracked ones (resolved).
+
+    Returns None when git is unavailable or no base ref resolves — the
+    caller falls back to reporting everything rather than hiding
+    findings behind a broken diff.
+    """
+    bases = [diff_base] if diff_base else ["origin/main", "main"]
+    merge_base = None
+    for base in bases:
+        out = _git("merge-base", "HEAD", base)
+        if out is not None and out.strip():
+            merge_base = out.strip()
+            break
+    if merge_base is None:
+        return None
+    changed = _git("diff", "--name-only", merge_base)
+    untracked = _git("ls-files", "--others", "--exclude-standard")
+    if changed is None:
+        return None
+    names = changed.splitlines() + (untracked or "").splitlines()
+    return {Path(n).resolve() for n in names if n.strip()}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -40,6 +85,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "analyze the whole program but report only findings in files "
+            "changed since the merge-base (plus untracked files)"
+        ),
+    )
+    parser.add_argument(
+        "--diff-base",
+        help="base ref for --changed-only (default: origin/main, then main)",
+    )
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -56,6 +113,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         findings = run_analysis(list(options.paths), rule_ids)
     except ValueError as exc:
         parser.error(str(exc))
+
+    if options.changed_only:
+        changed = changed_files(options.diff_base)
+        if changed is None:
+            print(
+                "warning: --changed-only could not resolve a merge-base; "
+                "reporting all findings",
+                file=sys.stderr,
+            )
+        else:
+            findings = [f for f in findings if Path(f.path).resolve() in changed]
 
     if options.fmt == "json":
         print(json.dumps([f.to_json() for f in findings], indent=2))

@@ -1,0 +1,515 @@
+"""A007: every acquire reaches a release on all paths (pool/resource balance).
+
+Path-sensitive dataflow over the statement CFG (:mod:`cfg`), with
+exception edges. Tracked acquisitions:
+
+* ``x = <pool>.rent()`` — released by ``<pool>.release(x)``;
+* ``x = open(...)`` as a builtin call (``with open(...)`` is
+  auto-balanced and never tracked) — released by ``x.close()``;
+* ``x = SharedMemory(...)`` or a call to an in-tree function annotated
+  ``-> SharedMemory`` — released by ``x.close()`` or any
+  ``*close*``-named helper taking ``x`` (``_close_shm(x)``);
+* a **ring peek**: ``item = <ring>.try_read()`` / ``.read()`` on a
+  ring-typed receiver must reach ``<ring>.consume()`` before the
+  function exits — an unconsumed slot wedges the SPSC ring forever.
+  ``try_read`` may return None; ``if item is None`` branch tests refine
+  the maybe-peeked state, so the idle path is not flagged.
+
+Ownership transfers end tracking: assigning the resource to a field or
+subscript, returning/yielding it, or passing it (as a bare name) to a
+non-release call hands the balance obligation to the new owner.
+
+Flagged: a held resource reaching function exit — normal or via an
+exception edge — (**leak**, with the offending line path in the
+finding), releasing twice (**double-release**), overwriting a held
+resource, and ``consume()`` with no record peeked. Exception edges
+propagate the *pre*-statement state (the acquire didn't complete),
+except for releasing statements, whose own hypothetical raise must not
+resurrect the resource they just released.
+
+The walk is a worklist over (node, state) pairs with a global cap
+(:data:`STATE_CAP`); pathological functions bail out silently rather
+than hang — the property tests in ``tests/analysis`` pin this bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleSet, SourceModule
+from repro.analysis.surface import collect_ring_names, dotted_name, terminal_name
+from repro.analysis.cfg import CFG, BENIGN_CALLS, build_cfg
+
+RULE_ID = "A007"
+
+#: Bail-out bound on visited (node, state) pairs per function.
+STATE_CAP = 20000
+
+# Resource status
+_HELD = "held"
+_RELEASED = "released"
+
+# Ring slot status
+_R_IDLE = "idle"
+_R_MAYBE = "maybe"  # try_read result not yet None-tested
+_R_PEEKED = "peeked"
+
+
+@dataclass(frozen=True, slots=True)
+class _Res:
+    var: str
+    kind: str
+    line: int
+    status: str
+
+
+@dataclass(frozen=True, slots=True)
+class _RingSlot:
+    ring: str  # dotted receiver, e.g. "requests" / "self._ring"
+    status: str
+    var: str  # the peeked name (refinement key; "" when idle/peeked-by-read)
+    line: int
+
+
+# State = (resources, rings), both sorted tuples => hashable, canonical.
+_State = tuple[tuple[_Res, ...], tuple[_RingSlot, ...]]
+
+_EMPTY: _State = ((), ())
+
+
+def _with_res(state: _State, res: tuple[_Res, ...]) -> _State:
+    return (tuple(sorted(res, key=lambda r: r.var)), state[1])
+
+
+def _with_rings(state: _State, rings: tuple[_RingSlot, ...]) -> _State:
+    return (state[0], tuple(sorted(rings, key=lambda r: r.ring)))
+
+
+@dataclass(slots=True)
+class _Effect:
+    """One state transition extracted from a statement."""
+
+    op: str  # acquire | release | transfer | peek | consume
+    var: str = ""
+    kind: str = ""
+    ring: str = ""
+    maybe_none: bool = False
+
+
+class _FunctionAnalysis:
+    def __init__(
+        self,
+        module: SourceModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        ring_names: frozenset[str],
+        shm_fns: frozenset[str],
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.ring_names = ring_names
+        self.shm_fns = shm_fns
+        self.findings: list[Finding] = []
+        self._flagged: set[tuple[int, str]] = set()
+        self.visited = 0
+        self.bailed = False
+
+    def flag(self, line: int, col: int, message: str, dedup: str) -> None:
+        key = (line, dedup)
+        if key in self._flagged:
+            return
+        self._flagged.add(key)
+        self.findings.append(
+            Finding(
+                path=str(self.module.path),
+                line=line,
+                col=col,
+                rule=RULE_ID,
+                message=message,
+            )
+        )
+
+    # -- effect extraction ---------------------------------------------------
+
+    def _acquire_kind(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "rent":
+            return "pool buffer"
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "file handle"
+        callee = terminal_name(func)
+        if callee == "SharedMemory" or callee in self.shm_fns:
+            return "shared-memory segment"
+        return None
+
+    def _ring_receiver(self, func: ast.expr) -> str | None:
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        name = terminal_name(receiver)
+        if name is None or name not in self.ring_names:
+            return None
+        return dotted_name(receiver) or name
+
+    def _release_target(self, call: ast.Call) -> str | None:
+        """The variable a call releases, if it is a releasing call."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "release" and call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Name):
+                    return arg.id
+            if func.attr == "close" and isinstance(func.value, ast.Name):
+                return func.value.id
+        callee = terminal_name(func)
+        if callee is not None and callee != "close" and "close" in callee:
+            for arg in call.args:
+                if isinstance(arg, ast.Name):
+                    return arg.id
+        return None
+
+    def _value_effects(self, value: ast.expr, effects: list[_Effect]) -> tuple[
+        str | None, tuple[str, bool] | None
+    ]:
+        """Effects of evaluating ``value``; returns (acquire kind, ring peek)."""
+        if not isinstance(value, ast.Call):
+            return None, None
+        kind = self._acquire_kind(value)
+        if kind is not None:
+            self._arg_transfers(value, effects)
+            return kind, None
+        if isinstance(value.func, ast.Attribute) and value.func.attr in (
+            "try_read",
+            "read",
+        ):
+            ring = self._ring_receiver(value.func)
+            if ring is not None:
+                # Both forms can return None (timeout / empty), so both
+                # start maybe-peeked until a None test refines them.
+                return None, (ring, True)
+        released = self._release_target(value)
+        if released is not None:
+            effects.append(_Effect("release", var=released))
+        else:
+            self._arg_transfers(value, effects)
+        return None, None
+
+    def _arg_transfers(self, call: ast.Call, effects: list[_Effect]) -> None:
+        callee = terminal_name(call.func)
+        if isinstance(call.func, ast.Name) and call.func.id in BENIGN_CALLS:
+            return
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            if isinstance(arg, ast.Name):
+                effects.append(_Effect("transfer", var=arg.id))
+            elif isinstance(arg, ast.Starred) and isinstance(arg.value, ast.Name):
+                effects.append(_Effect("transfer", var=arg.value.id))
+        del callee
+
+    def effects(self, stmt: ast.stmt) -> tuple[list[_Effect], bool]:
+        """(effects, is_releasing) for one CFG statement node."""
+        effects: list[_Effect] = []
+        releasing = False
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is None:
+                return effects, releasing
+            kind, peek = self._value_effects(value, effects)
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            else:
+                targets = [stmt.target]
+            if kind is not None:
+                tracked = False
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        effects.append(_Effect("acquire", var=target.id, kind=kind))
+                        tracked = True
+                if not tracked:
+                    pass  # field/subscript target: transfer at birth
+            elif peek is not None:
+                ring, maybe = peek
+                var = ""
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        var = target.id
+                effects.append(
+                    _Effect("peek", ring=ring, var=var, maybe_none=maybe)
+                )
+            else:
+                # Plain assignment: a Name value moving into a field /
+                # subscript transfers ownership.
+                if isinstance(value, ast.Name):
+                    for target in targets:
+                        if isinstance(target, (ast.Attribute, ast.Subscript)):
+                            effects.append(_Effect("transfer", var=value.id))
+            releasing = any(e.op == "release" for e in effects)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            released = self._release_target(call)
+            if released is not None:
+                effects.append(_Effect("release", var=released))
+                releasing = True
+            elif isinstance(call.func, ast.Attribute) and call.func.attr == "consume":
+                ring = self._ring_receiver(call.func)
+                if ring is not None:
+                    effects.append(_Effect("consume", ring=ring))
+                    releasing = True
+                else:
+                    self._arg_transfers(call, effects)
+            else:
+                self._arg_transfers(call, effects)
+        elif isinstance(stmt, (ast.Return,)):
+            if stmt.value is not None:
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                        effects.append(_Effect("transfer", var=sub.id))
+        elif isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, (ast.Yield, ast.YieldFrom)
+        ):
+            value = stmt.value.value
+            if value is not None:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                        effects.append(_Effect("transfer", var=sub.id))
+        return effects, releasing
+
+    # -- state transition ----------------------------------------------------
+
+    def apply(self, stmt: ast.stmt, state: _State) -> tuple[_State, bool]:
+        effects, releasing = self.effects(stmt)
+        res = list(state[0])
+        rings = list(state[1])
+        line = stmt.lineno
+        col = stmt.col_offset
+        for eff in effects:
+            if eff.op == "acquire":
+                prior = next((r for r in res if r.var == eff.var), None)
+                if prior is not None:
+                    if prior.status == _HELD:
+                        self.flag(
+                            line,
+                            col,
+                            (
+                                f"`{eff.var}` reassigned while still holding the "
+                                f"{prior.kind} acquired at line {prior.line} — "
+                                f"the old {prior.kind} leaks"
+                            ),
+                            f"overwrite:{eff.var}",
+                        )
+                    res.remove(prior)
+                res.append(_Res(eff.var, eff.kind, line, _HELD))
+            elif eff.op == "release":
+                prior = next((r for r in res if r.var == eff.var), None)
+                if prior is None:
+                    continue  # caller-owned: release of an untracked name
+                if prior.status == _RELEASED:
+                    self.flag(
+                        line,
+                        col,
+                        (
+                            f"double release of `{eff.var}` ({prior.kind} "
+                            f"acquired at line {prior.line}, already released)"
+                        ),
+                        f"double:{eff.var}",
+                    )
+                else:
+                    res.remove(prior)
+                    res.append(_Res(prior.var, prior.kind, prior.line, _RELEASED))
+            elif eff.op == "transfer":
+                prior = next((r for r in res if r.var == eff.var), None)
+                if prior is not None and prior.status == _HELD:
+                    res.remove(prior)
+            elif eff.op == "peek":
+                prior = next((r for r in rings if r.ring == eff.ring), None)
+                if prior is not None:
+                    rings.remove(prior)
+                status = _R_MAYBE if eff.maybe_none else _R_PEEKED
+                rings.append(_RingSlot(eff.ring, status, eff.var, line))
+            elif eff.op == "consume":
+                prior = next((r for r in rings if r.ring == eff.ring), None)
+                if prior is None or prior.status == _R_IDLE:
+                    self.flag(
+                        line,
+                        col,
+                        (
+                            f"`{eff.ring}.consume()` with no record peeked on "
+                            f"this path (double consume or consume-before-read)"
+                        ),
+                        f"consume:{eff.ring}",
+                    )
+                else:
+                    if prior is not None:
+                        rings.remove(prior)
+                    rings.append(_RingSlot(eff.ring, _R_IDLE, "", line))
+        new_state = _with_rings(_with_res(state, tuple(res)), tuple(rings))
+        return new_state, releasing
+
+    @staticmethod
+    def refine(state: _State, var: str, is_none: bool) -> _State | None:
+        """Apply an ``if x is None`` branch edge to maybe-peeked rings.
+
+        Returns None when the branch is infeasible for this state (the
+        slot is definitely peeked but the edge asserts the peek variable
+        is None — impossible, prune the path).
+        """
+        rings = list(state[1])
+        changed = False
+        for slot in list(rings):
+            if slot.status == _R_PEEKED and slot.var == var and is_none:
+                return None  # peeked record known non-None: branch infeasible
+            if slot.status == _R_MAYBE and slot.var == var:
+                rings.remove(slot)
+                if is_none:
+                    rings.append(_RingSlot(slot.ring, _R_IDLE, "", slot.line))
+                else:
+                    rings.append(_RingSlot(slot.ring, _R_PEEKED, slot.var, slot.line))
+                changed = True
+        if not changed:
+            return state
+        return _with_rings(state, tuple(rings))
+
+    # -- worklist ------------------------------------------------------------
+
+    def run(self) -> None:
+        cfg = build_cfg(self.fn)
+        seen: set[tuple[int, _State]] = set()
+        preds: dict[tuple[int, _State], tuple[int, _State] | None] = {}
+        work: deque[tuple[int, _State]] = deque()
+        start = (cfg.entry, _EMPTY)
+        work.append(start)
+        seen.add(start)
+        preds[start] = None
+        while work:
+            if self.visited >= STATE_CAP:
+                self.bailed = True
+                return
+            node, state = work.popleft()
+            self.visited += 1
+            if node == cfg.exit or node == cfg.exc_exit:
+                self._check_exit(cfg, node, state, preds)
+                continue
+            stmt = cfg.stmts[node]
+            if stmt is None:
+                post, releasing = state, False
+            else:
+                post, releasing = self.apply(stmt, state)
+            for edge in cfg.succ[node]:
+                nxt_state = state if (edge.exc and not releasing) else post
+                if edge.refine is not None:
+                    refined = self.refine(nxt_state, *edge.refine)
+                    if refined is None:
+                        continue
+                    nxt_state = refined
+                key = (edge.target, nxt_state)
+                if key not in seen:
+                    seen.add(key)
+                    preds[key] = (node, state)
+                    work.append(key)
+
+    def _trace(
+        self,
+        cfg: CFG,
+        key: tuple[int, _State],
+        preds: dict[tuple[int, _State], tuple[int, _State] | None],
+    ) -> str:
+        lines: list[int] = []
+        cur: tuple[int, _State] | None = key
+        while cur is not None:
+            node = cur[0]
+            if cfg.stmts[node] is not None:
+                line = cfg.lines[node]
+                if not lines or lines[-1] != line:
+                    lines.append(line)
+            cur = preds.get(cur)
+        lines.reverse()
+        if len(lines) > 8:
+            lines = lines[:3] + lines[-5:]
+        return " -> ".join(str(line) for line in lines) if lines else "entry"
+
+    def _check_exit(
+        self,
+        cfg: CFG,
+        node: int,
+        state: _State,
+        preds: dict[tuple[int, _State], tuple[int, _State] | None],
+    ) -> None:
+        how = "an exception path" if node == cfg.exc_exit else "a return path"
+        for res in state[0]:
+            if res.status != _HELD:
+                continue
+            trace = self._trace(cfg, (node, state), preds)
+            self.flag(
+                res.line,
+                0,
+                (
+                    f"{res.kind} `{res.var}` acquired here leaks on {how} "
+                    f"out of `{self.fn.name}` (path: lines {trace})"
+                ),
+                f"leak:{res.var}:{how}",
+            )
+        for slot in state[1]:
+            if slot.status == _R_IDLE:
+                continue
+            maybe = " (and its None case is never even tested)" if (
+                slot.status == _R_MAYBE
+            ) else ""
+            trace = self._trace(cfg, (node, state), preds)
+            self.flag(
+                slot.line,
+                0,
+                (
+                    f"record peeked from `{slot.ring}` here is never consumed "
+                    f"on {how} out of `{self.fn.name}`{maybe} — the ring slot "
+                    f"wedges (path: lines {trace})"
+                ),
+                f"unconsumed:{slot.ring}:{how}",
+            )
+
+
+def _collect_shm_functions(modules: ModuleSet) -> set[str]:
+    """In-tree functions annotated ``-> SharedMemory`` (acquire wrappers)."""
+    names: set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                returns = node.returns
+                if returns is None:
+                    continue
+                for sub in ast.walk(returns):
+                    if (
+                        isinstance(sub, (ast.Name, ast.Attribute))
+                        and terminal_name(sub) == "SharedMemory"
+                    ):
+                        names.add(node.name)
+                        break
+    return names
+
+
+def analyze_function(
+    module: SourceModule,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ring_names: frozenset[str],
+    shm_fns: frozenset[str],
+) -> tuple[list[Finding], int, bool]:
+    """Run A007 on one function; returns (findings, states visited, bailed).
+
+    Exposed for the termination/bound property tests.
+    """
+    analysis = _FunctionAnalysis(module, fn, ring_names, shm_fns)
+    analysis.run()
+    if analysis.bailed:
+        return [], analysis.visited, True
+    return analysis.findings, analysis.visited, False
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    ring_names = frozenset(collect_ring_names(modules))
+    shm_fns = frozenset(_collect_shm_functions(modules))
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings, _, _ = analyze_function(module, node, ring_names, shm_fns)
+                yield from findings

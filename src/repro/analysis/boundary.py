@@ -1,0 +1,306 @@
+"""A008: frames crossing a boundary must re-validate CRC before decode.
+
+Bytes that arrive from another address space or from disk — a ring
+``try_read``/``read``, a ``.seg`` file read, a raw file handle — may
+have been torn, truncated, or corrupted in flight. DESIGN.md's boundary
+discipline says the CRC is re-earned after *every* crossing; this rule
+makes that mechanical: boundary reads taint their results, taint
+propagates through slicing/wrapping, and a decode that skips
+verification on tainted bytes is a finding.
+
+Boundary sources (per function, lexical):
+
+* ``<ring>.try_read()`` / ``<ring>.read()`` on a ring-typed receiver;
+* ``path.read_bytes()``;
+* ``fh.read(...)`` on a handle from a builtin ``open(...)``;
+* ``*Reader.open(...)`` — re-reads the file, a fresh crossing.
+
+Sinks on tainted data:
+
+* ``.records()`` / ``.record_views()`` — decodes record headers with no
+  verification of its own;
+* ``to_chunk`` / ``chunks`` / ``chunk_at`` / ``iter_chunks`` /
+  ``decode_chunk`` called with a **literal** ``verify=False``. The
+  default is ``verify=True`` and ``verify=verify`` forwarding keeps the
+  caller's contract, so only the explicit opt-out is flagged.
+
+Sanitizers clear taint: calling an in-tree CRC-checking function (see
+:func:`surface.collect_sanitizer_functions`) on the tainted name, or
+``.verify_payload()`` / ``.verify()`` on the tainted object. Decoding
+with the (default) ``verify=True`` *is* the sanctioned sanitizer — this
+rule only bites when the fast path skips it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleSet, SourceModule
+from repro.analysis.surface import (
+    VIEW_PROPAGATORS,
+    collect_ring_names,
+    collect_sanitizer_functions,
+    collect_view_classes,
+    terminal_name,
+)
+
+RULE_ID = "A008"
+
+#: Decode entry points whose ``verify=False`` opt-out is a taint sink.
+_DECODE_CALLS = frozenset(
+    {"to_chunk", "chunks", "chunk_at", "iter_chunks", "decode_chunk"}
+)
+
+#: Always-unverified decoders: flagged on any tainted receiver.
+_UNVERIFIED_DECODERS = frozenset({"records", "record_views"})
+
+#: Method-style sanitizers on the tainted object itself.
+_SANITIZER_METHODS = frozenset({"verify_payload", "verify"})
+
+
+@dataclass(slots=True)
+class _Taint:
+    line: int
+    source: str
+
+
+class _FunctionChecker:
+    def __init__(
+        self,
+        module: SourceModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        ring_names: frozenset[str],
+        sanitizers: frozenset[str],
+        view_classes: frozenset[str],
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.ring_names = ring_names
+        self.sanitizers = sanitizers
+        self.view_classes = view_classes
+        self.taint: dict[str, _Taint] = {}
+        self.handles: set[str] = set()  # names bound to builtin open(...)
+        self.findings: list[Finding] = []
+
+    def flag(self, node: ast.AST, taint: _Taint, what: str) -> None:
+        self.findings.append(
+            Finding(
+                path=str(self.module.path),
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULE_ID,
+                message=(
+                    f"{what} on bytes that crossed a boundary ({taint.source}, "
+                    f"line {taint.line}) without CRC re-validation — verify "
+                    f"before decoding (verify_payload() / verify=True)"
+                ),
+            )
+        )
+
+    # -- classification ------------------------------------------------------
+
+    def _boundary_source(self, call: ast.Call) -> str | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = func.value
+        if attr in ("try_read", "read") and terminal_name(receiver) in self.ring_names:
+            return f"ring read `{terminal_name(receiver)}.{attr}()`"
+        if attr == "read_bytes":
+            return "file read `.read_bytes()`"
+        if (
+            attr == "read"
+            and isinstance(receiver, ast.Name)
+            and receiver.id in self.handles
+        ):
+            return f"file read `{receiver.id}.read()`"
+        if attr == "open":
+            name = terminal_name(receiver)
+            if name is not None and name.endswith("Reader"):
+                return f"segment file re-read `{name}.open(...)`"
+        return None
+
+    def taint_of(self, expr: ast.expr) -> _Taint | None:
+        if isinstance(expr, ast.Name):
+            return self.taint.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self.taint_of(expr.body) or self.taint_of(expr.orelse)
+        if isinstance(expr, ast.Attribute):
+            # `x.frame`, `x.buf`: a window into a tainted object.
+            return self.taint_of(expr.value)
+        if isinstance(expr, ast.Call):
+            source = self._boundary_source(expr)
+            if source is not None:
+                return _Taint(expr.lineno, source)
+            callee = terminal_name(expr.func)
+            if callee in ("memoryview", "bytes", "bytearray"):
+                return next(
+                    (t for a in expr.args if (t := self.taint_of(a)) is not None),
+                    None,
+                )
+            if callee in self.view_classes:
+                return next(
+                    (t for a in expr.args if (t := self.taint_of(a)) is not None),
+                    None,
+                )
+            if callee in VIEW_PROPAGATORS and isinstance(expr.func, ast.Attribute):
+                return self.taint_of(expr.func.value)
+            return None
+        return None
+
+    # -- call handling (sinks & sanitizers) ----------------------------------
+
+    def _literal_verify_false(self, call: ast.Call) -> bool:
+        return any(
+            kw.arg == "verify"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in call.keywords
+        )
+
+    def _clear(self, expr: ast.expr) -> None:
+        """Sanitization clears the terminal name's taint."""
+        if isinstance(expr, ast.Name):
+            self.taint.pop(expr.id, None)
+        elif isinstance(expr, (ast.Subscript, ast.Attribute, ast.Starred)):
+            self._clear(expr.value)
+
+    def visit_call(self, call: ast.Call) -> None:
+        func = call.func
+        callee = terminal_name(func)
+        # The explicit opt-out sink wins over everything: a decoder that
+        # *could* sanitize does not when called with verify=False.
+        if callee in _DECODE_CALLS and self._literal_verify_false(call):
+            taint = next(
+                (
+                    t
+                    for e in [
+                        *([func.value] if isinstance(func, ast.Attribute) else []),
+                        *call.args,
+                        *[kw.value for kw in call.keywords],
+                    ]
+                    if (t := self.taint_of(e)) is not None
+                ),
+                None,
+            )
+            if taint is not None:
+                self.flag(call, taint, f"`{callee}(verify=False)` decode")
+            return
+        # Sanitizer function over a tainted argument: the call validates it.
+        if callee in self.sanitizers:
+            for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+                if self.taint_of(arg) is not None:
+                    self._clear(arg)
+            if isinstance(func, ast.Attribute):
+                self._clear(func.value)
+            return
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if func.attr in _SANITIZER_METHODS:
+                self._clear(receiver)
+                return
+            if func.attr in _UNVERIFIED_DECODERS:
+                taint = self.taint_of(receiver)
+                if taint is not None:
+                    self.flag(call, taint, f"`.{func.attr}()` decode")
+                return
+
+    # -- statement walk ------------------------------------------------------
+
+    def _visit_calls(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self.visit_call(sub)
+
+    def _bind(self, target: ast.expr, taint: _Taint | None) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                self.taint[target.id] = taint
+            else:
+                self.taint.pop(target.id, None)
+                self.handles.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+
+    def _bind_value(self, target: ast.expr, value: ast.expr) -> None:
+        # Track builtin open() handles so `fh.read()` taints.
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "open"
+        ):
+            self.handles.add(target.id)
+            self.taint.pop(target.id, None)
+            return
+        self._bind(target, self.taint_of(value))
+
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._visit_calls(stmt.value)
+            for target in stmt.targets:
+                self._bind_value(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._visit_calls(stmt.value)
+            self._bind_value(stmt.target, stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs get their own checker
+        elif isinstance(stmt, ast.If):
+            self._visit_calls(stmt.test)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_calls(stmt.test)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_calls(stmt.iter)
+            self._bind(stmt.target, self.taint_of(stmt.iter))
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._visit_calls(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_value(item.optional_vars, item.context_expr)
+            self.walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.walk(stmt.body)
+            for handler in stmt.handlers:
+                self.walk(handler.body)
+            self.walk(stmt.orelse)
+            self.walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Match):
+            self._visit_calls(stmt.subject)
+            for case in stmt.cases:
+                self.walk(case.body)
+        else:
+            self._visit_calls(stmt)
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    ring_names = frozenset(collect_ring_names(modules))
+    sanitizers = frozenset(collect_sanitizer_functions(modules))
+    view_classes = frozenset(collect_view_classes(modules))
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                checker = _FunctionChecker(
+                    module, node, ring_names, sanitizers, view_classes
+                )
+                checker.walk(node.body)
+                yield from checker.findings

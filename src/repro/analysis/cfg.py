@@ -1,0 +1,363 @@
+"""Statement-level control-flow graphs with exception edges (rule A007).
+
+One node per statement plus three pseudo-nodes: ``entry``, ``exit``
+(normal return / fall-off) and ``exc_exit`` (an exception escapes the
+function). Edges carry two annotations:
+
+* ``exc`` — the edge is taken when the statement raises. A statement can
+  raise when it contains a call (benign builtins like ``len`` excluded),
+  or is ``raise``/``assert``. Exception edges propagate the state *before*
+  the statement (the acquire/release it performs did not complete).
+* ``refine`` — ``(var, is_none)``: the branch edge of an ``if x is None``
+  style test, used to split a maybe-peeked ring state.
+
+``try/finally`` is modeled by duplicating the ``finally`` body once per
+continuation kind that reaches it (normal, exception, break, continue,
+return) — the classic lowering; bodies are small and the duplication
+keeps the dataflow a plain edge walk. ``except`` clauses that catch
+``Exception``/``BaseException`` (or everything) terminate the exception
+edge; narrower handlers keep an escape edge for the types they miss.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+
+#: Builtin calls that cannot meaningfully raise on the paths we model.
+BENIGN_CALLS = frozenset(
+    {
+        "len",
+        "isinstance",
+        "issubclass",
+        "bool",
+        "int",
+        "float",
+        "str",
+        "bytes",
+        "bytearray",
+        "repr",
+        "format",
+        "min",
+        "max",
+        "abs",
+        "round",
+        "getattr",
+        "hasattr",
+        "setattr",
+        "callable",
+        "range",
+        "sorted",
+        "reversed",
+        "list",
+        "tuple",
+        "dict",
+        "set",
+        "frozenset",
+        "sum",
+        "any",
+        "all",
+        "enumerate",
+        "zip",
+        "id",
+        "type",
+        "print",
+        "divmod",
+        "ord",
+        "chr",
+        "hash",
+        "iter",
+        "vars",
+    }
+)
+
+#: Exception types whose handler is treated as catching everything.
+CATCH_ALL_TYPES = frozenset({"Exception", "BaseException"})
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    target: int
+    exc: bool = False
+    #: ``(variable, is_none)``: taking this edge means ``variable`` is
+    #: (or is not) None — branch refinement for peeked-record checks.
+    refine: tuple[str, bool] | None = None
+
+
+@dataclass(slots=True)
+class CFG:
+    """The graph: ``stmts[i]`` is the AST statement at node ``i`` (None
+    for pseudo-nodes), ``succ[i]`` its out-edges."""
+
+    stmts: list[ast.stmt | None] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+    lines: list[int] = field(default_factory=list)
+    succ: list[list[Edge]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+    exc_exit: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class _Ctx:
+    nxt: int
+    exc: int
+    ret: int
+    brk: int | None = None
+    cont: int | None = None
+
+
+def _contains_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            if isinstance(callee, ast.Name) and callee.id in BENIGN_CALLS:
+                continue
+            return True
+    return False
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Can executing this one statement raise (shallow: not its body)?"""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    headers: list[ast.AST]
+    if isinstance(stmt, ast.If):
+        headers = [stmt.test]
+    elif isinstance(stmt, ast.While):
+        headers = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        headers = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        headers = [item.context_expr for item in stmt.items]
+    else:
+        headers = [stmt]
+    return any(_contains_call(h) for h in headers)
+
+
+def _refinement(test: ast.expr) -> tuple[str, bool, bool] | None:
+    """``(var, none_on_true, none_on_false)`` encoded as (var, true_is_none)
+    pairs; returns ``(var, none_when_true)`` with the false edge negated.
+
+    Recognized shapes: ``x is None``, ``x is not None``, ``not x``, ``x``.
+    """
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return (test.left.id, isinstance(test.ops[0], ast.Is), True)
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+    ):
+        return (test.operand.id, True, True)
+    if isinstance(test, ast.Name):
+        return (test.id, False, True)
+    return None
+
+
+def _is_const_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    def node(self, stmt: ast.stmt | None, label: str, line: int) -> int:
+        idx = len(self.cfg.stmts)
+        self.cfg.stmts.append(stmt)
+        self.cfg.labels.append(label)
+        self.cfg.lines.append(line)
+        self.cfg.succ.append([])
+        return idx
+
+    def edge(self, src: int, edge: Edge) -> None:
+        self.cfg.succ[src].append(edge)
+
+    # -- statement lowering --------------------------------------------------
+
+    def chain(self, stmts: list[ast.stmt], ctx: _Ctx) -> int:
+        entry = ctx.nxt
+        for stmt in reversed(stmts):
+            entry = self.stmt(stmt, replace(ctx, nxt=entry))
+        return entry
+
+    def stmt(self, stmt: ast.stmt, ctx: _Ctx) -> int:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, ctx)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, ctx)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, ctx)
+
+        n = self.node(stmt, type(stmt).__name__, stmt.lineno)
+        if isinstance(stmt, ast.Raise):
+            self.edge(n, Edge(ctx.exc, exc=True))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and _contains_call(stmt.value):
+                self.edge(n, Edge(ctx.exc, exc=True))
+            self.edge(n, Edge(ctx.ret))
+        elif isinstance(stmt, ast.Break):
+            self.edge(n, Edge(ctx.brk if ctx.brk is not None else ctx.nxt))
+        elif isinstance(stmt, ast.Continue):
+            self.edge(n, Edge(ctx.cont if ctx.cont is not None else ctx.nxt))
+        else:
+            if may_raise(stmt):
+                self.edge(n, Edge(ctx.exc, exc=True))
+            self.edge(n, Edge(ctx.nxt))
+        return n
+
+    def _if(self, stmt: ast.If, ctx: _Ctx) -> int:
+        n = self.node(stmt, "If", stmt.lineno)
+        if may_raise(stmt):
+            self.edge(n, Edge(ctx.exc, exc=True))
+        true_entry = self.chain(stmt.body, ctx)
+        false_entry = self.chain(stmt.orelse, ctx)
+        ref = _refinement(stmt.test)
+        if ref is not None:
+            var, none_when_true, _ = ref
+            self.edge(n, Edge(true_entry, refine=(var, none_when_true)))
+            self.edge(n, Edge(false_entry, refine=(var, not none_when_true)))
+        else:
+            self.edge(n, Edge(true_entry))
+            self.edge(n, Edge(false_entry))
+        return n
+
+    def _while(self, stmt: ast.While, ctx: _Ctx) -> int:
+        header = self.node(stmt, "While", stmt.lineno)
+        if may_raise(stmt):
+            self.edge(header, Edge(ctx.exc, exc=True))
+        after = self.chain(stmt.orelse, ctx)
+        body_entry = self.chain(
+            stmt.body, replace(ctx, nxt=header, brk=ctx.nxt, cont=header)
+        )
+        ref = _refinement(stmt.test)
+        if ref is not None:
+            var, none_when_true, _ = ref
+            self.edge(header, Edge(body_entry, refine=(var, none_when_true)))
+            self.edge(header, Edge(after, refine=(var, not none_when_true)))
+        else:
+            self.edge(header, Edge(body_entry))
+            if not _is_const_true(stmt.test):
+                self.edge(header, Edge(after))
+        return header
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, ctx: _Ctx) -> int:
+        header = self.node(stmt, "For", stmt.lineno)
+        if may_raise(stmt):
+            self.edge(header, Edge(ctx.exc, exc=True))
+        after = self.chain(stmt.orelse, ctx)
+        body_entry = self.chain(
+            stmt.body, replace(ctx, nxt=header, brk=ctx.nxt, cont=header)
+        )
+        self.edge(header, Edge(body_entry))
+        self.edge(header, Edge(after))
+        return header
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, ctx: _Ctx) -> int:
+        n = self.node(stmt, "With", stmt.lineno)
+        if may_raise(stmt):
+            self.edge(n, Edge(ctx.exc, exc=True))
+        body_entry = self.chain(stmt.body, ctx)
+        self.edge(n, Edge(body_entry))
+        return n
+
+    def _match(self, stmt: ast.Match, ctx: _Ctx) -> int:
+        n = self.node(stmt, "Match", stmt.lineno)
+        if may_raise(stmt):
+            self.edge(n, Edge(ctx.exc, exc=True))
+        for case in stmt.cases:
+            self.edge(n, Edge(self.chain(case.body, ctx)))
+        self.edge(n, Edge(ctx.nxt))
+        return n
+
+    def _try(self, stmt: ast.Try, ctx: _Ctx) -> int:
+        fin = stmt.finalbody
+
+        def via_fin(target: int | None) -> int | None:
+            # Each continuation kind gets its own copy of the finally
+            # body; exceptions raised inside a finally escape outward.
+            if target is None:
+                return None
+            if not fin:
+                return target
+            return self.chain(fin, replace(ctx, nxt=target))
+
+        nxt_f = via_fin(ctx.nxt)
+        exc_f = via_fin(ctx.exc)
+        ret_f = via_fin(ctx.ret)
+        brk_f = via_fin(ctx.brk)
+        cont_f = via_fin(ctx.cont)
+        assert nxt_f is not None and exc_f is not None and ret_f is not None
+        inner = _Ctx(nxt=nxt_f, exc=exc_f, ret=ret_f, brk=brk_f, cont=cont_f)
+
+        catch_all = False
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            h = self.node(None, "except", handler.lineno)
+            body_entry = self.chain(handler.body, inner)
+            self.edge(h, Edge(body_entry))
+            handler_entries.append(h)
+            names = (
+                [t for e in handler.type.elts if (t := _type_name(e)) is not None]
+                if isinstance(handler.type, ast.Tuple)
+                else [_type_name(handler.type)]
+                if handler.type is not None
+                else [None]
+            )
+            if any(n is None or n in CATCH_ALL_TYPES for n in names):
+                catch_all = True
+
+        if handler_entries:
+            dispatch = self.node(None, "except-dispatch", stmt.lineno)
+            for h in handler_entries:
+                self.edge(dispatch, Edge(h))
+            if not catch_all:
+                self.edge(dispatch, Edge(exc_f, exc=True))
+            body_exc = dispatch
+        else:
+            body_exc = exc_f
+
+        orelse_entry = self.chain(stmt.orelse, inner)
+        body_ctx = _Ctx(
+            nxt=orelse_entry, exc=body_exc, ret=ret_f, brk=brk_f, cont=cont_f
+        )
+        return self.chain(stmt.body, body_ctx)
+
+
+def _type_name(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body to a CFG (nested defs are opaque nodes)."""
+    b = _Builder()
+    cfg = b.cfg
+    cfg.entry = b.node(None, "entry", fn.lineno)
+    cfg.exit = b.node(None, "exit", getattr(fn.body[-1], "end_lineno", fn.lineno) or fn.lineno)
+    cfg.exc_exit = b.node(None, "exc-exit", fn.lineno)
+    ctx = _Ctx(nxt=cfg.exit, exc=cfg.exc_exit, ret=cfg.exit)
+    first = b.chain(fn.body, ctx)
+    b.edge(cfg.entry, Edge(first))
+    return cfg

@@ -1,0 +1,378 @@
+"""A006: borrowed views must not outlive their owner (view-escape).
+
+A ``memoryview`` / ``*View`` object borrowed from a pooled buffer, ring
+slot, segment positioned read, or fan-out cache entry aliases bytes it
+does not own. Storing it somewhere that outlives the borrowing scope —
+an instance field, a return value, a closure — silently decouples the
+view from the owner's lifetime: the pool re-rents the buffer, the ring
+overwrites the slot, the cache evicts the frame, and the view now reads
+someone else's bytes.
+
+Borrow sources are derived, not configured (see :mod:`surface`): calls
+to functions annotated ``-> memoryview`` / ``-> *View``, ``*View`` class
+construction, ``memoryview(...)``, view-typed ``@property`` access, and
+reads of fields declared ``# borrows:``. Borrowing propagates through
+slicing, ``cast``/``toreadonly``, tuple unpacking, and conditionals.
+
+Three escape shapes are flagged:
+
+* **field** — ``self.x = view`` (also ``self.x[k] = view`` and
+  ``self.x.append(view)``) where ``x`` has no ``# borrows: <owner>``
+  declaration at its ``__init__`` assignment;
+* **return** — ``return view`` / ``yield view`` from a function whose
+  return annotation is *not* view-like (an annotated view return is the
+  documented hand-off of the borrow to the caller);
+* **closure** — a nested ``def`` / ``lambda`` capturing a borrowed name
+  (the closure can run after the owner reclaimed the bytes).
+
+An escape on a specific line is sanctioned in place with a trailing
+``# borrows: <owner>`` comment naming whose lifetime covers it, or by
+materializing a copy (``bytes(view)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleSet, SourceModule, is_self_attr
+from repro.analysis.surface import (
+    VIEW_PROPAGATORS,
+    borrow_fields,
+    collect_view_classes,
+    collect_view_functions,
+    collect_view_properties,
+    line_has_borrow_mark,
+    terminal_name,
+)
+
+RULE_ID = "A006"
+
+#: Container methods that store their argument (escape into the receiver).
+_STORE_METHODS = frozenset({"append", "add", "insert", "extend", "setdefault", "put"})
+
+
+@dataclass(frozen=True, slots=True)
+class _Registry:
+    view_functions: frozenset[str]
+    view_properties: frozenset[str]
+    view_classes: frozenset[str]
+
+
+@dataclass(slots=True)
+class _Borrow:
+    line: int
+    source: str
+
+
+class _FunctionChecker:
+    """Lexical borrow-tracking walk of one function body."""
+
+    def __init__(
+        self,
+        module: SourceModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        declared: dict[str, tuple[str, int]],
+        registry: _Registry,
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.declared = declared
+        self.registry = registry
+        self.env: dict[str, _Borrow] = {}
+        self.findings: list[Finding] = []
+        self.returns_view = _fn_returns_view(fn)
+
+    # -- borrow-source classification ---------------------------------------
+
+    def borrow_of(self, expr: ast.expr) -> _Borrow | None:
+        """Is this expression a borrowed view? (None = owned/unknown.)"""
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            return self.borrow_of(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.borrow_of(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self.borrow_of(expr.body) or self.borrow_of(expr.orelse)
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if attr in self.registry.view_properties:
+                return _Borrow(expr.lineno, f"view property `{attr}`")
+            if is_self_attr(expr) and attr in self.declared:
+                return _Borrow(expr.lineno, f"borrows-declared field `self.{attr}`")
+            return None
+        if isinstance(expr, ast.Call):
+            callee = terminal_name(expr.func)
+            if callee == "memoryview":
+                return _Borrow(expr.lineno, "memoryview()")
+            if callee in self.registry.view_classes:
+                return _Borrow(expr.lineno, f"{callee}(...) construction")
+            if callee in VIEW_PROPAGATORS and isinstance(expr.func, ast.Attribute):
+                inner = self.borrow_of(expr.func.value)
+                if inner is not None:
+                    return inner
+                return None
+            if callee in self.registry.view_functions:
+                return _Borrow(expr.lineno, f"call to view function `{callee}`")
+            return None
+        return None
+
+    # -- escapes -------------------------------------------------------------
+
+    def _marked(self, lineno: int) -> bool:
+        return line_has_borrow_mark(self.module, lineno)
+
+    def flag(self, lineno: int, col: int, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=str(self.module.path),
+                line=lineno,
+                col=col,
+                rule=RULE_ID,
+                message=message,
+            )
+        )
+
+    def _escape_field(self, target: ast.expr, borrow: _Borrow, lineno: int) -> None:
+        attr = target.attr if isinstance(target, ast.Attribute) else "?"
+        if attr in self.declared or self._marked(lineno):
+            return
+        self.flag(
+            lineno,
+            target.col_offset,
+            (
+                f"borrowed view (from {borrow.source}, line {borrow.line}) stored "
+                f"into field `self.{attr}` with no lifetime contract — declare "
+                f"`# borrows: <owner>` at the field's __init__ assignment or "
+                f"copy with bytes()"
+            ),
+        )
+
+    def _bind_targets(self, target: ast.expr, borrow: _Borrow | None, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if borrow is not None:
+                self.env[target.id] = borrow
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_targets(elt, borrow, lineno)
+        elif isinstance(target, ast.Starred):
+            self._bind_targets(target.value, borrow, lineno)
+        elif isinstance(target, ast.Attribute):
+            if borrow is not None and is_self_attr(target):
+                self._escape_field(target, borrow, lineno)
+        elif isinstance(target, ast.Subscript):
+            # `self._data[a:b] = view` copies the *bytes* into the slice —
+            # no reference survives. Only keyed stores (`self._entries[k]
+            # = view`) keep the view object alive.
+            if isinstance(target.slice, ast.Slice):
+                return
+            base = target.value
+            if borrow is not None and is_self_attr(base):
+                self._escape_field(base, borrow, lineno)
+
+    # -- statement walk ------------------------------------------------------
+
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            borrow = self.borrow_of(stmt.value)
+            for target in stmt.targets:
+                self._bind_targets(target, borrow, stmt.lineno)
+            self._check_closures(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind_targets(stmt.target, self.borrow_of(stmt.value), stmt.lineno)
+            self._check_closures(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            pass  # += on a view is a TypeError long before a lifetime bug
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_return(stmt.value, stmt.lineno, "returned")
+        elif isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value is not None:
+                self._check_return(value.value, stmt.lineno, "yielded")
+            elif isinstance(value, ast.Call):
+                self._check_store_call(value, stmt.lineno)
+                self._check_closures(value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_nested(stmt)
+        elif isinstance(stmt, ast.If):
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_borrow = self.borrow_of(stmt.iter)
+            self._bind_targets(stmt.target, iter_borrow, stmt.lineno)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind_targets(
+                        item.optional_vars,
+                        self.borrow_of(item.context_expr),
+                        stmt.lineno,
+                    )
+            self.walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.walk(stmt.body)
+            for handler in stmt.handlers:
+                self.walk(handler.body)
+            self.walk(stmt.orelse)
+            self.walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self.walk(case.body)
+
+    def _check_return(self, value: ast.expr, lineno: int, verb: str) -> None:
+        borrow = self.borrow_of(value)
+        if isinstance(value, (ast.Tuple, ast.List)) and borrow is None:
+            for elt in value.elts:
+                borrow = self.borrow_of(elt)
+                if borrow is not None:
+                    break
+        if borrow is None:
+            return
+        if self.returns_view or self._marked(lineno):
+            return
+        self.flag(
+            lineno,
+            value.col_offset,
+            (
+                f"borrowed view (from {borrow.source}, line {borrow.line}) "
+                f"{verb} from `{self.fn.name}` whose return annotation does not "
+                f"document a view — annotate the return type as the view type "
+                f"or copy with bytes()"
+            ),
+        )
+
+    def _check_store_call(self, call: ast.Call, lineno: int) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _STORE_METHODS:
+            return
+        receiver = func.value
+        borrow = next(
+            (b for arg in call.args if (b := self.borrow_of(arg)) is not None), None
+        )
+        if borrow is None:
+            return
+        if is_self_attr(receiver):
+            self._escape_field(receiver, borrow, lineno)
+        elif isinstance(receiver, ast.Subscript) and is_self_attr(receiver.value):
+            self._escape_field(receiver.value, borrow, lineno)
+
+    def _check_closures(self, expr: ast.expr) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Lambda):
+                self._check_capture(sub, sub.body, sub.args, sub.lineno)
+
+    def _check_nested(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_capture(fn, fn, fn.args, fn.lineno)
+
+    def _check_capture(
+        self,
+        scope: ast.AST,
+        body: ast.AST,
+        args: ast.arguments,
+        lineno: int,
+    ) -> None:
+        if not self.env or self._marked(lineno):
+            return
+        bound = {
+            a.arg
+            for a in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]
+        }
+        for sub in ast.walk(body):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store,)):
+                bound.add(sub.id)
+        for sub in ast.walk(body):
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id not in bound
+                and sub.id in self.env
+            ):
+                borrow = self.env[sub.id]
+                self.flag(
+                    lineno,
+                    getattr(scope, "col_offset", 0),
+                    (
+                        f"borrowed view `{sub.id}` (from {borrow.source}, line "
+                        f"{borrow.line}) captured by a closure that can outlive "
+                        f"the owner — pass a bytes() copy or mark the line "
+                        f"`# borrows: <owner>`"
+                    ),
+                )
+                break
+
+
+def _fn_returns_view(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    from repro.analysis.surface import annotation_is_viewlike
+
+    return annotation_is_viewlike(fn.returns)
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.ClassDef | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(enclosing class, function) pairs; nested defs are visited by the
+    enclosing function's closure check, not re-analyzed with its env."""
+
+    def visit(node: ast.AST, cls: ast.ClassDef | None) -> Iterator[
+        tuple[ast.ClassDef | None, ast.FunctionDef | ast.AsyncFunctionDef]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from visit(child, None)
+
+    yield from visit(tree, None)
+
+
+def check(modules: ModuleSet) -> Iterator[Finding]:
+    registry = _Registry(
+        view_functions=frozenset(collect_view_functions(modules)),
+        view_properties=frozenset(collect_view_properties(modules)),
+        view_classes=frozenset(collect_view_classes(modules)),
+    )
+    for module in modules:
+        declared_by_class: dict[str, dict[str, tuple[str, int]]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                declared_by_class[node.name] = borrow_fields(module, node)
+        # Malformed declarations: `# borrows:` with no owner token.
+        for fields in declared_by_class.values():
+            for attr, (owner, lineno) in fields.items():
+                if not owner:
+                    yield Finding(
+                        path=str(module.path),
+                        line=lineno,
+                        col=0,
+                        rule=RULE_ID,
+                        message=(
+                            f"`# borrows:` on field `{attr}` names no owner — "
+                            f"write `# borrows: <owner>`"
+                        ),
+                    )
+        for cls, fn in _iter_functions(module.tree):
+            declared = declared_by_class.get(cls.name, {}) if cls else {}
+            checker = _FunctionChecker(module, fn, declared, registry)
+            checker.walk(fn.body)
+            yield from checker.findings

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol
 
-from repro.common.errors import StorageError
+from repro.common.errors import StorageError, WireFormatError
 from repro.storage.index import SegmentOffsetIndex
 from repro.wire.buffers import AppendBuffer
 from repro.wire.chunk import Chunk
@@ -294,13 +294,18 @@ class SegmentPersistence:
                 reader = SegmentFileReader.open(
                     seg_path, index_interval=self.index_interval
                 )
-            except (StorageError, OSError):
+                # recover_segment_file validated the bytes it read — but
+                # the reader re-reads the file, and that second crossing
+                # re-earns its own CRC check (boundary discipline, A008):
+                # a torn sector or concurrent truncation between the two
+                # reads must surface here, not as silent corruption.
+                chunks = reader.chunks(verify=True)
+            except (StorageError, WireFormatError, OSError):
                 return None
-            # recover_segment_file already CRC-validated every surviving frame.
             return LoadedSegment(
                 meta=recovered.meta,
                 path=seg_path,
-                chunks=reader.chunks(verify=False),
+                chunks=chunks,
                 frame_bytes=recovered.frame_bytes,
                 truncated_bytes=recovered.truncated_bytes,
                 index_rebuilt=recovered.index_rebuilt,

@@ -160,11 +160,18 @@ def _service_worker(
 ) -> None:
     """Child process main: serve ring records until closed and drained."""
     request_shm = _attach(request_name)
-    response_shm = _attach(response_name)
-    requests = SpscRing(request_shm.buf)
-    responses = SpscRing(response_shm.buf)
-    service = factory(**kwargs)
     try:
+        response_shm = _attach(response_name)
+    except BaseException:
+        _close_shm(request_shm)
+        raise
+    requests: SpscRing | None = None
+    responses: SpscRing | None = None
+    service: Any = None
+    try:
+        requests = SpscRing(request_shm.buf)
+        responses = SpscRing(response_shm.buf)
+        service = factory(**kwargs)
         while True:
             record = requests.read(timeout=0.1)
             if record is None:
@@ -172,9 +179,14 @@ def _service_worker(
                     break  # closed and drained: clean exit
                 continue
             kind, view = record
-            out_kind, payload = _serve(service, kind, view)
-            del view
-            requests.consume()
+            try:
+                try:
+                    out_kind, payload = _serve(service, kind, view)
+                finally:
+                    del view
+                    requests.consume()
+            except Exception:  # noqa: BLE001 -- a poison record (malformed frame head, undecodable pickle) must not wedge the ring: the slot is consumed either way, the caller times out, later requests still get served.
+                continue
             if not responses.write(out_kind, payload, timeout=30.0):
                 break  # reaper gone; parent will fail the pending call
     finally:
@@ -186,10 +198,15 @@ def _service_worker(
                 close()
             except Exception:  # noqa: S110 -- nothing to relay to: the rings are closing; a failed drain must not mask the clean exit path.
                 pass
-        responses.close()
-        del requests, responses
-        _close_shm(request_shm)
-        _close_shm(response_shm)
+        try:
+            if responses is not None:
+                responses.close()
+            del requests, responses
+        finally:
+            try:
+                _close_shm(request_shm)
+            finally:
+                _close_shm(response_shm)
 
 
 def _serve(
@@ -479,22 +496,24 @@ class ProcessTransport(ThreadedTransport):
                     continue
                 drained = False
                 kind, view = record
-                if kind == KIND_ACK:
-                    call_id, ok, bytes_held = _ACK.unpack_from(view, 0)
-                    response: Any = ReplicateResponse(
-                        ok=bool(ok), bytes_held=bytes_held
-                    )
-                    error: BaseException | None = None
-                else:
-                    try:
+                try:
+                    if kind == KIND_ACK:
+                        call_id, ok, bytes_held = _ACK.unpack_from(view, 0)
+                        response: Any = ReplicateResponse(
+                            ok=bool(ok), bytes_held=bytes_held
+                        )
+                        error: BaseException | None = None
+                    else:
                         call_id, response, error = pickle.loads(view)
-                    except Exception:  # noqa: BLE001 - poison record
-                        # A response that cannot unpickle must not kill
-                        # the reaper: skip it; with no call_id to resolve,
-                        # the pending call times out or fails at shutdown.
-                        binding.responses.consume()
-                        del view
-                        continue
+                except Exception:  # noqa: BLE001 - poison record
+                    # A response that cannot decode — a short/garbage ack
+                    # (struct.error) as much as an undecodable pickle —
+                    # must not kill the reaper: skip it; with no call_id
+                    # to resolve, the pending call times out or fails at
+                    # shutdown.
+                    del view
+                    binding.responses.consume()
+                    continue
                 del view
                 binding.responses.consume()
                 self._resolve(call_id, response, error)

@@ -66,7 +66,7 @@ class FanoutCache:
         self.capacity_bytes = capacity_bytes
         self._lock = threading.Lock()
         #: Cached views in LRU order (oldest first).
-        self._entries: OrderedDict[CacheKey, ChunkView] = OrderedDict()  # guarded-by: _lock
+        self._entries: OrderedDict[CacheKey, ChunkView] = OrderedDict()  # guarded-by: _lock  # borrows: segment-buffers -- invalidate_group drops entries before their backing segment memory is retired
         #: In-flight admissions: key -> event set once the build resolves.
         self._building: dict[CacheKey, threading.Event] = {}  # guarded-by: _lock
         self._bytes = 0  # guarded-by: _lock

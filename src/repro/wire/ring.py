@@ -78,8 +78,8 @@ class SpscRing:
         self.capacity = (len(view) - HEADER_SIZE) & ~7
         if self.capacity < 2 * RECORD_HEADER:
             raise RpcError("ring capacity too small for any record")
-        self._buf = view
-        self._data = view[HEADER_SIZE : HEADER_SIZE + self.capacity]
+        self._buf = view  # borrows: buf -- the ring aliases the caller's shared-memory block for its whole lifetime
+        self._data = view[HEADER_SIZE : HEADER_SIZE + self.capacity]  # borrows: buf
         if reset:
             view[:HEADER_SIZE] = bytes(HEADER_SIZE)
         # Reader-side cache of the last peeked record's total size.

@@ -75,7 +75,7 @@ class RecordView:
                 f"truncated record header at offset {offset} "
                 f"(buffer {len(buf)} bytes)"
             )
-        self._buf = buf
+        self._buf = buf  # borrows: buf -- a RecordView is a window into its chunk's payload bytes
         self.offset = offset
         checksum, flags, key_count, value_len = _RECORD_FIXED.unpack_from(
             buf, offset
@@ -195,7 +195,7 @@ class ChunkView:
             raise WireFormatError(
                 f"frame of {len(view)} bytes is shorter than a chunk header"
             )
-        self.frame = view
+        self.frame = view  # borrows: frame -- the view window is only valid while the caller's frame bytes (ring slot / segment buffer / cache entry) stay alive
         self.verified = verified
         self._fields: tuple[int, ...] | None = None
         self._records: list[Record] | None = None

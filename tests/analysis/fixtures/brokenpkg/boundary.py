@@ -1,0 +1,109 @@
+"""A008 corpus: boundary bytes decoded without CRC re-validation.
+
+Positive shapes — ring read into an unverified records() decode,
+``read_bytes`` into ``decode_chunk(verify=False)``, raw file-handle read
+into ``chunks(verify=False)``, a ``*Reader.open`` re-read decoded
+unverified — plus the sanctioned negatives (verify_payload first,
+sanitizer helper, ``verify=True``, forwarded ``verify=verify``).
+
+The module is analyzed, never imported: names like ``crc32c`` and
+``decode_chunk`` deliberately resolve only by shape.
+"""
+
+
+def check_crc(buf):
+    """Sanitizer: recomputes the checksum over the bytes."""
+    return crc32c(buf)  # noqa: F821
+
+
+class FrameView:
+    __slots__ = ("raw", "verified")
+
+    def __init__(self, raw):
+        self.raw = raw  # borrows: raw
+        self.verified = False
+
+    def verify_payload(self):
+        self.verified = True
+
+    def records(self):
+        return []
+
+    def record_views(self):
+        return []
+
+
+class WireRing:
+    def __init__(self, buf):
+        self.buf = buf
+
+    def try_read(self):
+        return None
+
+    def consume(self):
+        pass
+
+
+def decode_from_ring(buf):
+    ring = WireRing(buf)
+    record = ring.try_read()
+    if record is None:
+        return None
+    try:
+        view = FrameView(record[1])
+        found = view.records()  # TAINT: ring bytes decoded, no CRC re-check
+    finally:
+        ring.consume()
+    return found
+
+
+def decode_from_file(path):
+    raw = path.read_bytes()
+    return decode_chunk(raw, verify=False)  # noqa: F821 -- TAINT: disk bytes, verify skipped
+
+
+def decode_from_handle(path):
+    with open(path, "rb") as fh:
+        data = fh.read()
+    frame = FrameView(data)
+    return frame.chunks(verify=False)  # TAINT: raw read, verify skipped
+
+
+def decode_reread(path):
+    reader = SegmentReader.open(path)  # noqa: F821
+    return reader.record_views()  # TAINT: re-read bytes never re-validated
+
+
+def validated_before_decode(buf):
+    ring = WireRing(buf)
+    record = ring.try_read()
+    if record is None:
+        return None
+    try:
+        view = FrameView(record[1])
+        view.verify_payload()
+        found = view.records()  # ok: CRC re-earned this side of the boundary
+    finally:
+        ring.consume()
+    return found
+
+
+def sanitized_by_helper(path):
+    raw = path.read_bytes()
+    check_crc(raw)
+    return decode_chunk(raw, verify=False)  # noqa: F821 -- ok: helper validated these bytes
+
+
+def verified_decode(path):
+    raw = path.read_bytes()
+    return decode_chunk(raw, verify=True)  # noqa: F821 -- ok: decode validates inline
+
+
+def forwarded_verify(path, verify):
+    raw = path.read_bytes()
+    return decode_chunk(raw, verify=verify)  # noqa: F821 -- ok: caller's contract forwarded
+
+
+def silenced(path):
+    raw = path.read_bytes()
+    return decode_chunk(raw, verify=False)  # noqa: A008 -- exercised by the suppression test

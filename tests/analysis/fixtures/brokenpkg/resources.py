@@ -1,0 +1,111 @@
+"""A007 corpus: unbalanced acquire/release paths.
+
+Positive shapes — leak on a raise path, leak on an early return, double
+release, ring peek never consumed, reacquire-while-held — plus the
+balanced negatives (try/finally, with-managed open, transfer to a
+field, release on every branch, refined peek/consume).
+"""
+
+
+def might_fail():
+    raise ValueError("boom")
+
+
+class SlotRing:
+    """Name registers ring-typed receivers for the fixture corpus."""
+
+    def try_read(self):
+        return None
+
+    def read(self, timeout=None):
+        return None
+
+    def consume(self):
+        pass
+
+
+def leak_on_raise(pool):
+    buf = pool.rent()
+    might_fail()  # LEAK: raise path skips the release
+    pool.release(buf)
+
+
+def leak_on_early_return(pool, flag):
+    buf = pool.rent()
+    if flag:
+        return None  # LEAK: early return without release
+    pool.release(buf)
+    return buf
+
+
+def double_release(pool):
+    buf = pool.rent()
+    pool.release(buf)
+    pool.release(buf)  # DOUBLE RELEASE
+
+
+def reacquire_while_held(pool):
+    fh = open("a.bin", "rb")
+    fh = open("b.bin", "rb")  # LEAK: first handle overwritten while held
+    fh.close()
+
+
+def peek_never_consumed(buf):
+    ring = SlotRing(buf)
+    record = ring.try_read()
+    if record is None:
+        return None
+    return record  # WEDGE: peeked record never consumed
+
+
+def consume_without_peek(buf):
+    ring = SlotRing(buf)
+    ring.consume()  # consume with nothing peeked
+
+
+def balanced_try_finally(pool):
+    buf = pool.rent()
+    try:
+        might_fail()
+    finally:
+        pool.release(buf)
+
+
+def balanced_with(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+class Keeper:
+    def __init__(self, pool):
+        self._scratch = pool.rent()  # ok: transferred to the field at birth
+
+    def adopt(self, pool):
+        buf = pool.rent()
+        self._scratch = buf  # ok: ownership transferred to the field
+
+    def guard_before_raise(self, pool, limit):
+        buf = pool.rent()
+        if len(buf) < limit:
+            pool.release(buf)
+            raise ValueError("scratch too small")
+        self._scratch = buf
+
+
+def balanced_peek(buf, sink):
+    ring = SlotRing(buf)
+    while True:
+        record = ring.read(timeout=0.1)
+        if record is None:
+            break
+        try:
+            sink(record)
+        finally:
+            ring.consume()
+    return None
+
+
+def silenced_leak(pool):
+    buf = pool.rent()  # noqa: A007 -- exercised by the suppression test
+    might_fail()
+    pool.release(buf)

@@ -1,0 +1,93 @@
+"""A006 corpus: borrowed views escaping their owner's lifetime.
+
+Four positive shapes — field store, return, closure capture, keyed
+container store — plus the sanctioned negatives (declared field,
+annotated return, bytes() copy, slice store).
+"""
+
+
+class SlabView:
+    """A borrowed window; name makes it a view class for the registry."""
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw):
+        self.raw = raw  # borrows: raw
+
+
+class Slab:
+    def __init__(self, backing):
+        self._mem = memoryview(backing)  # borrows: backing
+        self.stash = None
+        self.cache = {}
+        self.log = []
+        self.ok_window = None  # borrows: _mem -- declared: dropped with the slab
+
+    def window(self, start, end) -> memoryview:
+        return self._mem[start:end]
+
+
+class BadGrammar:
+    def __init__(self):
+        self.dangling = None  # borrows:
+
+
+class Escapes:
+    def __init__(self):
+        self.kept = None
+        self.by_key = {}
+        self.rows = []
+
+    def field_store(self, slab):
+        view = slab.window(0, 8)
+        self.kept = view  # ESCAPE: field store, no borrows declaration
+
+    def bad_return(self, slab):
+        view = memoryview(slab)
+        return view  # ESCAPE: return without a view-like annotation
+
+    def closure_capture(self, slab):
+        view = slab.window(0, 8)
+
+        def later():  # ESCAPE: closure outlives the borrow
+            return view[0]
+
+        return later
+
+    def keyed_store(self, slab, key):
+        view = SlabView(slab)
+        self.by_key[key] = view  # ESCAPE: keyed container store
+
+    def append_store(self, slab):
+        view = slab.window(8, 16)
+        self.rows.append(view)  # ESCAPE: container-method store
+
+
+class Sanctioned:
+    def __init__(self, backing):
+        self.copied = None
+        self.blessed = None  # borrows: backing -- lifetime-coupled by contract
+
+    def declared_field(self, slab):
+        view = slab.window(0, 8)
+        self.blessed = view  # ok: field carries a borrows declaration
+
+    def annotated_return(self, slab) -> memoryview:
+        view = slab.window(0, 8)
+        return view  # ok: the annotation documents the hand-off
+
+    def copy_escape(self, slab):
+        view = slab.window(0, 8)
+        self.copied = bytes(view)  # ok: materialized copy owns its bytes
+
+    def slice_copy(self, slab, scratch):
+        view = slab.window(0, 8)
+        scratch[0:8] = view  # ok: slice assignment copies content
+
+    def marked_line(self, slab):
+        view = slab.window(0, 8)
+        self.copied = view  # borrows: slab -- caller drops self before slab
+
+    def silenced(self, slab):
+        view = slab.window(0, 8)
+        self.copied = view  # noqa: A006 -- exercised by the suppression test

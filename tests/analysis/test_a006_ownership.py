@@ -1,0 +1,140 @@
+"""A006: borrowed views escaping their owner's lifetime."""
+
+from tests.analysis.conftest import findings_for
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A006") if f.path.endswith("views.py")]
+
+
+def test_field_store_fires():
+    found = [f for f in _fixture_findings() if "self.kept" in f.message]
+    assert found and found[0].line == 43
+
+
+def test_unannotated_return_fires():
+    found = [f for f in _fixture_findings() if "bad_return" in f.message]
+    assert found and "return annotation" in found[0].message
+
+
+def test_closure_capture_fires():
+    found = [f for f in _fixture_findings() if "closure" in f.message]
+    assert found and found[0].line == 52
+
+
+def test_keyed_container_store_fires():
+    found = [f for f in _fixture_findings() if "self.by_key" in f.message]
+    assert found
+
+
+def test_append_store_fires():
+    found = [f for f in _fixture_findings() if "self.rows" in f.message]
+    assert found
+
+
+def test_ownerless_borrows_grammar_flagged():
+    found = [f for f in _fixture_findings() if "names no owner" in f.message]
+    assert found and found[0].line == 32
+
+
+def test_declared_field_is_clean():
+    # Sanctioned.declared_field stores into the borrows-declared `blessed`.
+    assert all("blessed" not in f.message for f in _fixture_findings())
+
+
+def test_annotated_return_is_clean():
+    assert all("annotated_return" not in f.message for f in _fixture_findings())
+
+
+def test_sanctioned_class_fully_clean():
+    # declared field, annotated return, bytes() copy, slice store, marked
+    # line, justified noqa: none of Sanctioned (lines 66+) may be flagged.
+    lines = {f.line for f in _fixture_findings()}
+    assert not any(line >= 66 for line in lines), lines
+
+
+def test_justified_noqa_suppresses():
+    assert all("silenced" not in f.message for f in _fixture_findings())
+
+
+def test_view_propagators_stay_borrowed(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            class Holder:
+                def __init__(self):
+                    self.kept = None
+
+                def stash(self, buf):
+                    view = memoryview(buf).cast("B")
+                    self.kept = view
+            """
+        },
+        rules=["A006"],
+    )
+    assert any("self.kept" in f.message for f in findings)
+
+
+def test_tuple_unpack_propagates_borrow(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            def peek(ring) -> memoryview: ...
+
+            class Holder:
+                def __init__(self):
+                    self.kept = None
+
+                def stash(self, ring):
+                    pair = peek(ring)
+                    kind, view = pair
+                    self.kept = view
+            """
+        },
+        rules=["A006"],
+    )
+    assert any("self.kept" in f.message for f in findings)
+
+
+def test_reassignment_clears_borrow(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            def window(buf) -> memoryview: ...
+
+            class Holder:
+                def __init__(self):
+                    self.kept = None
+
+                def stash(self, buf):
+                    view = window(buf)
+                    view = bytes(view)
+                    self.kept = view
+            """
+        },
+        rules=["A006"],
+    )
+    assert findings == []
+
+
+def test_generic_names_not_borrow_sources(analyze):
+    # dict.get / file.read etc. must not register as view functions even
+    # when an in-tree method of that name is view-annotated.
+    findings = analyze(
+        {
+            "mod.py": """
+            class Store:
+                def get(self, key) -> memoryview: ...
+
+            class Holder:
+                def __init__(self):
+                    self.kept = None
+
+                def stash(self, options):
+                    value = options.get("mode")
+                    self.kept = value
+            """
+        },
+        rules=["A006"],
+    )
+    assert findings == []

@@ -1,0 +1,199 @@
+"""A007: acquire/release balance over all CFG paths."""
+
+import ast
+import textwrap
+
+from tests.analysis.conftest import findings_for
+
+from repro.analysis.balance import analyze_function
+from repro.analysis.core import load_paths
+
+
+def _fixture_findings():
+    return [f for f in findings_for("A007") if f.path.endswith("resources.py")]
+
+
+def test_leak_on_raise_path_fires():
+    found = [
+        f
+        for f in _fixture_findings()
+        if "leak_on_raise" in f.message and "exception path" in f.message
+    ]
+    assert found and found[0].line == 28
+
+
+def test_leak_on_early_return_fires():
+    found = [
+        f
+        for f in _fixture_findings()
+        if "leak_on_early_return" in f.message and "return path" in f.message
+    ]
+    assert found
+
+
+def test_finding_carries_path_trace():
+    found = [f for f in _fixture_findings() if "leak_on_early_return" in f.message]
+    assert found and "path: lines" in found[0].message
+
+
+def test_double_release_fires():
+    found = [f for f in _fixture_findings() if "double release" in f.message]
+    assert found and found[0].line == 44
+
+
+def test_reacquire_while_held_fires():
+    found = [f for f in _fixture_findings() if "reassigned while still holding" in f.message]
+    assert found
+
+
+def test_unconsumed_peek_fires():
+    found = [
+        f for f in _fixture_findings() if "peek_never_consumed" in f.message
+    ]
+    assert found and "never consumed" in found[0].message
+
+
+def test_consume_without_peek_fires():
+    found = [f for f in _fixture_findings() if "no record peeked" in f.message]
+    assert found
+
+
+def test_balanced_negatives_are_clean():
+    msgs = [f.message for f in _fixture_findings()]
+    for clean_fn in (
+        "balanced_try_finally",
+        "balanced_with",
+        "balanced_peek",
+        "guard_before_raise",
+        "adopt",
+    ):
+        assert not any(clean_fn in m for m in msgs), (clean_fn, msgs)
+
+
+def test_justified_noqa_suppresses():
+    assert all("silenced_leak" not in f.message for f in _fixture_findings())
+
+
+def test_exception_caught_locally_is_balanced(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            def use(pool):
+                buf = pool.rent()
+                try:
+                    step()
+                except Exception:
+                    pass
+                pool.release(buf)
+            """
+        },
+        rules=["A007"],
+    )
+    assert findings == []
+
+
+def test_narrow_handler_still_leaks_on_escape(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            def use(pool):
+                buf = pool.rent()
+                try:
+                    step()
+                except ValueError:
+                    pool.release(buf)
+                    raise
+                pool.release(buf)
+            """
+        },
+        rules=["A007"],
+    )
+    # A non-ValueError escape path never reaches either release.
+    assert any("exception path" in f.message for f in findings)
+
+
+def test_release_in_finally_with_return_inside_try(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            def use(pool):
+                buf = pool.rent()
+                try:
+                    return step(buf)
+                finally:
+                    pool.release(buf)
+            """
+        },
+        rules=["A007"],
+    )
+    assert findings == []
+
+
+def test_annotated_shm_helper_is_an_acquire(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            from multiprocessing import shared_memory
+
+            def attach(name) -> shared_memory.SharedMemory: ...
+
+            def use(name):
+                shm = attach(name)
+                step()
+            """
+        },
+        rules=["A007"],
+    )
+    assert any("shared-memory segment" in f.message for f in findings)
+
+
+def test_close_helper_releases(analyze):
+    findings = analyze(
+        {
+            "mod.py": """
+            from multiprocessing import shared_memory
+
+            def attach(name) -> shared_memory.SharedMemory: ...
+
+            def close_shm(shm):
+                shm.close()
+
+            def use(name):
+                shm = attach(name)
+                try:
+                    step()
+                finally:
+                    close_shm(shm)
+            """
+        },
+        rules=["A007"],
+    )
+    assert findings == []
+
+
+def _analyze_src(src: str):
+    import pathlib
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "mod.py"
+        path.write_text(textwrap.dedent(src))
+        modules = load_paths([path])
+        module = modules.modules[0]
+        fn = next(
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.FunctionDef)
+        )
+        return analyze_function(module, fn, frozenset(), frozenset())
+
+
+def test_analyze_function_reports_visited_count():
+    findings, visited, bailed = _analyze_src(
+        """
+        def use(pool):
+            buf = pool.rent()
+            pool.release(buf)
+        """
+    )
+    assert findings == [] and visited > 0 and not bailed

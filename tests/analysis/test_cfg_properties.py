@@ -1,0 +1,152 @@
+"""Termination and state-count bounds for A007's CFG walker.
+
+The worklist explores (node, state) pairs; adversarial control flow —
+deep try/finally nesting (whose lowering duplicates finally bodies per
+continuation), loops with break/continue jumping into finally blocks,
+wide branch ladders over many live resources — is where a naive path
+walk explodes. These are property-style tests over generated program
+families: the walker must terminate, stay under :data:`STATE_CAP`, and
+grow sub-exponentially in the nesting depth.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.balance import STATE_CAP, analyze_function
+from repro.analysis.core import load_paths
+
+
+def _analyze(src: str, tmp_path):
+    path = tmp_path / "gen.py"
+    path.write_text(textwrap.dedent(src))
+    modules = load_paths([path])
+    module = modules.modules[0]
+    fn = next(
+        n for n in ast.walk(module.tree) if isinstance(n, ast.FunctionDef)
+    )
+    return analyze_function(
+        module, fn, frozenset({"ring"}), frozenset()
+    )
+
+
+def _nested_try_finally(depth: int) -> str:
+    """try/finally towers: each level releases one of `depth` buffers."""
+    lines = ["def use(pool):"]
+    indent = "    "
+    for i in range(depth):
+        lines.append(f"{indent}buf{i} = pool.rent()")
+        lines.append(f"{indent}try:")
+        indent += "    "
+    lines.append(f"{indent}step()")
+    for i in reversed(range(depth)):
+        indent = indent[:-4]
+        lines.append(f"{indent}finally:")
+        lines.append(f"{indent}    pool.release(buf{i})")
+    return "\n".join(lines) + "\n"
+
+
+def _loop_break_continue_finally(depth: int) -> str:
+    """Loops whose break/continue edges route through finally blocks."""
+    lines = ["def use(pool, items):"]
+    indent = "    "
+    for i in range(depth):
+        lines.append(f"{indent}buf{i} = pool.rent()")
+        lines.append(f"{indent}for item{i} in items:")
+        lines.append(f"{indent}    try:")
+        lines.append(f"{indent}        if item{i}:")
+        lines.append(f"{indent}            continue")
+        lines.append(f"{indent}        if not item{i}:")
+        lines.append(f"{indent}            break")
+        lines.append(f"{indent}    finally:")
+        lines.append(f"{indent}        touch()")
+        lines.append(f"{indent}pool.release(buf{i})")
+    return "\n".join(lines) + "\n"
+
+
+def _branch_ladder(width: int) -> str:
+    """Independent if/else diamonds — the classic 2^n path family."""
+    lines = ["def use(pool, flags):", "    buf = pool.rent()", "    try:"]
+    for i in range(width):
+        lines.append(f"        if flags[{i}]:")
+        lines.append("            touch()")
+        lines.append("        else:")
+        lines.append("            touch()")
+    lines.append("    finally:")
+    lines.append("        pool.release(buf)")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 6, 8])
+def test_nested_try_finally_terminates_balanced(depth, tmp_path):
+    findings, visited, bailed = _analyze(_nested_try_finally(depth), tmp_path)
+    assert not bailed
+    assert visited < STATE_CAP
+    assert findings == []
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 6])
+def test_loops_with_break_continue_into_finally(depth, tmp_path):
+    findings, visited, bailed = _analyze(
+        _loop_break_continue_finally(depth), tmp_path
+    )
+    assert not bailed
+    assert visited < STATE_CAP
+    # Only the outermost buffers stay held when an inner `break` path
+    # skips later releases; no double releases, no crashes.
+    assert all("double release" not in f.message for f in findings)
+
+
+@pytest.mark.parametrize("width", [4, 8, 16, 32])
+def test_branch_ladder_states_stay_linear(width, tmp_path):
+    """Same dataflow state on both diamond arms must merge: visited pairs
+    grow linearly in the ladder width, not 2^width."""
+    findings, visited, bailed = _analyze(_branch_ladder(width), tmp_path)
+    assert not bailed
+    assert findings == []
+    assert visited <= 40 * (width + 2), visited
+
+
+def test_state_growth_is_subexponential(tmp_path):
+    previous = None
+    for depth in (2, 4, 6):
+        _, visited, bailed = _analyze(_nested_try_finally(depth), tmp_path)
+        assert not bailed
+        if previous is not None:
+            # Doubling the depth must far undercut squaring the states.
+            assert visited < previous * previous, (depth, visited, previous)
+        previous = visited
+
+
+def test_pathological_function_bails_not_hangs(tmp_path):
+    """A function juggling many interleaved resources across many branch
+    diamonds overflows the cap: the walker must bail out cleanly (no
+    findings, bailed=True) rather than hang or explode."""
+    lines = ["def use(pool, flags):"]
+    for i in range(12):
+        lines.append(f"    buf{i} = pool.rent()")
+        lines.append(f"    if flags[{i}]:")
+        lines.append(f"        pool.release(buf{i})")
+    findings, visited, bailed = _analyze("\n".join(lines) + "\n", tmp_path)
+    assert bailed
+    assert findings == []
+    assert visited <= STATE_CAP
+
+
+def test_while_true_single_exit_terminates(tmp_path):
+    findings, visited, bailed = _analyze(
+        """
+        def use(ring, sink):
+            while True:
+                record = ring.try_read()
+                if record is None:
+                    break
+                try:
+                    sink(record)
+                finally:
+                    ring.consume()
+        """,
+        tmp_path,
+    )
+    assert not bailed and findings == []

@@ -8,7 +8,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
-ALL_RULES = ("A001", "A002", "A003", "A004", "A005")
+ALL_RULES = ("A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008")
+GOLDEN = Path(__file__).resolve().parent / "fixtures" / "expected.json"
 
 
 def _run_cli(*args):
@@ -70,3 +71,55 @@ def test_list_rules():
     assert proc.returncode == 0
     for rule in ALL_RULES:
         assert rule in proc.stdout
+
+
+def test_golden_json_matches_fixture_corpus():
+    """The fixture corpus is a frozen contract: any rule change that adds,
+    drops, or moves a finding must also update expected.json."""
+    proc = _run_cli(str(FIXTURES), "--format", "json")
+    findings = json.loads(proc.stdout)
+    for f in findings:
+        f["path"] = str(Path(f["path"]).resolve().relative_to(FIXTURES))
+    findings.sort(key=lambda f: (f["path"], f["line"], f["col"], f["rule"]))
+    expected = json.loads((FIXTURES / "expected.json").read_text())
+    assert findings == expected
+
+
+def test_changed_only_filters_to_touched_files(tmp_path):
+    """--changed-only keeps whole-program analysis but only reports
+    findings in files the current branch touched."""
+    import shutil
+
+    repo = tmp_path / "work"
+    shutil.copytree(FIXTURES / "brokenpkg", repo / "pkg")
+
+    def git(*args):
+        subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+            env={**os.environ, "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+
+    git("init", "-b", "main")
+    git("add", "-A")
+    git("commit", "-m", "seed")
+    # Touch exactly one file after the base commit.
+    target = repo / "pkg" / "boundary.py"
+    target.write_text(target.read_text() + "\n# touched\n")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(repo),
+         "--changed-only", "--diff-base", "HEAD", "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=repo,
+    )
+    findings = json.loads(proc.stdout)
+    assert findings, proc.stderr
+    assert {Path(f["path"]).name for f in findings} == {"boundary.py"}

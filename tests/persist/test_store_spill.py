@@ -201,3 +201,38 @@ def test_newer_epoch_supersedes_older(tmp_path):
     assert sorted(report.epochs_loaded) == ["epoch-0002"]
     (segment,) = report.segments
     assert len(segment.chunks) == 4  # the newer generation's count
+
+
+def test_load_reverifies_crc_on_second_read(tmp_path, monkeypatch):
+    """Recovery validates the bytes *it* read, but load() decodes from a
+    second, independent read of the file. A payload byte corrupted between
+    the two passes (torn sector, concurrent truncation) must make load()
+    skip the file — not hand back silently corrupt chunks.
+
+    Regression: load() used to decode with ``verify=False`` on the stale
+    strength of recovery's earlier pass.
+    """
+    import repro.persist.store as store_mod
+
+    root = tmp_path / "node1"
+    store = BackupStore(node_id=1, materialize=True)
+    persistence = SegmentPersistence(root, policy=FlushPolicy.parse("always"))
+    fill_store(store, vsegs=1)
+    drain_to_disk(store, persistence)
+    persistence.close()
+
+    real_recover = store_mod.recover_segment_file
+
+    def recover_then_corrupt(path, **kwargs):
+        report = real_recover(path, **kwargs)
+        # Flip one payload byte *after* recovery blessed the file.
+        data = bytearray(path.read_bytes())
+        data[-20] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return report
+
+    monkeypatch.setattr(store_mod, "recover_segment_file", recover_then_corrupt)
+    report = SegmentPersistence(root).load()
+    assert report.files_scanned == 1
+    assert report.files_skipped == 1
+    assert report.segments == [] and report.chunks_loaded == 0
