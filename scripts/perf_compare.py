@@ -130,11 +130,16 @@ def main(argv: list[str] | None = None) -> int:
     requirements = dict(parse_requirement(spec) for spec in args.require)
     absolutes = dict(parse_requirement(spec) for spec in args.require_abs)
 
-    base_bench = baseline["benchmarks"]
-    cand_bench = candidate["benchmarks"]
+    # Runs measure different stage subsets as the suite grows (the
+    # sockets rows carry gateway stages no earlier row has), so a run
+    # lacking a stage — or all of them — is a note, not an error:
+    # --require on an unshared name and --require-abs on an unmeasured
+    # one still surface as threshold violations below.
+    base_bench = baseline.get("benchmarks") or {}
+    cand_bench = candidate.get("benchmarks") or {}
     shared = [name for name in base_bench if name in cand_bench]
     if not shared:
-        raise SystemExit("runs share no benchmarks")
+        print("note: runs share no benchmarks")
 
     print(
         f"{args.candidate!r} ({candidate.get('git_rev', '?')}) vs "

@@ -17,6 +17,9 @@ here:
 * the ``PipelinedShipper`` driver surface (``kick``/``stop``/
   ``in_flight_batches``) keeps its zero-argument shape — cluster
   drivers and drain paths poke the shipper through exactly these;
+* the ``SocketTransport`` surface — the Transport methods plus the
+  ``listen_address``/``connection_count`` operator entry points that
+  ``run_cluster.py`` and the gateway drivers reach through;
 * every override of a protocol method keeps the protocol's signature:
   same positional parameter names in order, defaults preserved, required
   keyword-only parameters present (extras allowed only with defaults).
@@ -76,6 +79,30 @@ PROTOCOLS: dict[str, dict[str, MethodSpec]] = {
         "kick": MethodSpec(()),
         "stop": MethodSpec(()),
         "in_flight_batches": MethodSpec(()),
+    },
+    # The socket transport's full surface, pinned by name. Because it is
+    # specced here, the base-class walk is skipped for it — so this spec
+    # repeats the Transport methods verbatim (they must stay in lockstep
+    # with the "Transport" spec above) and adds the two operator entry
+    # points `run_cluster.py` and the gateway drivers depend on.
+    "SocketTransport": {
+        "register": MethodSpec(
+            ("node_id", "name", "service"), kwonly=("workers",)
+        ),
+        "call": MethodSpec(
+            ("src", "dst", "service", "method", "request", "request_bytes"),
+            defaults=1,
+        ),
+        "call_async": MethodSpec(
+            ("src", "dst", "service", "method", "request", "request_bytes"),
+            defaults=1,
+            kwonly=("on_done",),
+        ),
+        "credit": MethodSpec(("dst", "service")),
+        "start": MethodSpec(()),
+        "shutdown": MethodSpec(()),
+        "listen_address": MethodSpec(()),
+        "connection_count": MethodSpec(()),
     },
     "SystemAdapter": {
         "build_cores": MethodSpec(("completion",), required=True),

@@ -44,7 +44,11 @@ LockNode = tuple[str, str]  # (class name, lock attribute)
 #: resolved on self). ``flush`` joined the list with the durable tier:
 #: ``self._fh.flush()`` on a file handle would otherwise bind to every
 #: project class with a ``flush`` method (e.g. the producer client),
-#: manufacturing lock chains through the disk writers.
+#: manufacturing lock chains through the disk writers. ``open`` joined
+#: with the gateway: ``SegmentFileReader.open(...)`` in the spill path
+#: would otherwise bind to the async producer/consumer ``open``
+#: constructors, manufacturing a chain from the backup flush path into
+#: the gateway client.
 UNRESOLVED_NAMES = frozenset(
     {
         "acquire",
@@ -68,6 +72,7 @@ UNRESOLVED_NAMES = frozenset(
         "keys",
         "notify",
         "notify_all",
+        "open",
         "pop",
         "popitem",
         "popleft",

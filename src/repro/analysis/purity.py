@@ -20,7 +20,14 @@ roots:
   touch the real platter come back at wall-clock speed and in
   platform-dependent order, which is the same determinism leak as
   wall-clock time. The durable tier (:mod:`repro.persist`) is live-mode
-  only and must never become import-reachable from a sim root.
+  only and must never become import-reachable from a sim root;
+* real networking — ``socket``, ``asyncio``, and ``selectors``. The
+  simulated world has :class:`repro.sim.network.NetworkModel`; bytes that
+  cross a real kernel socket arrive at wall-clock speed, in
+  kernel-scheduler order, which is the same leak again. The socket
+  transport (:mod:`repro.runtime.socket_transport`) and the asyncio
+  gateway (:mod:`repro.gateway`) are live-mode only and must never
+  become import-reachable from a sim root.
 
 Roots are the sim tree and the sim/inproc transports: every module with
 a ``sim`` path component (``repro.sim.*``, ``repro.runtime.sim``) plus
@@ -68,6 +75,11 @@ ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
 #: Pathlib-style file I/O attribute calls: distinctive enough to flag by
 #: name on any receiver (``.open`` is deliberately absent — too generic).
 PATH_IO_ATTRS = frozenset({"write_bytes", "write_text", "read_bytes", "read_text"})
+
+#: Real-networking modules: kernel sockets and the event loops that wrap
+#: them. Any import (top-level or lazy) or attribute use from sim-reachable
+#: code is a determinism leak.
+BANNED_NET_MODULES = frozenset({"socket", "asyncio", "selectors"})
 
 
 def is_root(name: str) -> bool:
@@ -133,11 +145,29 @@ def _banned_usages(module: SourceModule) -> list[tuple[int, int, str]]:
                             f"import of `{alias.name}` (real file I/O)",
                         )
                     )
+                elif alias.name.split(".")[0] in BANNED_NET_MODULES:
+                    found.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of `{alias.name}` (real networking)",
+                        )
+                    )
         elif isinstance(node, ast.ImportFrom):
             if node.module == "threading":
                 found.append(
                     (node.lineno, node.col_offset, "import from `threading`")
                 )
+            elif (node.module or "").split(".")[0] in BANNED_NET_MODULES:
+                for alias in node.names:
+                    found.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of `{node.module}.{alias.name}`"
+                            " (real networking)",
+                        )
+                    )
             elif node.module == "os" or (node.module or "").startswith("os."):
                 for alias in node.names:
                     found.append(
@@ -199,6 +229,14 @@ def _banned_usages(module: SourceModule) -> list[tuple[int, int, str]]:
                         node.lineno,
                         node.col_offset,
                         f"use of `os.{node.attr}` (real file I/O)",
+                    )
+                )
+            elif owner in BANNED_NET_MODULES:
+                found.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"use of `{owner}.{node.attr}` (real networking)",
                     )
                 )
         elif (

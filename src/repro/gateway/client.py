@@ -1,0 +1,395 @@
+"""Asyncio gateway clients: the wire client plus producer/consumer pair.
+
+:class:`AsyncGatewayClient` owns one connection and multiplexes any
+number of in-flight requests over it by request id — callers ``await``
+their own response while others pipeline behind the same writer. On top
+of it, :class:`AsyncProducer` and :class:`AsyncConsumer` mirror the
+in-process :class:`~repro.kera.client.KeraProducer` /
+:class:`~repro.kera.client.KeraConsumer` workflow: records append into
+per-streamlet chunk builders client-side (the gateway only ever sees
+sealed, CRC-stamped chunk frames), and fetch cursors advance per
+(streamlet, active-entry) exactly like the native consumer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.common.checksum import crc32c
+from repro.common.errors import ConfigError, RpcError
+from repro.wire.chunk import Chunk, ChunkBuilder, CHUNK_HEADER_SIZE
+from repro.wire.netframe import (
+    DEFAULT_MAX_FRAME_BYTES,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.wire.pool import BufferPool
+from repro.wire.record import Record
+from repro.gateway import protocol
+from repro.gateway.protocol import GatewayError
+from repro.kera.messages import ChunkAssignment, FetchPosition
+
+
+class AsyncGatewayClient:
+    """One gateway connection, many in-flight requests."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future[tuple[int, bytes]]] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncGatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes=max_frame_bytes)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(RpcError("gateway client closed"))
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- request multiplexing ------------------------------------------------
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                record = await read_frame_async(
+                    self._reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if record is None:
+                    self._fail_pending(RpcError("gateway closed the connection"))
+                    return
+                kind, payload = record
+                request_id = protocol.peek_request_id(payload)
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # response for an abandoned request
+                if kind == protocol.GW_ERROR:
+                    _, error = protocol.decode_error(payload)
+                    future.set_exception(error)
+                else:
+                    future.set_result((kind, payload))
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fanned out to every waiter
+            self._fail_pending(
+                RpcError(f"gateway connection broke: {exc!r}")
+            )
+
+    async def _request(
+        self, kind: int, parts: list, expect: int
+    ) -> bytes:
+        if self._closed:
+            raise RpcError("gateway client closed")
+        loop = asyncio.get_running_loop()
+        request_id = protocol.peek_request_id(parts[0])
+        future: asyncio.Future[tuple[int, bytes]] = loop.create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                write_frame_async(self._writer, kind, parts)
+                await self._writer.drain()
+            got_kind, payload = await future
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        if got_kind != expect:
+            raise GatewayError(
+                f"unexpected response kind {got_kind} (expected {expect})"
+            )
+        return payload
+
+    # -- RPC surface ---------------------------------------------------------
+
+    async def create_stream(self, stream_id: int, num_streamlets: int) -> None:
+        request_id = next(self._ids)
+        await self._request(
+            protocol.GW_CREATE_STREAM,
+            protocol.encode_create_stream(request_id, stream_id, num_streamlets),
+            protocol.GW_OK,
+        )
+
+    async def meta(self, stream_id: int) -> tuple[int, int, list[int]]:
+        """``(q_active_groups, chunk_size, streamlet_ids)`` for a stream."""
+        request_id = next(self._ids)
+        payload = await self._request(
+            protocol.GW_META,
+            protocol.encode_meta(request_id, stream_id),
+            protocol.GW_META_OK,
+        )
+        _, q_active, chunk_size, streamlets = protocol.decode_meta_ok(payload)
+        return q_active, chunk_size, streamlets
+
+    async def produce(
+        self, chunks: list[Chunk], *, producer_id: int
+    ) -> list[ChunkAssignment]:
+        """Ship sealed chunks; returns their acknowledged assignments."""
+        frames = []
+        for chunk in chunks:
+            if chunk.wire is None:
+                raise ConfigError("produce requires builder-sealed chunks (.wire)")
+            frames.append(chunk.wire)
+        request_id = next(self._ids)
+        payload = await self._request(
+            protocol.GW_PRODUCE,
+            protocol.encode_produce(request_id, producer_id, frames),
+            protocol.GW_PRODUCE_OK,
+        )
+        _, assignments = protocol.decode_produce_ok(payload)
+        return assignments
+
+    async def fetch(
+        self,
+        positions: list[FetchPosition],
+        *,
+        consumer_id: int,
+        max_chunks_per_entry: int = 16,
+    ) -> list[tuple[FetchPosition, FetchPosition, list[Chunk]]]:
+        """One fetch round; ``(position, next_position, chunks)`` per entry."""
+        request_id = next(self._ids)
+        payload = await self._request(
+            protocol.GW_FETCH,
+            protocol.encode_fetch(
+                request_id, consumer_id, positions, max_chunks_per_entry
+            ),
+            protocol.GW_FETCH_OK,
+        )
+        _, entries = protocol.decode_fetch_ok(payload)
+        return entries
+
+
+class AsyncProducer:
+    """Client-side chunk building + gateway produce, KeraProducer-shaped.
+
+    Records encode straight into pooled chunk-frame scratch buffers;
+    :meth:`flush` seals every partial chunk and ships the frames in one
+    pipelined produce request.
+    """
+
+    def __init__(
+        self,
+        client: AsyncGatewayClient,
+        producer_id: int,
+        *,
+        stream_id: int,
+        chunk_size: int,
+        streamlet_ids: list[int],
+    ) -> None:
+        self.client = client
+        self.producer_id = producer_id
+        self.stream_id = stream_id
+        self.chunk_size = chunk_size
+        self.streamlet_ids = list(streamlet_ids)
+        self._pool = BufferPool(CHUNK_HEADER_SIZE + chunk_size)
+        self._builders: dict[int, ChunkBuilder] = {}
+        self._seqs: dict[int, itertools.count] = {}
+        self._ready: list[Chunk] = []
+        self._rr_cursor = 0
+        self.records_sent = 0
+        self.chunks_sent = 0
+        self.duplicates_reported = 0
+
+    @classmethod
+    async def open(
+        cls, client: AsyncGatewayClient, producer_id: int, *, stream_id: int
+    ) -> "AsyncProducer":
+        """Fetch stream metadata and build a wired-up producer."""
+        _, chunk_size, streamlets = await client.meta(stream_id)
+        return cls(
+            client,
+            producer_id,
+            stream_id=stream_id,
+            chunk_size=chunk_size,
+            streamlet_ids=streamlets,
+        )
+
+    def _pick_streamlet(self, record: Record) -> int:
+        if record.keys:
+            return self.streamlet_ids[
+                crc32c(record.keys[0]) % len(self.streamlet_ids)
+            ]
+        streamlet = self.streamlet_ids[self._rr_cursor % len(self.streamlet_ids)]
+        self._rr_cursor += 1
+        return streamlet
+
+    def _builder(self, streamlet_id: int) -> ChunkBuilder:
+        builder = self._builders.get(streamlet_id)
+        if builder is None:
+            builder = ChunkBuilder(
+                self.chunk_size,
+                stream_id=self.stream_id,
+                streamlet_id=streamlet_id,
+                producer_id=self.producer_id,
+                pool=self._pool,
+            )
+            self._builders[streamlet_id] = builder
+            self._seqs[streamlet_id] = itertools.count()
+        return builder
+
+    def send(
+        self,
+        value: bytes,
+        *,
+        keys: tuple[bytes, ...] = (),
+        streamlet_id: int | None = None,
+    ) -> None:
+        """Append one record; full chunks are staged for the next flush."""
+        record = Record(value=value, keys=keys)
+        if streamlet_id is None:
+            streamlet_id = self._pick_streamlet(record)
+        builder = self._builder(streamlet_id)
+        if not builder.try_append(record):
+            self._seal(streamlet_id)
+            if not builder.try_append(record):
+                raise ConfigError(
+                    f"record of {record.encoded_size()} bytes exceeds chunk "
+                    f"size {self.chunk_size}"
+                )
+
+    def _seal(self, streamlet_id: int) -> None:
+        builder = self._builders[streamlet_id]
+        if builder.is_empty:
+            return
+        self._ready.append(builder.build(chunk_seq=next(self._seqs[streamlet_id])))
+
+    async def flush(self) -> list[ChunkAssignment]:
+        """Seal partial chunks and produce everything staged.
+
+        Exception-safe like the native producer: a failed produce puts
+        the chunks back so a retry re-sends them (the broker's
+        exactly-once sequence check absorbs partial first attempts).
+        """
+        for streamlet_id in list(self._builders):
+            self._seal(streamlet_id)
+        if not self._ready:
+            return []
+        chunks, self._ready = self._ready, []
+        try:
+            assignments = await self.client.produce(
+                chunks, producer_id=self.producer_id
+            )
+        except BaseException:
+            self._ready = chunks + self._ready
+            raise
+        for chunk in chunks:
+            self.records_sent += chunk.record_count
+            self.chunks_sent += 1
+        self.duplicates_reported += sum(1 for a in assignments if a.duplicate)
+        return assignments
+
+    async def close(self, *, flush: bool = True) -> None:
+        try:
+            if flush:
+                await self.flush()
+        finally:
+            for builder in self._builders.values():
+                builder.close()
+            self._builders.clear()
+
+
+class AsyncConsumer:
+    """Cursor-per-(streamlet, entry) pulls over the gateway."""
+
+    def __init__(
+        self,
+        client: AsyncGatewayClient,
+        consumer_id: int,
+        *,
+        stream_id: int,
+        q_active_groups: int,
+        streamlet_ids: list[int],
+    ) -> None:
+        self.client = client
+        self.consumer_id = consumer_id
+        self.stream_id = stream_id
+        self._positions: dict[tuple[int, int], FetchPosition] = {}
+        for streamlet_id in streamlet_ids:
+            for entry in range(q_active_groups):
+                self._positions[(streamlet_id, entry)] = FetchPosition(
+                    stream_id=stream_id, streamlet_id=streamlet_id, entry=entry
+                )
+        self.records_read = 0
+        self.chunks_read = 0
+
+    @classmethod
+    async def open(
+        cls, client: AsyncGatewayClient, consumer_id: int, *, stream_id: int
+    ) -> "AsyncConsumer":
+        q_active, _, streamlets = await client.meta(stream_id)
+        return cls(
+            client,
+            consumer_id,
+            stream_id=stream_id,
+            q_active_groups=q_active,
+            streamlet_ids=streamlets,
+        )
+
+    async def poll_chunks(self, max_chunks_per_entry: int = 16) -> list[Chunk]:
+        """One fetch round over every cursor; advances them."""
+        entries = await self.client.fetch(
+            list(self._positions.values()),
+            consumer_id=self.consumer_id,
+            max_chunks_per_entry=max_chunks_per_entry,
+        )
+        out: list[Chunk] = []
+        for position, next_position, chunks in entries:
+            self._positions[(position.streamlet_id, position.entry)] = next_position
+            out.extend(chunks)
+            self.chunks_read += len(chunks)
+            self.records_read += sum(c.record_count for c in chunks)
+        return out
+
+    async def poll(self, max_chunks_per_entry: int = 16) -> list[Record]:
+        records: list[Record] = []
+        for chunk in await self.poll_chunks(max_chunks_per_entry):
+            records.extend(chunk.records())
+        return records
+
+    async def drain(self, *, max_rounds: int = 1000) -> list[Record]:
+        """Poll until a round returns nothing."""
+        records: list[Record] = []
+        for _ in range(max_rounds):
+            batch = await self.poll()
+            if not batch:
+                return records
+            records.extend(batch)
+        return records

@@ -1,0 +1,278 @@
+"""The asyncio front door: many client connections, one cluster.
+
+One event loop on a dedicated thread serves every connection; the
+blocking cluster calls (produce parks on replication acks) run on a
+thread pool via ``run_in_executor``, so the loop itself only ever frames,
+decodes, and schedules. Concurrency shape per connection:
+
+* the **reader coroutine** pulls frames and spawns one task per request —
+  per-connection pipelining: a slow produce does not block the fetch
+  behind it, responses correlate by request id, not arrival order;
+* the **write side** coalesces: each response's parts land in the
+  ``StreamWriter`` buffer under a per-connection lock (frames stay
+  contiguous) and drain lets the transport pack many small responses per
+  syscall.
+
+Fetch responses are served through the cluster's zero-copy view path
+(``serve_views=True``): the chunk-frame memoryviews coming out of the
+shared fan-out cache are handed to the stream writer verbatim — many
+consumer connections polling the same hot chunks hit one cached,
+CRC-validated frame, and the gateway never materializes payload bytes.
+
+Failure containment: a request that raises server-side returns a
+``GW_ERROR`` frame carrying the message; a connection that sends garbage
+(bad magic, oversized length) is dropped — a byte stream cannot resync —
+without touching any other connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import RpcError
+from repro.wire.netframe import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameProtocolError,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.gateway import protocol
+from repro.kera.live import LiveKeraCluster
+
+
+@dataclass
+class GatewayStats:
+    connections_accepted: int = 0
+    connections_open: int = 0
+    requests_served: int = 0
+    produce_requests: int = 0
+    fetch_requests: int = 0
+    errors_returned: int = 0
+    chunks_in: int = 0
+    chunks_out: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+
+class GatewayServer:
+    """Fronts a live cluster with an asyncio TCP endpoint."""
+
+    def __init__(
+        self,
+        cluster: LiveKeraCluster,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        executor_workers: int = 16,
+    ) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.stats = GatewayStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="gateway-call"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.Server | None = None
+        self._address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on the loop thread; returns the bound address."""
+        if self._thread is not None:
+            raise RpcError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise RpcError("gateway failed to start within 30s")
+        if self._startup_error is not None:
+            raise RpcError(f"gateway failed to bind: {self._startup_error}")
+        assert self._address is not None
+        return self._address
+
+    def shutdown(self) -> None:
+        loop = self._loop
+        if loop is not None and self._stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already closing
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._executor.shutdown(wait=False)
+
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RpcError("gateway not started")
+        return self._address
+
+    def __enter__(self) -> "GatewayServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, reuse_address=True
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- per-connection ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.bump(connections_accepted=1, connections_open=1)
+        loop = asyncio.get_running_loop()
+        tasks: set[asyncio.Task[None]] = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                record = await read_frame_async(
+                    reader, max_frame_bytes=self.max_frame_bytes
+                )
+                if record is None:
+                    break  # client closed cleanly
+                kind, payload = record
+                # One task per request: pipelining. The payload is owned
+                # bytes (readexactly), so tasks never alias a shared
+                # receive buffer.
+                task = loop.create_task(
+                    self._serve_request(kind, payload, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (FrameProtocolError, ConnectionError, asyncio.IncompleteReadError):
+            pass  # garbage or mid-frame drop: this connection only
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer gone
+                pass
+            self.stats.bump(connections_open=-1)
+
+    async def _serve_request(
+        self,
+        kind: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            request_id = protocol.peek_request_id(payload)
+        except struct.error:
+            return  # not even a request id: nothing to address a reply to
+        try:
+            if kind == protocol.GW_PRODUCE:
+                out_kind, parts = await loop.run_in_executor(
+                    self._executor, self._do_produce, payload
+                )
+            elif kind == protocol.GW_FETCH:
+                out_kind, parts = await loop.run_in_executor(
+                    self._executor, self._do_fetch, payload
+                )
+            elif kind == protocol.GW_CREATE_STREAM:
+                out_kind, parts = await loop.run_in_executor(
+                    self._executor, self._do_create_stream, payload
+                )
+            elif kind == protocol.GW_META:
+                out_kind, parts = self._do_meta(payload)
+            else:
+                raise protocol.GatewayError(f"unknown request kind {kind}")
+        except BaseException as exc:  # noqa: BLE001 - relayed to the client
+            self.stats.bump(errors_returned=1)
+            out_kind, parts = protocol.GW_ERROR, protocol.encode_error(request_id, exc)
+        self.stats.bump(requests_served=1)
+        async with write_lock:
+            # Parts land contiguously in the writer's buffer; the drain
+            # inside the lock applies the transport's backpressure to
+            # this response's writer task without interleaving frames.
+            write_frame_async(writer, out_kind, parts)
+            await writer.drain()
+
+    # -- request handlers (executor threads) ---------------------------------
+
+    def _do_produce(self, payload: bytes) -> tuple[int, list[Any]]:
+        request_id, producer_id, chunks = protocol.decode_produce(payload)
+        self.stats.bump(produce_requests=1, chunks_in=len(chunks))
+        responses = self.cluster.produce(chunks, producer_id=producer_id)
+        assignments = [a for response in responses for a in response.assignments]
+        return protocol.GW_PRODUCE_OK, protocol.encode_produce_ok(
+            request_id, assignments
+        )
+
+    def _do_fetch(self, payload: bytes) -> tuple[int, list[Any]]:
+        request_id, consumer_id, max_chunks, positions = protocol.decode_fetch(payload)
+        self.stats.bump(fetch_requests=1)
+        responses = self.cluster.fetch(
+            positions,
+            consumer_id=consumer_id,
+            max_chunks_per_entry=max_chunks,
+            serve_views=True,
+        )
+        entries = []
+        nchunks = 0
+        for response in responses:
+            for entry in response.entries:
+                frames = [chunk.frame for chunk in entry.chunks]  # type: ignore[union-attr]
+                nchunks += len(frames)
+                entries.append((entry.position, entry.next_position, frames))
+        self.stats.bump(chunks_out=nchunks)
+        return protocol.GW_FETCH_OK, protocol.encode_fetch_ok(request_id, entries)
+
+    def _do_create_stream(self, payload: bytes) -> tuple[int, list[Any]]:
+        request_id, stream_id, num_streamlets = protocol.decode_create_stream(payload)
+        self.cluster.create_stream(stream_id, num_streamlets)
+        return protocol.GW_OK, protocol.encode_ok(request_id)
+
+    def _do_meta(self, payload: bytes) -> tuple[int, list[Any]]:
+        request_id, stream_id = protocol.decode_meta(payload)
+        metadata = self.cluster.coordinator.stream(stream_id)
+        config = self.cluster.config
+        return protocol.GW_META_OK, protocol.encode_meta_ok(
+            request_id,
+            config.storage.q_active_groups,
+            config.chunk_size,
+            list(metadata.streamlet_ids),
+        )

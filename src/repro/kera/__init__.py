@@ -41,6 +41,7 @@ from repro.kera.live import LiveKeraCluster
 from repro.kera.inproc import InprocKeraCluster
 from repro.kera.threaded import ThreadedKeraCluster
 from repro.kera.process import ProcessKeraCluster
+from repro.kera.socket_cluster import SocketKeraCluster
 from repro.kera.shipper import PipelinedShipper
 from repro.kera.client import KeraProducer, KeraConsumer
 from repro.kera.fork import VirtualLog, LogReader
@@ -70,6 +71,7 @@ __all__ = [
     "InprocKeraCluster",
     "ThreadedKeraCluster",
     "ProcessKeraCluster",
+    "SocketKeraCluster",
     "PipelinedShipper",
     "KeraProducer",
     "KeraConsumer",

@@ -31,6 +31,7 @@ from repro.runtime.system import SystemAdapter, KeraSystem, KafkaSystem
 from repro.runtime.inproc import InprocTransport
 from repro.runtime.threaded import ThreadedTransport
 from repro.runtime.process import ProcessTransport, ProcessServiceSpec
+from repro.runtime.socket_transport import SocketTransport, SocketServiceSpec
 from repro.runtime.sim import SimTransport, SimKeraReplication
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "ThreadedTransport",
     "ProcessTransport",
     "ProcessServiceSpec",
+    "SocketTransport",
+    "SocketServiceSpec",
     "SimTransport",
     "SimKeraReplication",
 ]

@@ -1,7 +1,9 @@
 """A002 fixture: nondeterminism helpers a sim module reaches."""
 
+import asyncio
 import os
 import random
+import socket
 import threading
 import time
 
@@ -28,3 +30,17 @@ def persist(path, data):
 
 def note(path, text):
     path.write_text(text)
+
+
+def dial(host, port):
+    return socket.create_connection((host, port))
+
+
+def serve(coro):
+    return asyncio.run(coro)
+
+
+def multiplex():
+    from selectors import DefaultSelector
+
+    return DefaultSelector()

@@ -35,3 +35,36 @@ class DriftedService(LiveService):
 
     def handle(self, message):
         pass
+
+
+class SocketTransport:
+    """Fires twice: drifted `listen_address`, missing `connection_count`.
+
+    The name alone is pinned — the rule treats any class called
+    ``SocketTransport`` as the protocol definition and holds its full
+    operator surface (Transport methods plus the listener accessors)
+    still, no base class required.
+    """
+
+    def register(self, node_id, name, service, *, workers=None):
+        pass
+
+    def call(self, src, dst, service, method, request, request_bytes=0):
+        pass
+
+    def call_async(
+        self, src, dst, service, method, request, request_bytes=0, *, on_done=None
+    ):
+        pass
+
+    def credit(self, dst, service):
+        pass
+
+    def start(self):
+        pass
+
+    def shutdown(self):
+        pass
+
+    def listen_address(self, family):
+        pass

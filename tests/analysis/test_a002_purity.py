@@ -122,6 +122,65 @@ def test_file_io_not_reachable_from_sim_is_clean(analyze):
     assert findings == []
 
 
+def test_socket_import_reachable_from_sim_fires():
+    msgs = [f.message for f in _clock_findings()]
+    assert any("import of `socket` (real networking)" in m for m in msgs)
+    assert any("use of `socket.create_connection`" in m for m in msgs)
+
+
+def test_asyncio_reachable_from_sim_fires():
+    msgs = [f.message for f in _clock_findings()]
+    assert any("import of `asyncio` (real networking)" in m for m in msgs)
+    assert any("use of `asyncio.run`" in m for m in msgs)
+
+
+def test_lazy_selectors_import_reachable_from_sim_fires():
+    # Function-level imports execute at call time; they taint all the same.
+    assert any(
+        "import of `selectors.DefaultSelector`" in f.message
+        for f in _clock_findings()
+    )
+
+
+def test_networking_not_reachable_from_sim_is_clean(analyze):
+    # The socket transport and gateway live outside the sim's import
+    # reach; real sockets are fine there.
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/transport.py": """
+            import asyncio
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+
+            def serve(coro):
+                return asyncio.run(coro)
+            """,
+        },
+        rules=["A002"],
+    )
+    assert findings == []
+
+
+def test_socket_in_sim_module_fires(analyze):
+    findings = analyze(
+        {
+            "pkg/__init__.py": "",
+            "pkg/sim/__init__.py": "",
+            "pkg/sim/net.py": """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+            """,
+        },
+        rules=["A002"],
+    )
+    assert any("real networking" in f.message for f in findings)
+
+
 def test_file_io_in_sim_module_fires(analyze):
     findings = analyze(
         {

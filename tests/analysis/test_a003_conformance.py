@@ -97,6 +97,47 @@ def test_credit_signature_drift_fires(analyze):
     assert any("BadTransport.credit" in f.message for f in findings)
 
 
+def test_socket_transport_surface_pinned_by_name():
+    # The fixture's fake SocketTransport drifts `listen_address` and
+    # drops `connection_count`; the rule pins the surface by class name
+    # alone, no base class required.
+    found = [f for f in _fixture_findings() if "SocketTransport" in f.message]
+    assert any(
+        "listen_address" in f.message and "positional parameters" in f.message
+        for f in found
+    )
+    assert any(
+        "connection_count" in f.message and "missing" in f.message for f in found
+    )
+
+
+def test_socket_transport_transport_methods_stay_in_lockstep(analyze):
+    # The pinned spec repeats the Transport methods verbatim, so a drift
+    # in `call` fires even on a class that never derives Transport.
+    findings = analyze(
+        {
+            "mod.py": """
+            class SocketTransport:
+                def register(self, node_id, name, service, *, workers=None): ...
+                def call(self, source, dst, service, method, request,
+                         request_bytes=0): ...
+                def call_async(self, src, dst, service, method, request,
+                               request_bytes=0, *, on_done=None): ...
+                def credit(self, dst, service): ...
+                def start(self): ...
+                def shutdown(self): ...
+                def listen_address(self): ...
+                def connection_count(self): ...
+            """
+        },
+        rules=["A003"],
+    )
+    assert any(
+        "SocketTransport.call" in f.message and "positional parameters" in f.message
+        for f in findings
+    )
+
+
 def test_pipelined_shipper_surface_pinned(analyze):
     findings = analyze(
         {

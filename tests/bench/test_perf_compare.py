@@ -1,0 +1,150 @@
+"""scripts/perf_compare.py: run comparison tolerant of missing stages.
+
+Runs measure different stage subsets as the suite grows (the ``sockets``
+rows carry gateway stages no earlier row has), so the comparer must
+treat a missing stage as a note or a named violation — never a crash.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "perf_compare.py"
+_spec = importlib.util.spec_from_file_location("perf_compare", _SCRIPT)
+perf_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_compare)
+
+
+def _doc(tmp_path: Path, runs: list[dict]) -> str:
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": 1, "runs": runs}))
+    return str(path)
+
+
+def _run(label: str, benchmarks: dict[str, float], **extra) -> dict:
+    return {
+        "label": label,
+        "benchmarks": {
+            name: {"value": value, "unit": "chunks/s"}
+            for name, value in benchmarks.items()
+        },
+        **extra,
+    }
+
+
+def test_shared_stage_ratio(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [_run("base", {"ship": 100.0}), _run("cand", {"ship": 99.0})],
+    )
+    assert perf_compare.main([doc, "--baseline", "base", "--candidate", "cand"]) == 0
+    assert "0.99x" in capsys.readouterr().out
+
+
+def test_candidate_missing_a_baseline_stage_is_tolerated(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [
+            _run("base", {"ship": 100.0, "flush": 50.0}),
+            _run("cand", {"ship": 120.0}),
+        ],
+    )
+    assert perf_compare.main([doc, "--baseline", "base", "--candidate", "cand"]) == 0
+    out = capsys.readouterr().out
+    assert "ship" in out
+    assert "flush" not in out
+
+
+def test_disjoint_runs_do_not_crash(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [_run("base", {"ship": 100.0}), _run("cand", {"gateway": 8000.0})],
+    )
+    assert perf_compare.main([doc, "--baseline", "base", "--candidate", "cand"]) == 0
+    assert "share no benchmarks" in capsys.readouterr().out
+
+
+def test_require_abs_checked_on_disjoint_runs(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [_run("base", {"ship": 100.0}), _run("cand", {"gateway": 8000.0})],
+    )
+    assert (
+        perf_compare.main(
+            [
+                doc,
+                "--baseline",
+                "base",
+                "--candidate",
+                "cand",
+                "--require-abs",
+                "gateway=10000",
+                "--strict",
+            ]
+        )
+        != 0
+    )
+    assert "below required absolute" in capsys.readouterr().out
+
+
+def test_require_on_unshared_stage_is_a_violation(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [_run("base", {"ship": 100.0}), _run("cand", {"ship": 90.0})],
+    )
+    code = perf_compare.main(
+        [doc, "--baseline", "base", "--candidate", "cand",
+         "--require", "flush=1.0", "--strict"]
+    )
+    assert code != 0
+    assert "not measured" in capsys.readouterr().out
+
+
+def test_run_without_benchmarks_key_is_tolerated(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [{"label": "base"}, _run("cand", {"ship": 90.0})],
+    )
+    assert perf_compare.main([doc, "--baseline", "base", "--candidate", "cand"]) == 0
+    assert "share no benchmarks" in capsys.readouterr().out
+
+
+def test_history_spans_runs_with_different_stages(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [
+            _run("base", {"ship": 100.0}),
+            _run("sockets", {"ship": 99.0, "gateway": 8000.0}),
+        ],
+    )
+    assert (
+        perf_compare.main(
+            [doc, "--baseline", "base", "--candidate", "sockets", "--history"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # Each stage's trajectory is anchored to its own first measurement.
+    assert "gateway" in out
+    assert "1.00x" in out
+
+
+def test_strict_flags_regression(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [_run("base", {"ship": 100.0}), _run("cand", {"ship": 10.0})],
+    )
+    code = perf_compare.main(
+        [doc, "--baseline", "base", "--candidate", "cand", "--strict"]
+    )
+    assert code != 0
+    assert "regression" in capsys.readouterr().out
+
+
+def test_unknown_label_exits_with_inventory(tmp_path):
+    doc = _doc(tmp_path, [_run("base", {"ship": 100.0})])
+    with pytest.raises(SystemExit) as exc:
+        perf_compare.main([doc, "--baseline", "nope", "--candidate", "base"])
+    assert "nope" in str(exc.value)
