@@ -16,6 +16,13 @@ kinds of thresholds:
   ``fanout_scaling_1_to_8=0.9``, the reader-plane fan-out acceptance
   bar.
 
+``--latency`` flips the comparison for millisecond-unit stages (lower is
+better): the printed ratio becomes baseline/candidate (an *improvement*
+factor), ``--require`` demands at least that improvement, and
+``--require-abs`` becomes a ceiling the candidate must stay under (e.g.
+``produce_p50_ms=50``).  Stages in other units keep throughput
+semantics, so mixed tables compare each row the right way up.
+
 By default violations are reported but the exit code stays 0 so a CI
 perf-smoke job is informative rather than flaky; pass ``--strict`` to
 turn violations into a non-zero exit.
@@ -120,6 +127,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also print each stage's trajectory across every run",
     )
+    parser.add_argument(
+        "--latency",
+        action="store_true",
+        help=(
+            "compare ms-unit stages downward: ratios become improvement "
+            "factors (baseline/candidate) and --require-abs a ceiling"
+        ),
+    )
     args = parser.parse_args(argv)
 
     doc = json.loads(args.results.read_text())
@@ -153,15 +168,23 @@ def main(argv: list[str] | None = None) -> int:
     for name in shared:
         base = base_bench[name]["value"]
         cand = cand_bench[name]["value"]
-        ratio = cand / base if base else float("inf")
         unit = cand_bench[name].get("unit", "")
+        downward = args.latency and unit == "ms"
+        if downward:
+            # Lower is better: the ratio is the improvement factor.
+            ratio = base / cand if cand else float("inf")
+        else:
+            ratio = cand / base if base else float("inf")
         marks = []
         if ratio < floor:
             marks.append(f"regression > {args.max_regression:.0%}")
         if name in requirements and ratio < requirements[name]:
             marks.append(f"below required {requirements[name]:.2f}x")
-        if name in absolutes and cand < absolutes[name]:
-            marks.append(f"below required absolute {absolutes[name]:g}")
+        if name in absolutes:
+            if downward and cand > absolutes[name]:
+                marks.append(f"above required ceiling {absolutes[name]:g}")
+            elif not downward and cand < absolutes[name]:
+                marks.append(f"below required absolute {absolutes[name]:g}")
         if marks:
             violations.append(f"{name}: {ratio:.2f}x ({'; '.join(marks)})")
         flag = " !" if marks else ""
@@ -178,7 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         bench = cand_bench.get(name)
         if bench is None:
             violations.append(f"{name}: required absolute {value:g} but not measured")
-        elif bench["value"] < value:
+            continue
+        downward = args.latency and bench.get("unit", "") == "ms"
+        if downward and bench["value"] > value:
+            violations.append(
+                f"{name}: {bench['value']:g} above required ceiling {value:g}"
+            )
+        elif not downward and bench["value"] < value:
             violations.append(
                 f"{name}: {bench['value']:g} below required absolute {value:g}"
             )

@@ -104,6 +104,22 @@ PROTOCOLS: dict[str, dict[str, MethodSpec]] = {
         "listen_address": MethodSpec(()),
         "connection_count": MethodSpec(()),
     },
+    # The live cluster's produce surface, pinned by name: the gateway's
+    # coalescer and every driver's client path call through exactly
+    # these — `produce_async`/`submit_produce` are the completion-driven
+    # contract (no caller thread blocks; `on_complete(response, error)`
+    # fires exactly once; `on_append` is the pipelining order token), so
+    # a driver that drifts from this shape silently breaks the async
+    # front door. Subclasses inherit rather than override, but if one
+    # does override it must keep the shape.
+    "LiveKeraCluster": {
+        "produce": MethodSpec(("chunks", "producer_id")),
+        "produce_async": MethodSpec(("chunks", "producer_id", "on_complete")),
+        "submit_produce": MethodSpec(
+            ("broker_id", "chunks", "producer_id", "on_complete"),
+            kwonly=("on_append",),
+        ),
+    },
     "SystemAdapter": {
         "build_cores": MethodSpec(("completion",), required=True),
         "on_stream_created": MethodSpec(("meta",)),

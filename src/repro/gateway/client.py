@@ -16,8 +16,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 
-from repro.common.checksum import crc32c
-from repro.common.errors import ConfigError, RpcError
+from repro.common.checksum import crc32c, crc32c_concat
+from repro.common.errors import ConfigError, RpcError, WireFormatError
 from repro.wire.chunk import Chunk, ChunkBuilder, CHUNK_HEADER_SIZE
 from repro.wire.netframe import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -25,7 +25,13 @@ from repro.wire.netframe import (
     write_frame_async,
 )
 from repro.wire.pool import BufferPool
-from repro.wire.record import Record
+from repro.wire.record import (
+    RECORD_FIXED_HEADER,
+    Record,
+    encode_keyless_value,
+    encode_keyless_values_with_crcs,
+    encode_record,
+)
 from repro.gateway import protocol
 from repro.gateway.protocol import GatewayError
 from repro.kera.messages import ChunkAssignment, FetchPosition
@@ -200,9 +206,24 @@ class AsyncGatewayClient:
 class AsyncProducer:
     """Client-side chunk building + gateway produce, KeraProducer-shaped.
 
-    Records encode straight into pooled chunk-frame scratch buffers;
-    :meth:`flush` seals every partial chunk and ships the frames in one
-    pipelined produce request.
+    Records stage per streamlet and batch-encode into pooled chunk-frame
+    scratch buffers when a chunk seals (uniform keyless batches — the
+    benchmark workload — go through the lane-parallel CRC engine in one
+    pass instead of one scalar checksum per record); :meth:`flush` seals
+    every partial chunk and ships the frames.
+
+    With ``max_inflight > 1`` the producer *pipelines*: every chunk
+    sealed full by :meth:`send` ships immediately on its own task, up to
+    ``max_inflight`` produce frames awaiting acks concurrently, and
+    ``linger_ms`` bounds how long a partial chunk may sit before being
+    sealed and shipped anyway. Frame order is preserved (task creation
+    order plus FIFO semaphore/lock queues), so per-streamlet
+    ``chunk_seq`` arrives in order at the gateway. :meth:`flush` then
+    just drains the window. Note the retry caveat: if one pipelined
+    frame fails while a later one succeeds, re-flushing re-sends the
+    failed chunks and the broker's sequence check reports them as
+    duplicates of nothing — callers that need exact retry semantics
+    should keep ``max_inflight=1``.
     """
 
     def __init__(
@@ -213,16 +234,30 @@ class AsyncProducer:
         stream_id: int,
         chunk_size: int,
         streamlet_ids: list[int],
+        max_inflight: int = 1,
+        linger_ms: float = 0.0,
     ) -> None:
         self.client = client
         self.producer_id = producer_id
         self.stream_id = stream_id
         self.chunk_size = chunk_size
         self.streamlet_ids = list(streamlet_ids)
+        self.max_inflight = max_inflight
+        self.linger_ms = linger_ms
         self._pool = BufferPool(CHUNK_HEADER_SIZE + chunk_size)
         self._builders: dict[int, ChunkBuilder] = {}
+        # Staged-but-unencoded records per streamlet (raw value bytes for
+        # keyless sends, Record objects otherwise), and their exact
+        # encoded byte count. A batch staged by send_many may exceed one
+        # chunk's capacity; the drain spills across chunks as it encodes.
+        self._pending: dict[int, list[Record | bytes]] = {}
+        self._pending_bytes: dict[int, int] = {}
         self._seqs: dict[int, itertools.count] = {}
         self._ready: list[Chunk] = []
+        self._sem = asyncio.Semaphore(max_inflight) if max_inflight > 1 else None
+        self._ship_tasks: list[asyncio.Task[list[ChunkAssignment]]] = []
+        self._ship_scheduled = False
+        self._linger_handle: asyncio.TimerHandle | None = None
         self._rr_cursor = 0
         self.records_sent = 0
         self.chunks_sent = 0
@@ -230,7 +265,13 @@ class AsyncProducer:
 
     @classmethod
     async def open(
-        cls, client: AsyncGatewayClient, producer_id: int, *, stream_id: int
+        cls,
+        client: AsyncGatewayClient,
+        producer_id: int,
+        *,
+        stream_id: int,
+        max_inflight: int = 1,
+        linger_ms: float = 0.0,
     ) -> "AsyncProducer":
         """Fetch stream metadata and build a wired-up producer."""
         _, chunk_size, streamlets = await client.meta(stream_id)
@@ -240,6 +281,8 @@ class AsyncProducer:
             stream_id=stream_id,
             chunk_size=chunk_size,
             streamlet_ids=streamlets,
+            max_inflight=max_inflight,
+            linger_ms=linger_ms,
         )
 
     def _pick_streamlet(self, record: Record) -> int:
@@ -247,9 +290,14 @@ class AsyncProducer:
             return self.streamlet_ids[
                 crc32c(record.keys[0]) % len(self.streamlet_ids)
             ]
-        streamlet = self.streamlet_ids[self._rr_cursor % len(self.streamlet_ids)]
-        self._rr_cursor += 1
-        return streamlet
+        # Sticky partitioning: non-keyed records stay on one streamlet
+        # until its chunk seals (the cursor advances in _seal), so chunks
+        # fill to capacity instead of fragmenting a flush across every
+        # streamlet — full chunks batch-encode through the lane CRC
+        # engine and cost one chunk checksum per ~capacity bytes, not one
+        # per handful of records. Seal-time advancement keeps long-run
+        # balance: every streamlet gets the same bytes per cycle.
+        return self.streamlet_ids[self._rr_cursor % len(self.streamlet_ids)]
 
     def _builder(self, streamlet_id: int) -> ChunkBuilder:
         builder = self._builders.get(streamlet_id)
@@ -262,6 +310,8 @@ class AsyncProducer:
                 pool=self._pool,
             )
             self._builders[streamlet_id] = builder
+            self._pending[streamlet_id] = []
+            self._pending_bytes[streamlet_id] = 0
             self._seqs[streamlet_id] = itertools.count()
         return builder
 
@@ -273,23 +323,209 @@ class AsyncProducer:
         streamlet_id: int | None = None,
     ) -> None:
         """Append one record; full chunks are staged for the next flush."""
-        record = Record(value=value, keys=keys)
-        if streamlet_id is None:
-            streamlet_id = self._pick_streamlet(record)
+        if keys:
+            record: Record | bytes = Record(value=value, keys=keys)
+            size = record.encoded_size()
+            if streamlet_id is None:
+                streamlet_id = self._pick_streamlet(record)
+        else:
+            # Benchmark-workload fast path: no Record object per send —
+            # raw values stage directly and batch-encode at seal time.
+            record = value
+            size = RECORD_FIXED_HEADER + len(value)
+            if streamlet_id is None:
+                streamlet_id = self.streamlet_ids[
+                    self._rr_cursor % len(self.streamlet_ids)
+                ]
         builder = self._builder(streamlet_id)
-        if not builder.try_append(record):
+        if size > self.chunk_size:
+            # Same contract (and message) as ChunkBuilder.try_append: a
+            # record no chunk could ever hold is a hard error.
+            raise WireFormatError(
+                f"record of {size} bytes exceeds chunk capacity {self.chunk_size}"
+            )
+        if self._pending_bytes[streamlet_id] + size > builder.remaining():
             self._seal(streamlet_id)
-            if not builder.try_append(record):
-                raise ConfigError(
-                    f"record of {record.encoded_size()} bytes exceeds chunk "
-                    f"size {self.chunk_size}"
+        self._pending[streamlet_id].append(record)
+        self._pending_bytes[streamlet_id] += size
+        if self._sem is not None:
+            self._maybe_ship()
+            if (
+                self.linger_ms > 0
+                and self._linger_handle is None
+                and (
+                    any(self._pending_bytes.values())
+                    or any(not b.is_empty for b in self._builders.values())
+                )
+            ):
+                self._linger_handle = asyncio.get_running_loop().call_later(
+                    self.linger_ms / 1000.0, self._linger_fire
                 )
 
-    def _seal(self, streamlet_id: int) -> None:
-        builder = self._builders[streamlet_id]
-        if builder.is_empty:
+    def send_many(self, values: list[bytes]) -> None:
+        """Append many keyless records in one call.
+
+        Equivalent to ``for v in values: self.send(v)`` — same sticky
+        partitioning, same seal/rotate behavior — but the per-record
+        bookkeeping (dict probes, linger checks, ship scheduling)
+        amortizes across the batch: values stage in capacity-sized
+        slices with one list extend per slice.
+        """
+        if not values:
             return
+        header = RECORD_FIXED_HEADER
+        total = 0
+        for value in values:
+            size = header + len(value)
+            if size > self.chunk_size:
+                raise WireFormatError(
+                    f"record of {size} bytes exceeds chunk capacity "
+                    f"{self.chunk_size}"
+                )
+            total += size
+        streamlet_id = self.streamlet_ids[
+            self._rr_cursor % len(self.streamlet_ids)
+        ]
+        self._builder(streamlet_id)
+        # The whole batch stages on one streamlet even past chunk
+        # capacity — the drain spills across as many chunks as needed,
+        # all from a single batch encode. Unlike send(), nothing seals
+        # mid-batch; the flush/linger that follows pays one engine pass
+        # for every chunk this batch produced.
+        self._pending[streamlet_id].extend(values)
+        self._pending_bytes[streamlet_id] += total
+        if self._sem is not None:
+            self._maybe_ship()
+            if (
+                self.linger_ms > 0
+                and self._linger_handle is None
+                and (
+                    any(self._pending_bytes.values())
+                    or any(not b.is_empty for b in self._builders.values())
+                )
+            ):
+                self._linger_handle = asyncio.get_running_loop().call_later(
+                    self.linger_ms / 1000.0, self._linger_fire
+                )
+
+    def _drain_pending(self, streamlet_id: int) -> None:
+        """Batch-encode staged records into the streamlet's builder.
+
+        A staged batch may exceed one chunk's capacity (see
+        :meth:`send_many`): uniform keyless batches encode in a *single*
+        engine pass and the blob splits into capacity-sized appends,
+        building each chunk that fills mid-drain; anything else appends
+        record by record with the same spill behavior.
+        """
+        records = self._pending.get(streamlet_id)
+        if not records:
+            return
+        builder = self._builders[streamlet_id]
+        value_len = len(records[0]) if type(records[0]) is bytes else -1
+        if value_len >= 0 and all(
+            type(r) is bytes and len(r) == value_len for r in records
+        ):
+            # One engine pass encodes the whole batch; the record CRCs it
+            # computes compose each chunk's payload checksum, so sealing
+            # never re-reads the payload bytes.
+            encoded, rec_crcs = encode_keyless_values_with_crcs(records)
+            rec_size = RECORD_FIXED_HEADER + value_len
+            done, n = 0, len(records)
+            while done < n:
+                take = min(n - done, builder.remaining() // rec_size)
+                if take:
+                    slice_crc = (
+                        crc32c_concat(rec_crcs[done : done + take], rec_size)
+                        if rec_crcs is not None
+                        else None
+                    )
+                    if not builder.try_append_encoded(
+                        encoded[done * rec_size : (done + take) * rec_size],
+                        take,
+                        payload_crc=slice_crc,
+                    ):
+                        raise AssertionError(
+                            "capacity-sized slice did not fit (drain invariant)"
+                        )
+                    done += take
+                if done < n:
+                    self._build_chunk(streamlet_id)
+        else:
+            for r in records:
+                one = (
+                    encode_keyless_value(r)
+                    if type(r) is bytes
+                    else encode_record(r)
+                )
+                if not builder.try_append_encoded(one, 1):
+                    self._build_chunk(streamlet_id)
+                    if not builder.try_append_encoded(one, 1):
+                        raise AssertionError(
+                            "record exceeds empty chunk (send() size check)"
+                        )
+        records.clear()
+        self._pending_bytes[streamlet_id] = 0
+
+    def _build_chunk(self, streamlet_id: int) -> None:
+        """Seal the streamlet's current chunk into the ready queue."""
+        builder = self._builders[streamlet_id]
         self._ready.append(builder.build(chunk_seq=next(self._seqs[streamlet_id])))
+        # Rotate the sticky cursor off a streamlet whose chunk just
+        # sealed, whether it filled naturally or a flush cut it short.
+        if self.streamlet_ids[self._rr_cursor % len(self.streamlet_ids)] == streamlet_id:
+            self._rr_cursor += 1
+
+    def _seal(self, streamlet_id: int) -> None:
+        self._drain_pending(streamlet_id)
+        if not self._builders[streamlet_id].is_empty:
+            self._build_chunk(streamlet_id)
+
+    # -- pipelined shipping (max_inflight > 1) --------------------------------
+
+    def _maybe_ship(self) -> None:
+        """Schedule staged chunks to ship on the next loop tick.
+
+        The one-tick deferral batches chunks that seal back to back —
+        e.g. a capacity-sealed chunk followed immediately by a flush's
+        partial — into a single produce frame instead of one frame per
+        chunk; :meth:`flush` ships inline so nothing waits on the tick.
+        """
+        if self._sem is None or not self._ready or self._ship_scheduled:
+            return
+        self._ship_scheduled = True
+        asyncio.get_running_loop().call_soon(self._ship_now)
+
+    def _ship_now(self) -> None:
+        self._ship_scheduled = False
+        if not self._ready:
+            return
+        chunks, self._ready = self._ready, []
+        self._ship_tasks.append(
+            asyncio.get_running_loop().create_task(self._ship(chunks))
+        )
+
+    def _linger_fire(self) -> None:
+        self._linger_handle = None
+        for streamlet_id in list(self._builders):
+            self._seal(streamlet_id)
+        self._ship_now()
+
+    async def _ship(self, chunks: list[Chunk]) -> list[ChunkAssignment]:
+        assert self._sem is not None
+        async with self._sem:
+            try:
+                assignments = await self.client.produce(
+                    chunks, producer_id=self.producer_id
+                )
+            except BaseException:
+                # Re-stage for a retry flush, ahead of anything newer.
+                self._ready = chunks + self._ready
+                raise
+        for chunk in chunks:
+            self.records_sent += chunk.record_count
+            self.chunks_sent += 1
+        self.duplicates_reported += sum(1 for a in assignments if a.duplicate)
+        return assignments
 
     async def flush(self) -> list[ChunkAssignment]:
         """Seal partial chunks and produce everything staged.
@@ -297,9 +533,29 @@ class AsyncProducer:
         Exception-safe like the native producer: a failed produce puts
         the chunks back so a retry re-sends them (the broker's
         exactly-once sequence check absorbs partial first attempts).
+        Pipelined mode additionally drains the in-flight window and
+        raises the first ship failure, if any.
         """
+        if self._linger_handle is not None:
+            self._linger_handle.cancel()
+            self._linger_handle = None
         for streamlet_id in list(self._builders):
             self._seal(streamlet_id)
+        if self._sem is not None:
+            self._ship_now()
+            tasks, self._ship_tasks = self._ship_tasks, []
+            assignments: list[ChunkAssignment] = []
+            first_error: BaseException | None = None
+            if tasks:
+                for result in await asyncio.gather(*tasks, return_exceptions=True):
+                    if isinstance(result, BaseException):
+                        if first_error is None:
+                            first_error = result
+                    else:
+                        assignments.extend(result)
+            if first_error is not None:
+                raise first_error
+            return assignments
         if not self._ready:
             return []
         chunks, self._ready = self._ready, []

@@ -76,15 +76,23 @@ def encode_produce(
     return parts
 
 
-def decode_produce(payload: bytes | memoryview) -> tuple[int, int, list[Chunk]]:
-    """Server side: re-validate every chunk CRC at the trust boundary."""
+def decode_produce(
+    payload: bytes | memoryview, *, verify: bool = True
+) -> tuple[int, int, list[Chunk]]:
+    """Server side: re-validate every chunk CRC at the trust boundary.
+
+    With ``verify=False`` the structural decode still happens but the CRC
+    check is deferred: chunks come back with ``verified=False`` and the
+    caller owes the re-validation before the bytes reach the data plane
+    (the gateway batch-verifies off the loop thread in its coalescer).
+    """
     request_id, producer_id, nchunks = _PRODUCE_HEAD.unpack_from(payload, 0)
     offset = _PRODUCE_HEAD.size
     chunks: list[Chunk] = []
     for _ in range(nchunks):
         (length,) = _U32.unpack_from(payload, offset)
         offset += _U32.size
-        chunk, end = decode_chunk(payload, offset, verify=True)
+        chunk, end = decode_chunk(payload, offset, verify=verify)
         if end != offset + length:
             raise GatewayError(
                 f"chunk frame length mismatch: declared {length}, "

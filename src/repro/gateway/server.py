@@ -1,9 +1,15 @@
 """The asyncio front door: many client connections, one cluster.
 
-One event loop on a dedicated thread serves every connection; the
-blocking cluster calls (produce parks on replication acks) run on a
-thread pool via ``run_in_executor``, so the loop itself only ever frames,
-decodes, and schedules. Concurrency shape per connection:
+One event loop on a dedicated thread serves every connection. Produce is
+**completion-driven**: the loop decodes and enrolls the request with the
+:class:`_ProduceCoalescer`, which merges small chunks from many
+connections heading to the same broker into one ``ProduceRequest``,
+submits it via :meth:`LiveKeraCluster.submit_produce`, and resolves each
+covered request's future back on the loop (``call_soon_threadsafe``) when
+the broker's completion callback fires — thousands of produces can be in
+flight with **zero parked threads**. Only genuinely blocking cluster
+calls (fetch, create-stream) still round-trip through the executor pool.
+Concurrency shape per connection:
 
 * the **reader coroutine** pulls frames and spawns one task per request —
   per-connection pipelining: a slow produce does not block the fetch
@@ -30,11 +36,14 @@ from __future__ import annotations
 import asyncio
 import struct
 import threading
+import time
+from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.common.errors import RpcError
+from repro.common.checksum import crc32c_many
+from repro.common.errors import ChecksumError, RpcError
+from repro.replication.flow import AdaptiveBatcher
 from repro.wire.netframe import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameProtocolError,
@@ -43,24 +52,339 @@ from repro.wire.netframe import (
 )
 from repro.gateway import protocol
 from repro.kera.live import LiveKeraCluster
+from repro.kera.messages import ProduceResponse
+from repro.wire.chunk import Chunk
+
+#: Monotonic counters a gateway maintains; reads aggregate across shards.
+_STAT_FIELDS = (
+    "connections_accepted",
+    "connections_open",
+    "requests_served",
+    "produce_requests",
+    "fetch_requests",
+    "errors_returned",
+    "chunks_in",
+    "chunks_out",
+    "produce_batches",
+    "produce_batched_chunks",
+)
 
 
-@dataclass
+class _StatShard:
+    """One thread's private counter set — bumped without any lock."""
+
+    __slots__ = _STAT_FIELDS
+
+    def __init__(self) -> None:
+        for name in _STAT_FIELDS:
+            setattr(self, name, 0)
+
+
 class GatewayStats:
-    connections_accepted: int = 0
-    connections_open: int = 0
-    requests_served: int = 0
-    produce_requests: int = 0
-    fetch_requests: int = 0
-    errors_returned: int = 0
-    chunks_in: int = 0
-    chunks_out: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    """Sharded gateway counters.
+
+    ``bump`` used to serialize every request from both the loop thread
+    and all executor threads through one lock; it now writes a per-thread
+    shard (``threading.local``) with no locking at all, and attribute
+    reads aggregate across shards. Counters are monotonic per shard, so a
+    read concurrent with writers is just slightly stale, never torn; a
+    shard outlives its thread (the registry keeps a strong reference), so
+    counts are never lost.
+
+    The one genuinely shared datum — the ``inflight_produces`` gauge for
+    the completion-driven produce path — goes up and down, so it keeps a
+    dedicated lock; it is touched twice per produce, not per bump.
+    """
+
+    def __init__(self) -> None:
+        self._shards_lock = threading.Lock()
+        self._shards: list[_StatShard] = []  # guarded-by: _shards_lock
+        self._local = threading.local()
+        self._gauge_lock = threading.Lock()
+        self._inflight = 0  # guarded-by: _gauge_lock
+        self._inflight_peak = 0  # guarded-by: _gauge_lock
+
+    def _shard(self) -> _StatShard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = _StatShard()
+            with self._shards_lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
 
     def bump(self, **deltas: int) -> None:
+        shard = self._shard()
+        for name, delta in deltas.items():
+            setattr(shard, name, getattr(shard, name) + delta)
+
+    def __getattr__(self, name: str) -> int:
+        # Only fires for names not found normally — i.e. the aggregated
+        # counter reads; real instance attributes never reach here.
+        if name in _STAT_FIELDS:
+            with self._shards_lock:
+                shards = list(self._shards)
+            return sum(getattr(shard, name) for shard in shards)
+        raise AttributeError(name)
+
+    # -- inflight gauge -------------------------------------------------------
+
+    def produce_begin(self) -> None:
+        with self._gauge_lock:
+            self._inflight += 1
+            if self._inflight > self._inflight_peak:
+                self._inflight_peak = self._inflight
+
+    def produce_end(self) -> None:
+        with self._gauge_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight_produces(self) -> int:
+        """Gateway produce requests accepted but not yet resolved."""
+        with self._gauge_lock:
+            return self._inflight
+
+    @property
+    def inflight_produces_peak(self) -> int:
+        """High-water mark of :attr:`inflight_produces`."""
+        with self._gauge_lock:
+            return self._inflight_peak
+
+
+class _GatewayProduce:
+    """One client produce request riding the coalesced async path."""
+
+    __slots__ = ("request_id", "future", "assignments", "remaining", "error")
+
+    def __init__(
+        self, request_id: int, future: "asyncio.Future[list[Any]]", nchunks: int
+    ) -> None:
+        self.request_id = request_id
+        self.future = future
+        self.assignments: list[Any] = [None] * nchunks
+        self.remaining = 0  # broker groups still outstanding
+        self.error: BaseException | None = None
+
+
+class _Lane:
+    """Per-target-broker coalescing state."""
+
+    __slots__ = ("slices", "pending_chunks", "busy", "batcher", "timer")
+
+    def __init__(self, linger_s: float) -> None:
+        # Each slice: (greq, producer_id, [(orig_index, chunk), ...]).
+        self.slices: list[tuple[_GatewayProduce, int, list[tuple[int, Chunk]]]] = []
+        self.pending_chunks = 0
+        self.busy = False  # append token held by an in-flight merged request
+        self.batcher = AdaptiveBatcher(linger_s=linger_s)
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class _ProduceCoalescer:
+    """Merges produce chunks from many connections per target broker.
+
+    Enrollment happens synchronously on the loop thread (so a pipelining
+    producer's requests enroll in frame order); each lane holds at most
+    one merged :class:`ProduceRequest` *appending* at a time — the next
+    merge is submitted only once the previous append returns (the
+    ``on_append`` token), which preserves per-streamlet ``chunk_seq``
+    order at the broker — while replication acks for earlier merges still
+    overlap. Completion fans back out: every covered gateway request is
+    acked (its future resolved on the loop) when its covering broker
+    response lands.
+    """
+
+    def __init__(self, server: "GatewayServer", linger_s: float) -> None:
+        self._server = server
+        self._linger_s = linger_s
+        self._lock = threading.Lock()
+        self._lanes: dict[int, _Lane] = {}  # guarded-by: _lock
+
+    # -- loop thread ----------------------------------------------------------
+
+    def enroll(
+        self, greq: _GatewayProduce, chunks: list[Chunk], producer_id: int
+    ) -> None:
+        cluster = self._server.cluster
+        by_broker: dict[int, list[tuple[int, Chunk]]] = defaultdict(list)
+        for index, chunk in enumerate(chunks):
+            leader = cluster.leader_of(chunk.stream_id, chunk.streamlet_id)
+            by_broker[leader].append((index, chunk))
+        greq.remaining = len(by_broker)
+        flush_now: list[int] = []
         with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+            for broker_id, items in by_broker.items():
+                lane = self._lanes.get(broker_id)
+                if lane is None:
+                    lane = self._lanes[broker_id] = _Lane(self._linger_s)
+                lane.slices.append((greq, producer_id, items))
+                lane.pending_chunks += len(items)
+                if lane.busy:
+                    continue  # flushed again when the append token frees
+                delay = lane.batcher.linger_delay(lane.pending_chunks, time.monotonic())
+                if delay <= 0:
+                    lane.busy = True
+                    flush_now.append(broker_id)
+                elif lane.timer is None:
+                    loop = self._server._loop
+                    assert loop is not None
+                    lane.timer = loop.call_later(delay, self._timer_fire, broker_id)
+        for broker_id in flush_now:
+            self._server._executor.submit(self._flush, broker_id)
+
+    def _timer_fire(self, broker_id: int) -> None:
+        # Loop thread. Timers are never cancelled from other threads
+        # (TimerHandle.cancel is not thread-safe); a stale fire just
+        # no-ops against the lane state.
+        with self._lock:
+            lane = self._lanes.get(broker_id)
+            if lane is None:
+                return
+            lane.timer = None
+            if lane.busy or not lane.slices:
+                return
+            lane.busy = True
+        self._server._executor.submit(self._flush, broker_id)
+
+    # -- executor threads -----------------------------------------------------
+
+    def _flush(self, broker_id: int) -> None:
+        """Merge everything pending for one broker into one request and
+        submit it completion-driven. Runs holding the lane's append
+        token (``busy``)."""
+        with self._lock:
+            lane = self._lanes.get(broker_id)
+            if lane is None:
+                return
+            slices = lane.slices
+            lane.slices = []
+            lane.pending_chunks = 0
+            if not slices:
+                lane.busy = False
+                return
+            lane.batcher.observe_ship(
+                sum(len(items) for _, _, items in slices), time.monotonic()
+            )
+        slices = self._verify_slices(slices)
+        if not slices:
+            # Every pending slice failed verification; pass the append
+            # token on (or chain into slices that arrived meanwhile).
+            self._appended(broker_id)
+            return
+        merged: list[Chunk] = []
+        covers: list[tuple[_GatewayProduce, int, list[int]]] = []
+        for greq, _producer_id, items in slices:
+            base = len(merged)
+            merged.extend(chunk for _, chunk in items)
+            covers.append((greq, base, [index for index, _ in items]))
+        self._server.stats.bump(
+            produce_batches=1, produce_batched_chunks=len(merged)
+        )
+        # The merged request carries the first slice's producer id; dedup
+        # at the broker keys off each *chunk's* producer id, so merging
+        # across producers is safe.
+        self._server.cluster.submit_produce(
+            broker_id,
+            merged,
+            slices[0][1],
+            lambda response, error: self._completed(covers, response, error),
+            on_append=lambda: self._appended(broker_id),
+        )
+
+    def _verify_slices(
+        self,
+        slices: list[tuple[_GatewayProduce, int, list[tuple[int, Chunk]]]],
+    ) -> list[tuple[_GatewayProduce, int, list[tuple[int, Chunk]]]]:
+        """Pay the trust boundary's deferred CRC re-validation, batched.
+
+        Produce frames decode on the loop thread with ``verify=False`` so
+        the loop never burns checksum time; the chunks arrive here still
+        ``verified=False`` and one vectorized :func:`crc32c_many` pass
+        over the whole merge window settles the debt. A slice with a
+        corrupt chunk resolves its gateway request with
+        :class:`ChecksumError` and drops out of the merge — the other
+        connections' slices ship unaffected.
+        """
+        unverified = [
+            chunk
+            for _, _, items in slices
+            for _, chunk in items
+            if chunk.payload is not None and not chunk.verified
+        ]
+        if not unverified:
+            return slices
+        actuals = crc32c_many([chunk.payload for chunk in unverified])
+        bad: dict[int, int] = {}
+        for chunk, actual in zip(unverified, actuals):
+            if actual == chunk.payload_crc:
+                chunk.verified = True
+            else:
+                bad[id(chunk)] = actual
+        if not bad:
+            return slices
+        good: list[tuple[_GatewayProduce, int, list[tuple[int, Chunk]]]] = []
+        for entry in slices:
+            greq, _producer_id, items = entry
+            corrupt = next((c for _, c in items if id(c) in bad), None)
+            if corrupt is None:
+                good.append(entry)
+                continue
+            self._completed(
+                [(greq, 0, [])],
+                None,
+                ChecksumError(
+                    corrupt.payload_crc,
+                    bad[id(corrupt)],
+                    f"produce chunk (stream {corrupt.stream_id}, "
+                    f"streamlet {corrupt.streamlet_id})",
+                ),
+            )
+        return good
+
+    # -- transport / shipper threads ------------------------------------------
+
+    def _appended(self, broker_id: int) -> None:
+        """The in-flight merge finished appending: pass the token on."""
+        with self._lock:
+            lane = self._lanes.get(broker_id)
+            if lane is None:
+                return
+            if not lane.slices:
+                lane.busy = False
+                return
+            # Keep the token: chain straight into the next merge — the
+            # pipeline is warm, no linger.
+        self._server._executor.submit(self._flush, broker_id)
+
+    def _completed(
+        self,
+        covers: list[tuple[_GatewayProduce, int, list[int]]],
+        response: ProduceResponse | None,
+        error: BaseException | None,
+    ) -> None:
+        """Fan a broker response (or failure) out to covered requests."""
+        resolved: list[_GatewayProduce] = []
+        with self._lock:
+            for greq, base, indices in covers:
+                if error is not None or response is None:
+                    if greq.error is None:
+                        greq.error = error or RpcError("produce returned no response")
+                else:
+                    for offset, orig_index in enumerate(indices):
+                        greq.assignments[orig_index] = response.assignments[
+                            base + offset
+                        ]
+                greq.remaining -= 1
+                if greq.remaining == 0:
+                    resolved.append(greq)
+        loop = self._server._loop
+        for greq in resolved:
+            try:
+                assert loop is not None
+                loop.call_soon_threadsafe(self._server._resolve_produce, greq)
+            except RuntimeError:  # pragma: no cover - loop closed mid-shutdown
+                pass
 
 
 class GatewayServer:
@@ -74,6 +398,7 @@ class GatewayServer:
         port: int = 0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         executor_workers: int = 16,
+        produce_linger_ms: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.host = host
@@ -83,6 +408,7 @@ class GatewayServer:
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="gateway-call"
         )
+        self._coalescer = _ProduceCoalescer(self, produce_linger_ms / 1000.0)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._server: asyncio.Server | None = None
@@ -171,6 +497,12 @@ class GatewayServer:
                 if record is None:
                     break  # client closed cleanly
                 kind, payload = record
+                if kind == protocol.GW_PRODUCE:
+                    # Hot path: no task per frame — enroll inline (frame
+                    # receipt order IS append order) and answer from the
+                    # future's done callback.
+                    self._produce_fast(payload, writer)
+                    continue
                 # One task per request: pipelining. The payload is owned
                 # bytes (readexactly), so tasks never alias a shared
                 # receive buffer.
@@ -189,6 +521,12 @@ class GatewayServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - peer gone
                 pass
+            except asyncio.CancelledError:
+                # Loop teardown cancelled us mid-close; the transport is
+                # already closing, so finish quietly instead of ending as
+                # a cancelled task (streams' connection_made callback
+                # re-raises a cancelled task's state as loop noise).
+                pass
             self.stats.bump(connections_open=-1)
 
     async def _serve_request(
@@ -205,9 +543,16 @@ class GatewayServer:
             return  # not even a request id: nothing to address a reply to
         try:
             if kind == protocol.GW_PRODUCE:
-                out_kind, parts = await loop.run_in_executor(
-                    self._executor, self._do_produce, payload
-                )
+                # Decode + enroll run synchronously here — no await
+                # before them — so tasks created in frame-receipt order
+                # enroll (and therefore append) in wire order, keeping a
+                # pipelining producer's per-streamlet chunk_seq intact.
+                # The await parks only this coroutine: no executor thread
+                # is held across the replication ack wait.
+                future = self._submit_produce(payload)
+                assignments = await future
+                out_kind = protocol.GW_PRODUCE_OK
+                parts = protocol.encode_produce_ok(request_id, assignments)
             elif kind == protocol.GW_FETCH:
                 out_kind, parts = await loop.run_in_executor(
                     self._executor, self._do_fetch, payload
@@ -231,16 +576,81 @@ class GatewayServer:
             write_frame_async(writer, out_kind, parts)
             await writer.drain()
 
-    # -- request handlers (executor threads) ---------------------------------
+    # -- produce path (completion-driven) -------------------------------------
 
-    def _do_produce(self, payload: bytes) -> tuple[int, list[Any]]:
-        request_id, producer_id, chunks = protocol.decode_produce(payload)
+    def _produce_fast(self, payload: bytes, writer: asyncio.StreamWriter) -> None:
+        """Loop-side produce path: no task, no write lock.
+
+        The frame handler calls this synchronously on frame receipt, so
+        enrollment (and therefore append order) still follows wire order.
+        The response is written from the future's done callback — a
+        single synchronous ``write_frame_async`` with no awaits between
+        parts, so frames never interleave with the locked writers used
+        by the slow paths. Drain is skipped: produce acks are tens of
+        bytes and the client is, by construction, reading acks.
+        """
+        try:
+            request_id = protocol.peek_request_id(payload)
+        except struct.error:
+            return  # not even a request id: nothing to address a reply to
+        try:
+            future = self._submit_produce(payload)
+        except BaseException as exc:  # noqa: BLE001 - relayed to the client
+            self.stats.bump(errors_returned=1, requests_served=1)
+            if not writer.is_closing():
+                write_frame_async(
+                    writer, protocol.GW_ERROR, protocol.encode_error(request_id, exc)
+                )
+            return
+
+        def _respond(fut: "asyncio.Future[list[Any]]") -> None:
+            try:
+                assignments = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - relayed to the client
+                self.stats.bump(errors_returned=1)
+                out_kind, parts = (
+                    protocol.GW_ERROR,
+                    protocol.encode_error(request_id, exc),
+                )
+            else:
+                out_kind = protocol.GW_PRODUCE_OK
+                parts = protocol.encode_produce_ok(request_id, assignments)
+            self.stats.bump(requests_served=1)
+            if writer.is_closing():
+                return  # connection torn down while the ack was pending
+            try:
+                write_frame_async(writer, out_kind, parts)
+            except (ConnectionError, RuntimeError):  # pragma: no cover - peer gone
+                pass
+
+        future.add_done_callback(_respond)
+
+    def _submit_produce(self, payload: bytes) -> "asyncio.Future[list[Any]]":
+        """Decode, count, and enroll one produce; returns the future its
+        assignments resolve on. Loop thread, synchronous."""
+        # Structural decode only: CRC re-validation is deferred to the
+        # coalescer's executor flush (one batched pass per merge window)
+        # so the loop thread stays free to pull the next frame.
+        request_id, producer_id, chunks = protocol.decode_produce(payload, verify=False)
         self.stats.bump(produce_requests=1, chunks_in=len(chunks))
-        responses = self.cluster.produce(chunks, producer_id=producer_id)
-        assignments = [a for response in responses for a in response.assignments]
-        return protocol.GW_PRODUCE_OK, protocol.encode_produce_ok(
-            request_id, assignments
-        )
+        self.stats.produce_begin()
+        loop = self._loop
+        assert loop is not None
+        greq = _GatewayProduce(request_id, loop.create_future(), len(chunks))
+        self._coalescer.enroll(greq, chunks, producer_id)
+        return greq.future
+
+    def _resolve_produce(self, greq: _GatewayProduce) -> None:
+        """Resolve one gateway produce on the loop thread."""
+        self.stats.produce_end()
+        if greq.future.cancelled():  # pragma: no cover - connection torn down
+            return
+        if greq.error is not None:
+            greq.future.set_exception(greq.error)
+        else:
+            greq.future.set_result(greq.assignments)
+
+    # -- request handlers (executor threads) ---------------------------------
 
     def _do_fetch(self, payload: bytes) -> tuple[int, list[Any]]:
         request_id, consumer_id, max_chunks, positions = protocol.decode_fetch(payload)

@@ -35,9 +35,22 @@ class _InprocBrokerService(LiveService):
     def handle(self, method: str, request: object) -> object:
         if method == "produce":
             return self._produce(request)
+        if method == "produce_async":
+            return self._produce_async(request)
         if method == "fetch":
             return self.core.handle_fetch(request)
         raise ConfigError(f"unknown broker method {method!r}")
+
+    def _produce_async(self, request: ProduceRequest) -> object:
+        """Completion-driven produce for the synchronous transport: the
+        replication pump runs inline, so by the time the outcome returns
+        to ``submit_produce`` every pending chunk has already completed
+        and the tracker's early-completion memory resolves the register
+        immediately — the ack-before-register path, exercised on every
+        call."""
+        outcome = self.core.handle_produce(request)
+        self.cluster.pump_replication(self.node_id)
+        return outcome
 
     def _produce(self, request: ProduceRequest) -> object:
         outcome = self.core.handle_produce(request)

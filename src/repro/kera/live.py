@@ -17,7 +17,9 @@ is shared.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
+from collections.abc import Callable
 
 from repro.common.errors import ConfigError, ReplicationError, StorageError
 from repro.common.idgen import IdGenerator
@@ -39,6 +41,30 @@ from repro.wire.chunk import Chunk
 
 #: Virtual node id for transport calls originating outside the cluster.
 CLIENT_NODE = -1
+
+#: ``on_complete(response, error)`` for one broker's async produce:
+#: exactly one of the two is non-None, fired exactly once.
+ProduceCallback = Callable[["ProduceResponse | None", "BaseException | None"], None]
+
+
+class _AsyncProduce:
+    """One in-flight completion-driven produce toward a single broker."""
+
+    __slots__ = ("broker_id", "request_id", "on_complete", "deadline", "response", "done")
+
+    def __init__(
+        self,
+        broker_id: int,
+        request_id: int,
+        on_complete: ProduceCallback,
+        deadline: float,
+    ) -> None:
+        self.broker_id = broker_id
+        self.request_id = request_id
+        self.on_complete = on_complete
+        self.deadline = deadline
+        self.response: ProduceResponse | None = None
+        self.done = False  # checked-and-set under the owning cluster's _async_lock
 
 
 class LiveBackupService(LiveService):
@@ -79,6 +105,12 @@ class LiveBackupService(LiveService):
 class LiveKeraCluster:
     """A whole KerA cluster in one process, behind one transport."""
 
+    #: How long a produce ack may stay outstanding before it fails.
+    #: Concurrent drivers override per instance; the synchronous inproc
+    #: driver resolves every produce inline and never consults it as a
+    #: real wait.
+    ack_timeout: float = 10.0
+
     def __init__(self, config: KeraConfig | None, transport: Transport) -> None:
         self.config = config or KeraConfig()
         self.system = KeraSystem(self.config)
@@ -91,6 +123,9 @@ class LiveKeraCluster:
         self._request_ids = IdGenerator()  # guarded-by: _id_lock
         self.flushes_scheduled = 0  # guarded-by: _flush_lock
         self._failed: set[int] = set()  # guarded-by: _failed_lock
+        self._async_lock = threading.Lock()
+        # broker -> request_id -> in-flight async produce state.
+        self._async_produces: dict[int, dict[int, _AsyncProduce]] = {}  # guarded-by: _async_lock
         self._flushers: dict[int, "BackupFlusher[FlushWork]"] = {}
         self._persistence_drained = False
         self._start_flushers()
@@ -213,31 +248,221 @@ class LiveKeraCluster:
 
     # -- produce path ----------------------------------------------------------------
 
-    def produce(self, chunks: list[Chunk], producer_id: int) -> list[ProduceResponse]:
-        """Route chunks to their leaders, append, replicate, and return
-        the (acknowledged) responses — one per broker touched."""
+    def submit_produce(
+        self,
+        broker_id: int,
+        chunks: list[Chunk],
+        producer_id: int,
+        on_complete: ProduceCallback,
+        *,
+        on_append: Callable[[], None] | None = None,
+    ) -> int:
+        """Issue one broker's produce without blocking any caller thread.
+
+        The request is appended and replication kicked by the broker's
+        ``produce_async`` handler; the ack wait is completion-driven:
+        ``on_complete(response, error)`` fires exactly once — on a
+        transport or shipper thread (or inline, for synchronous
+        transports) — when every chunk is durable, or on failure/timeout.
+        ``on_append``, when given, fires once the broker has *appended*
+        the chunks (pipelined callers use it as the ordering barrier: a
+        producer's next request for the same broker may only be submitted
+        after the previous append returned, which keeps per-streamlet
+        ``chunk_seq`` order intact while replication acks still overlap).
+        Returns the request id.
+        """
+        request = ProduceRequest(
+            request_id=self._next_request_id(),
+            producer_id=producer_id,
+            chunks=chunks,
+        )
+        state = _AsyncProduce(
+            broker_id,
+            request.request_id,
+            on_complete,
+            time.monotonic() + self.ack_timeout,
+        )
+        with self._async_lock:
+            self._async_produces.setdefault(broker_id, {})[request.request_id] = state
+
+        def on_submitted(outcome, error: BaseException | None) -> None:
+            # Transport thread (or inline): the append finished (or the
+            # call itself failed). Free the caller's ordering barrier
+            # first — even on error, so pipelined callers never wedge.
+            if on_append is not None:
+                on_append()
+            if error is not None:
+                self._finish_async(state, None, error)
+                return
+            state.response = outcome.response
+            if not outcome.pending:
+                self._finish_async(state, outcome.response, None)
+                return
+            if self.runtime.completion.register(
+                broker_id,
+                request.request_id,
+                lambda: self._finish_async(state, state.response, None),
+            ):
+                # Ack-before-register: replication finished before we got
+                # here; the tracker remembered it.
+                self._finish_async(state, state.response, None)
+                return
+            # Register-before-ack: the waiter is parked. If the broker's
+            # shipper died in the window before the registration, no ack
+            # will ever fire — fail now rather than waiting for the sweep.
+            shipper_error = self._shipper_error(broker_id)
+            if shipper_error is not None:
+                self._finish_async(state, None, shipper_error)
+
+        try:
+            self.transport.call_async(
+                CLIENT_NODE,
+                broker_id,
+                "broker",
+                "produce_async",
+                request,
+                request.payload_bytes(),
+                on_done=on_submitted,
+            )
+        except BaseException as exc:  # noqa: BLE001 - enqueue-side failure
+            if on_append is not None:
+                on_append()
+            self._finish_async(state, None, exc)
+        return request.request_id
+
+    def produce_async(
+        self,
+        chunks: list[Chunk],
+        producer_id: int,
+        on_complete: ProduceCallback,
+    ) -> int:
+        """Route chunks to their leaders and kick off append+replication
+        for each; ``on_complete`` fires once per broker touched as its
+        response becomes durable. No caller thread blocks. Returns the
+        number of broker submissions (= expected callbacks)."""
         by_broker: dict[int, list[Chunk]] = defaultdict(list)
         for chunk in chunks:
             leader = self.leader_of(chunk.stream_id, chunk.streamlet_id)
             by_broker[leader].append(chunk)
-        responses = []
         for broker_id in sorted(by_broker):
-            request = ProduceRequest(
-                request_id=self._next_request_id(),
-                producer_id=producer_id,
-                chunks=by_broker[broker_id],
+            self.submit_produce(broker_id, by_broker[broker_id], producer_id, on_complete)
+        return len(by_broker)
+
+    def produce(self, chunks: list[Chunk], producer_id: int) -> list[ProduceResponse]:
+        """Route chunks to their leaders, append, replicate, and return
+        the (acknowledged) responses — one per broker touched.
+
+        A thin blocking wrapper over :meth:`submit_produce`: the caller
+        parks on one event while the completion path does the work."""
+        by_broker: dict[int, list[Chunk]] = defaultdict(list)
+        for chunk in chunks:
+            leader = self.leader_of(chunk.stream_id, chunk.streamlet_id)
+            by_broker[leader].append(chunk)
+        order = sorted(by_broker)
+        slots: list[ProduceResponse | None] = [None] * len(order)
+        errors: list[BaseException] = []
+        done = threading.Event()
+        lock = threading.Lock()
+        pending = len(order)
+
+        def callback_for(index: int) -> ProduceCallback:
+            def on_complete(
+                response: ProduceResponse | None, error: BaseException | None
+            ) -> None:
+                nonlocal pending
+                with lock:
+                    slots[index] = response
+                    if error is not None:
+                        errors.append(error)
+                    pending -= 1
+                    last = pending == 0
+                if last:
+                    done.set()
+
+            return on_complete
+
+        for index, broker_id in enumerate(order):
+            self.submit_produce(
+                broker_id, by_broker[broker_id], producer_id, callback_for(index)
             )
-            responses.append(
-                self.transport.call(
-                    CLIENT_NODE,
-                    broker_id,
-                    "broker",
-                    "produce",
-                    request,
-                    request.payload_bytes(),
-                )
+        # submit_produce enforces ack_timeout itself (shipper sweep); the
+        # wait here is a backstop with headroom so the typed timeout error
+        # from the completion path wins the race.
+        if not done.wait(self.ack_timeout + 5.0):
+            raise ReplicationError(
+                f"produce of {len(chunks)} chunks did not resolve within "
+                f"{self.ack_timeout + 5.0}s"
             )
-        return responses
+        if errors:
+            raise errors[0]
+        return [response for response in slots if response is not None]
+
+    # -- async produce bookkeeping ---------------------------------------------------
+
+    def _finish_async(
+        self,
+        state: _AsyncProduce,
+        response: ProduceResponse | None,
+        error: BaseException | None,
+    ) -> None:
+        """Resolve one async produce exactly once (any thread)."""
+        with self._async_lock:
+            if state.done:
+                return
+            state.done = True
+            per_broker = self._async_produces.get(state.broker_id)
+            if per_broker is not None:
+                per_broker.pop(state.request_id, None)
+                if not per_broker:
+                    self._async_produces.pop(state.broker_id, None)
+        # Whatever path resolved us, the tracker must not keep a parked
+        # waiter (error/timeout path) or a stale early mark around.
+        self.runtime.completion.discard(state.broker_id, state.request_id)
+        state.on_complete(response, error)
+
+    def _shipper_error(self, broker_id: int) -> BaseException | None:
+        """The broker's replication-shipper failure, if any (concurrent
+        drivers override; the synchronous driver has no shippers)."""
+        return None
+
+    def _on_shipper_error(self, broker_id: int, error: BaseException) -> None:
+        """A broker's shipper died: fail every produce parked on it."""
+        with self._async_lock:
+            states = list(self._async_produces.get(broker_id, {}).values())
+        for state in states:
+            self._finish_async(
+                state,
+                None,
+                ReplicationError(
+                    f"replication shipper for broker {broker_id} failed: {error!r}"
+                ),
+            )
+
+    def _sweep_async_produces(self, broker_id: int) -> None:
+        """Fail async produces past their ack deadline (shipper-thread
+        housekeeping; the completion-driven analogue of the parked
+        handler's ``Event.wait(ack_timeout)`` expiring)."""
+        now = time.monotonic()
+        with self._async_lock:
+            expired = [
+                state
+                for state in self._async_produces.get(broker_id, {}).values()
+                if now >= state.deadline
+            ]
+        for state in expired:
+            self._finish_async(
+                state,
+                None,
+                ReplicationError(
+                    f"request {state.request_id} not durable within "
+                    f"{self.ack_timeout}s"
+                ),
+            )
+
+    def inflight_produce_count(self) -> int:
+        """Async produces submitted but not yet resolved (gauge)."""
+        with self._async_lock:
+            return sum(len(per) for per in self._async_produces.values())
 
     # -- replication ------------------------------------------------------------------
 

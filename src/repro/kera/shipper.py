@@ -104,8 +104,12 @@ class PipelinedShipper(threading.Thread):
             try:
                 sleep = self._pump(draining)
             except BaseException as exc:  # noqa: BLE001 - surfaced to producers
-                self.error = exc
+                self._fail(exc)
                 return
+            # Housekeeping for completion-driven produces: expire any
+            # async submissions past their ack deadline (the analogue of
+            # a parked handler's Event.wait timing out).
+            self.cluster._sweep_async_produces(self.broker_id)
             if draining and (self._drained() or time.monotonic() >= self._drain_deadline):
                 return
 
@@ -195,6 +199,13 @@ class PipelinedShipper(threading.Thread):
         self._wake.set()
 
     def _fail(self, error: BaseException) -> None:
+        first = False
         if self.error is None:
             self.error = error
+            first = True
         self._wake.set()
+        if first:
+            # Parked handlers see self.error when their wait expires;
+            # completion-driven produces have no thread to wake, so fail
+            # them eagerly.
+            self.cluster._on_shipper_error(self.broker_id, error)

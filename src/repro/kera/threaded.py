@@ -59,11 +59,13 @@ class _ThreadedBrokerService(LiveService):
     def handle(self, method: str, request: object) -> object:
         if method == "produce":
             return self._produce(request)
+        if method == "produce_async":
+            return self._produce_async(request)
         if method == "fetch":
             return self.core.handle_fetch(request)
         raise ConfigError(f"unknown broker method {method!r}")
 
-    def _produce(self, request: ProduceRequest) -> object:
+    def _append(self, request: ProduceRequest) -> object:
         # Per-sub-partition serialization, exactly as the sim driver
         # models it: every (stream, streamlet, entry) sub-partition the
         # request touches is locked — in sorted order, so two requests
@@ -76,10 +78,22 @@ class _ThreadedBrokerService(LiveService):
         for lock in locks:
             lock.acquire()
         try:
-            outcome = self.core.handle_produce(request)
+            return self.core.handle_produce(request)
         finally:
             for lock in reversed(locks):
                 lock.release()
+
+    def _produce_async(self, request: ProduceRequest) -> object:
+        """Completion-driven produce: append, kick the shipper, and
+        return the whole outcome — the *caller* (``submit_produce``)
+        registers with the completion tracker, so no worker thread parks
+        here waiting for replication acks."""
+        outcome = self._append(request)
+        self.cluster.shipper(self.node_id).kick()
+        return outcome
+
+    def _produce(self, request: ProduceRequest) -> object:
+        outcome = self._append(request)
         done: threading.Event | None = None
         if outcome.pending:
             done = threading.Event()
@@ -154,6 +168,10 @@ class ThreadedKeraCluster(LiveKeraCluster):
 
     def shipper(self, broker_id: int) -> PipelinedShipper:
         return self._shippers[broker_id]
+
+    def _shipper_error(self, broker_id: int) -> BaseException | None:
+        shipper = self._shippers.get(broker_id)
+        return shipper.error if shipper is not None else None
 
     def shutdown(self) -> None:
         for shipper in self._shippers.values():

@@ -77,3 +77,14 @@ class CompletionTracker:
                 self._early.discard(key)
                 return True
             return False
+
+    def discard(self, node_id: int, request_id: int) -> None:
+        """Forget a request entirely: drop its waiter and any remembered
+        early completion. The cancellation path for completion-driven
+        callers — a request that failed or timed out elsewhere must not
+        leave a waiter (or a stale early mark) behind to fire into, or
+        collide with, a later request."""
+        key = (node_id, request_id)
+        with self._lock:
+            self._waiters.pop(key, None)
+            self._early.discard(key)

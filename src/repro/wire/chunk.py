@@ -29,7 +29,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.checksum import crc32c
+from repro.common.checksum import crc32c, crc32c_append
 from repro.common.errors import WireFormatError, ChecksumError
 from repro.wire.record import Record, encode_record, decode_records
 
@@ -306,6 +306,8 @@ class ChunkBuilder:
         "_pool",
         "_size",
         "_count",
+        "_payload_crc",
+        "_crc_known",
     )
 
     def __init__(
@@ -337,6 +339,11 @@ class ChunkBuilder:
             self._scratch = bytearray(CHUNK_HEADER_SIZE + capacity)
         self._size = 0
         self._count = 0
+        # Running finalized CRC of the payload staged so far, maintained
+        # as long as every append supplied its own CRC (appends that
+        # don't flip _crc_known and build() falls back to re-reading).
+        self._payload_crc = 0
+        self._crc_known = True
 
     @property
     def record_count(self) -> int:
@@ -366,14 +373,31 @@ class ChunkBuilder:
             )
         return self.try_append_encoded(encoded)
 
-    def try_append_encoded(self, encoded: bytes, count: int = 1) -> bool:
-        """Append pre-encoded record bytes (vectorized workload path)."""
+    def try_append_encoded(
+        self, encoded: bytes, count: int = 1, *, payload_crc: int | None = None
+    ) -> bool:
+        """Append pre-encoded record bytes (vectorized workload path).
+
+        ``payload_crc``, when the caller already knows the CRC-32C of
+        ``encoded`` (the batch encoder computes record CRCs anyway),
+        folds into a running payload checksum so :meth:`build` can seal
+        without re-reading the scratch bytes; any append without it
+        falls the chunk back to the re-reading seal.
+        """
         if self._size + len(encoded) > self.capacity:
             return False
         if self._scratch is None:
             raise WireFormatError("append on closed chunk builder")
         start = CHUNK_HEADER_SIZE + self._size
         self._scratch[start : start + len(encoded)] = encoded
+        if payload_crc is None:
+            self._crc_known = False
+        elif self._crc_known:
+            self._payload_crc = (
+                payload_crc
+                if self._size == 0
+                else crc32c_append(self._payload_crc, payload_crc, len(encoded))
+            )
         self._size += len(encoded)
         self._count += count
         return True
@@ -387,7 +411,12 @@ class ChunkBuilder:
         if self._scratch is None:
             raise WireFormatError("build on closed chunk builder")
         end = CHUNK_HEADER_SIZE + self._size
-        payload_crc = crc32c(memoryview(self._scratch)[CHUNK_HEADER_SIZE:end])
+        if self._crc_known:
+            # Every append carried its CRC: the payload checksum composed
+            # incrementally and sealing touches no payload bytes.
+            payload_crc = self._payload_crc
+        else:
+            payload_crc = crc32c(memoryview(self._scratch)[CHUNK_HEADER_SIZE:end])
         _HEADER.pack_into(
             self._scratch,
             0,
@@ -419,6 +448,8 @@ class ChunkBuilder:
         )
         self._size = 0
         self._count = 0
+        self._payload_crc = 0
+        self._crc_known = True
         return chunk
 
     def close(self) -> None:

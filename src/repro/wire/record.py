@@ -29,7 +29,16 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.common.checksum import crc32c, crc32c_lanes
+from repro.common.checksum import (
+    crc32c,
+    crc32c_lanes,
+    crc32c_lanes16,
+    crc32c_shift_many,
+    crc32c_u32le_lanes,
+)
+
+#: Little-endian uint16 view dtype for the word-table CRC engine.
+_U16LE = np.dtype("<u2")
 from repro.common.errors import WireFormatError, ChecksumError
 
 #: Size of the always-present header fields (checksum, flags, key_count,
@@ -176,31 +185,44 @@ def decode_records(
 
 
 #: Batch size from which :func:`encode_records` tries the vectorized
-#: uniform-record path; smaller batches loop.
+#: uniform-record path; smaller batches loop. With the word-table lane
+#: engine the numpy dispatch overhead amortizes from about nine
+#: ~100-byte records (measured crossover).
 _VECTOR_MIN_RECORDS = 8
 
 
-def _encode_uniform_keyless(records: list[Record] | tuple[Record, ...]) -> bytes:
+def _encode_uniform_keyless(
+    values_blob: bytes, n: int, value_len: int, *, with_crcs: bool = False
+) -> bytes | tuple[bytes, np.ndarray]:
     """Vectorized encoder for equal-length keyless, attribute-less records.
 
     Every record shares the 6-byte post-checksum header (flags=0,
     key_count=0, value_len), so the CRC-covered region of record ``i`` is
     ``prefix + values[i]`` — one :func:`crc32c_lanes` call checksums the
     whole batch, and the output frames are assembled as one uint8 matrix.
+    ``values_blob`` is the ``n`` values concatenated back to back.
     Byte-identical to the per-record encoder (golden-tested).
+
+    With ``with_crcs`` the return is ``(blob, full_crcs)`` where
+    ``full_crcs[i]`` is the CRC over record ``i``'s *entire* encoded
+    bytes (checksum field included) — composed from the covered CRCs
+    just computed, so chunk sealing can checksum a whole payload via
+    :func:`~repro.common.checksum.crc32c_concat` without re-reading it.
     """
-    n = len(records)
-    value_len = len(records[0].value)
     prefix = np.frombuffer(
         struct.pack("<BBI", 0, 0, value_len), dtype=np.uint8
     )
-    values = np.frombuffer(
-        b"".join(r.value for r in records), dtype=np.uint8
-    ).reshape(n, value_len)
+    values = np.frombuffer(values_blob, dtype=np.uint8).reshape(n, value_len)
     covered = np.empty((n, 6 + value_len), dtype=np.uint8)
     covered[:, :6] = prefix
     covered[:, 6:] = values
-    crcs = crc32c_lanes(np.ascontiguousarray(covered.T).astype(np.uint32))
+    if value_len % 2 == 0:
+        # Even covered length: the word-table engine halves the gather
+        # count per slicing step (value_len is even for the benchmark's
+        # uniform records, so this is the hot branch).
+        crcs = crc32c_lanes16(covered.view(_U16LE).T.astype(np.intp))
+    else:
+        crcs = crc32c_lanes(np.ascontiguousarray(covered.T).astype(np.intp))
     out = np.empty((n, RECORD_FIXED_HEADER + value_len), dtype=np.uint8)
     out[:, 0] = (crcs & 0xFF).astype(np.uint8)
     out[:, 1] = ((crcs >> 8) & 0xFF).astype(np.uint8)
@@ -208,7 +230,12 @@ def _encode_uniform_keyless(records: list[Record] | tuple[Record, ...]) -> bytes
     out[:, 3] = (crcs >> 24).astype(np.uint8)
     out[:, 4:10] = prefix
     out[:, 10:] = values
-    return out.tobytes()
+    if not with_crcs:
+        return out.tobytes()
+    # Full-record CRC = CRC of the 4 stored-checksum bytes pushed over
+    # the covered region, XOR the covered CRC (GF(2) linearity).
+    full = crc32c_shift_many(crc32c_u32le_lanes(crcs), 6 + value_len) ^ crcs
+    return out.tobytes(), full
 
 
 def encode_records(records: list[Record] | tuple[Record, ...]) -> bytes:
@@ -227,8 +254,55 @@ def encode_records(records: list[Record] | tuple[Record, ...]) -> bytes:
             and len(r.value) == first_len
             for r in records
         ):
-            return _encode_uniform_keyless(records)
+            return _encode_uniform_keyless(
+                b"".join(r.value for r in records), len(records), first_len
+            )
     return b"".join(encode_record(r) for r in records)
+
+
+def encode_keyless_value(value: bytes) -> bytes:
+    """Serialize one keyless, attribute-less record value."""
+    covered = struct.pack("<BBI", 0, 0, len(value)) + value
+    return _FIXED.pack(crc32c(covered), 0, 0, len(value)) + value
+
+
+def encode_keyless_values(values: "list[bytes] | tuple[bytes, ...]") -> bytes:
+    """Serialize keyless record values back to back (a chunk payload).
+
+    The no-:class:`Record` twin of :func:`encode_records` for the
+    paper's benchmark workload: producers stage raw value bytes and
+    batch-encode at chunk-seal time, skipping one dataclass per record.
+    Uniform-length batches take the lane-parallel CRC path.
+    """
+    if len(values) >= _VECTOR_MIN_RECORDS:
+        value_len = len(values[0])
+        if all(len(v) == value_len for v in values):
+            return _encode_uniform_keyless(
+                b"".join(values), len(values), value_len
+            )
+    return b"".join(encode_keyless_value(v) for v in values)
+
+
+def encode_keyless_values_with_crcs(
+    values: "list[bytes] | tuple[bytes, ...]",
+) -> tuple[bytes, "np.ndarray | None"]:
+    """:func:`encode_keyless_values` plus per-record full-frame CRCs.
+
+    Returns ``(payload, crcs)`` where ``crcs[i]`` checksums record
+    ``i``'s entire encoded bytes — the inputs chunk sealing needs to
+    compose a payload CRC via
+    :func:`~repro.common.checksum.crc32c_concat`. ``crcs`` is ``None``
+    when the batch fell back to the per-record encoder (short or
+    non-uniform batches), in which case the caller re-reads bytes as
+    usual.
+    """
+    if len(values) >= _VECTOR_MIN_RECORDS:
+        value_len = len(values[0])
+        if all(len(v) == value_len for v in values):
+            return _encode_uniform_keyless(
+                b"".join(values), len(values), value_len, with_crcs=True
+            )
+    return b"".join(encode_keyless_value(v) for v in values), None
 
 
 def make_uniform_payload(count: int, record_size: int, *, fill: int = 0x5A) -> bytes:

@@ -1,0 +1,199 @@
+"""Completion-driven produce (`produce_async`) across the live drivers.
+
+The races this file pins down live between ``submit_produce`` and the
+replication plane:
+
+* **ack-before-register** — replication completes before the submitter
+  registers its completion waiter; the tracker's early-completion memory
+  must resolve the register immediately (inherent on the synchronous
+  inproc driver, forced on the concurrent ones by delaying the
+  ``produce_async`` transport callback);
+* **register-before-ack** — the waiter parks first and the shipper's ack
+  must fire it (forced by delaying the ``replicate`` acks).
+
+Either way the contract is the same: every callback fires exactly once,
+no caller thread blocks, and afterwards neither the cluster's in-flight
+registry nor the completion tracker retains any state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.units import KB, MB
+from repro.replication.config import ReplicationConfig
+from repro.storage.config import StorageConfig
+from repro.kera import KeraConfig, KeraConsumer
+from repro.kera.inproc import InprocKeraCluster
+from repro.kera.socket_cluster import SocketKeraCluster
+from repro.kera.threaded import ThreadedKeraCluster
+from repro.wire.chunk import ChunkBuilder
+from repro.wire.record import Record
+
+
+def small_config():
+    return KeraConfig(
+        num_brokers=3,
+        storage=StorageConfig(segment_size=256 * KB, q_active_groups=2),
+        replication=ReplicationConfig(
+            replication_factor=3,
+            vlogs_per_broker=2,
+            pipeline_depth=2,
+            ship_window_bytes=2 * MB,
+        ),
+        chunk_size=1 * KB,
+    )
+
+
+def make_chunks(producer_id, streamlet_id=0, n=4, start_seq=0):
+    chunks = []
+    for i in range(n):
+        builder = ChunkBuilder(
+            1 * KB, stream_id=0, streamlet_id=streamlet_id, producer_id=producer_id
+        )
+        assert builder.try_append(Record(value=f"p{producer_id}-c{i}".encode()))
+        chunks.append(builder.build(chunk_seq=start_seq + i))
+    return chunks
+
+
+def delay_call_async(cluster, method_to_delay, delay_s=0.05):
+    """Delay the ``on_done`` of one transport method on this instance.
+
+    Delaying ``replicate`` holds back the shipper's acks (the submitter
+    registers first); delaying ``produce_async`` holds back the append
+    response (replication completes first and the tracker remembers it).
+    """
+    transport = cluster.transport
+    original = transport.call_async
+
+    def delayed(src, dst, service, method, request, request_bytes=0, *, on_done):
+        if method == method_to_delay:
+            inner = on_done
+
+            def slow(response, error):
+                time.sleep(delay_s)
+                inner(response, error)
+
+            on_done = slow
+        return original(src, dst, service, method, request, request_bytes, on_done=on_done)
+
+    transport.call_async = delayed
+
+
+def assert_no_residue(cluster):
+    assert cluster.inflight_produce_count() == 0
+    tracker = cluster.runtime.completion
+    assert not tracker._waiters
+    assert not tracker._early
+
+
+def await_results(results, lock, expected, timeout=30.0):
+    """Poll until ``expected`` callbacks landed (they may fire inline,
+    before the submitting loop even knows how many to expect)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with lock:
+            if len(results) >= expected:
+                return
+        time.sleep(0.01)
+    raise AssertionError(f"only {len(results)}/{expected} callbacks fired")
+
+
+def drive_async_produces(cluster, producers=4):
+    """Fire one async produce per producer and wait for all callbacks."""
+    cluster.create_stream(0, 2)
+    results = []
+    lock = threading.Lock()
+
+    def on_complete(response, error):
+        with lock:
+            results.append((response, error))
+
+    expected = 0
+    for producer_id in range(producers):
+        chunks = make_chunks(producer_id, streamlet_id=producer_id % 2)
+        expected += cluster.produce_async(chunks, producer_id, on_complete)
+    await_results(results, lock, expected)
+    for response, error in results:
+        assert error is None, error
+        assert response is not None and response.assignments
+        assert not any(a.duplicate for a in response.assignments)
+
+    consumer = KeraConsumer(cluster, consumer_id=0, stream_ids=[0])
+    values = [r.value for r in consumer.drain()]
+    assert len(values) == producers * 4
+    assert len(set(values)) == len(values)
+    assert_no_residue(cluster)
+
+
+def test_produce_async_inproc_ack_before_register():
+    # The synchronous driver pumps replication inside the handler, so
+    # every call exercises the early-completion path by construction.
+    cluster = InprocKeraCluster(small_config())
+    drive_async_produces(cluster)
+
+
+@pytest.mark.parametrize("delay_method", ["replicate", "produce_async"])
+def test_produce_async_threaded_races(delay_method):
+    cluster = ThreadedKeraCluster(small_config(), ack_timeout=30.0)
+    try:
+        delay_call_async(cluster, delay_method)
+        drive_async_produces(cluster)
+    finally:
+        cluster.shutdown()
+
+
+@pytest.mark.parametrize("delay_method", ["replicate", "produce_async"])
+def test_produce_async_sockets_races(delay_method):
+    with SocketKeraCluster(small_config(), ack_timeout=30.0) as cluster:
+        delay_call_async(cluster, delay_method)
+        drive_async_produces(cluster)
+
+
+def test_produce_async_shipper_failure_fails_callbacks():
+    """A dead backup fails the shipper; parked async produces must all
+    resolve with the error and leave no registry or tracker residue."""
+    cluster = ThreadedKeraCluster(small_config(), ack_timeout=30.0)
+    try:
+        cluster.create_stream(0, 2)
+        # Make replication to one node impossible, without the repair
+        # path: mark it failed directly so the next ship errors out.
+        victim = max(cluster.system.node_ids)
+        with cluster._failed_lock:
+            cluster._failed.add(victim)
+        results = []
+        lock = threading.Lock()
+
+        def on_complete(response, error):
+            with lock:
+                results.append((response, error))
+
+        expected = 0
+        for producer_id in range(3):
+            chunks = make_chunks(producer_id, streamlet_id=producer_id % 2)
+            expected += cluster.produce_async(chunks, producer_id, on_complete)
+        await_results(results, lock, expected)
+        # Every leader replicates to both other nodes (R=3), so every
+        # submission's shipper hits the failed node and errors.
+        assert all(error is not None for _, error in results)
+        assert_no_residue(cluster)
+    finally:
+        cluster.shutdown()
+
+
+def test_blocking_produce_is_a_thin_wrapper():
+    """The blocking path rides the same machinery and stays clean."""
+    cluster = ThreadedKeraCluster(small_config(), ack_timeout=30.0)
+    try:
+        cluster.create_stream(0, 2)
+        responses = cluster.produce(make_chunks(7), producer_id=7)
+        assert responses and all(r.assignments for r in responses)
+        # Retransmission: the same chunks ack again as duplicates.
+        responses = cluster.produce(make_chunks(7), producer_id=7)
+        assert all(a.duplicate for r in responses for a in r.assignments)
+        assert_no_residue(cluster)
+    finally:
+        cluster.shutdown()
