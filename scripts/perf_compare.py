@@ -16,12 +16,15 @@ kinds of thresholds:
   ``fanout_scaling_1_to_8=0.9``, the reader-plane fan-out acceptance
   bar.
 
-``--latency`` flips the comparison for millisecond-unit stages (lower is
-better): the printed ratio becomes baseline/candidate (an *improvement*
-factor), ``--require`` demands at least that improvement, and
-``--require-abs`` becomes a ceiling the candidate must stay under (e.g.
-``produce_p50_ms=50``).  Stages in other units keep throughput
-semantics, so mixed tables compare each row the right way up.
+``--latency`` flips the comparison for lower-is-better stages: the
+printed ratio becomes baseline/candidate (an *improvement* factor),
+``--require`` demands at least that improvement, and ``--require-abs``
+becomes a ceiling the candidate must stay under (e.g.
+``produce_p50_ms=50`` or ``failover_throughput_dip=0.95``).  A stage is
+lower-is-better when its unit is ``ms`` (latencies, recovery times) or
+``frac`` (dimensionless loss fractions like the failover throughput
+dip).  Stages in other units keep throughput semantics, so mixed tables
+compare each row the right way up.
 
 By default violations are reported but the exit code stays 0 so a CI
 perf-smoke job is informative rather than flaky; pass ``--strict`` to
@@ -45,6 +48,16 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+#: Units whose stages compare downward under ``--latency``: wall-clock
+#: milliseconds and dimensionless lower-is-better fractions.
+DOWNWARD_UNITS = frozenset({"ms", "frac"})
+
+
+def is_downward(unit: str) -> bool:
+    """Whether a stage with this unit is lower-is-better."""
+    return unit in DOWNWARD_UNITS
 
 
 def load_run(doc: dict, label: str) -> dict:
@@ -169,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
         base = base_bench[name]["value"]
         cand = cand_bench[name]["value"]
         unit = cand_bench[name].get("unit", "")
-        downward = args.latency and unit == "ms"
+        downward = args.latency and is_downward(unit)
         if downward:
             # Lower is better: the ratio is the improvement factor.
             ratio = base / cand if cand else float("inf")
@@ -202,7 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         if bench is None:
             violations.append(f"{name}: required absolute {value:g} but not measured")
             continue
-        downward = args.latency and bench.get("unit", "") == "ms"
+        downward = args.latency and is_downward(bench.get("unit", ""))
         if downward and bench["value"] > value:
             violations.append(
                 f"{name}: {bench['value']:g} above required ceiling {value:g}"

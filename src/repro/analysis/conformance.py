@@ -120,6 +120,26 @@ PROTOCOLS: dict[str, dict[str, MethodSpec]] = {
             kwonly=("on_append",),
         ),
     },
+    # The failover plane's entry points, pinned by name: the shipper's
+    # repair path reaches recovery through `note_node_failure` (via
+    # `LiveKeraCluster.report_backup_failure`), transports feed verdicts
+    # through `report_dead`, and chaos harnesses/operator tooling block
+    # on `wait_recovered` — none of them import these classes' modules
+    # at the call site, so a signature drift would only surface as a
+    # runtime TypeError mid-recovery.
+    "FailureDetector": {
+        "start": MethodSpec(()),
+        "stop": MethodSpec(()),
+        "is_down": MethodSpec(("node_id",)),
+        "verdicts": MethodSpec(()),
+        "report_dead": MethodSpec(("node_id", "reason", "source"), defaults=1),
+    },
+    "FailoverPlane": {
+        "start": MethodSpec(()),
+        "stop": MethodSpec(()),
+        "note_node_failure": MethodSpec(("node_id", "error")),
+        "wait_recovered": MethodSpec(("node_id", "timeout"), defaults=1),
+    },
     "SystemAdapter": {
         "build_cores": MethodSpec(("completion",), required=True),
         "on_stream_created": MethodSpec(("meta",)),

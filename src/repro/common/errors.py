@@ -122,6 +122,12 @@ class NotLeaderError(RpcError):
             + (f" (leader is broker {leader})" if leader is not None else "")
         )
 
+    def __reduce__(self) -> tuple[type, tuple[int, int, int | None]]:
+        # Same pickling care as ChecksumError: args holds the formatted
+        # message, not the constructor signature, and fencing errors are
+        # relayed across the process transport and the gateway.
+        return (type(self), (self.stream_id, self.streamlet_id, self.leader))
+
 
 class UnknownStreamError(RpcError):
     """The requested stream does not exist on this broker."""

@@ -1,0 +1,33 @@
+"""Live failover: failure detection, fencing, parallel fast recovery.
+
+This package makes broker death a survivable, measured event on the
+live drivers (threaded/process/socket):
+
+* :mod:`repro.failover.detector` — heartbeat/lease tracking with typed
+  :class:`BrokerDown` verdicts, driven by transport-level liveness (a
+  reaped worker process, an unexpectedly closed worker socket) rather
+  than wall-clock guesses;
+* :mod:`repro.failover.plane` — the live failover coordinator: fence
+  the dead broker, re-plan its streamlets over the survivors, read the
+  surviving backups' virtual segments in parallel recovery lanes, and
+  replay them through the ordinary produce path (RAMCloud-style fast
+  recovery, paper Section IV-B);
+* :mod:`repro.failover.chaos` — SIGKILL-under-load harness (imported
+  lazily: it touches ``os``/``signal`` and must never ride along into
+  sim-reachable code).
+
+Nothing here is importable from the simulation roots: the transports
+expose settable ``liveness_listener`` attributes instead of importing
+this package, so the dependency always points failover → runtime.
+"""
+
+from repro.failover.detector import BrokerDown, FailureDetector
+from repro.failover.plane import FailoverPlane, FailoverReport, RecoveryLane
+
+__all__ = [
+    "BrokerDown",
+    "FailureDetector",
+    "FailoverPlane",
+    "FailoverReport",
+    "RecoveryLane",
+]

@@ -17,7 +17,13 @@ import asyncio
 import itertools
 
 from repro.common.checksum import crc32c, crc32c_concat
-from repro.common.errors import ConfigError, RpcError, WireFormatError
+from repro.common.errors import (
+    ConfigError,
+    NotLeaderError,
+    RetriableRpcError,
+    RpcError,
+    WireFormatError,
+)
 from repro.wire.chunk import Chunk, ChunkBuilder, CHUNK_HEADER_SIZE
 from repro.wire.netframe import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -224,7 +230,20 @@ class AsyncProducer:
     failed chunks and the broker's sequence check reports them as
     duplicates of nothing — callers that need exact retry semantics
     should keep ``max_inflight=1``.
+
+    With ``retries > 0``, :meth:`flush` absorbs *typed* transient
+    failures — ``NotLeaderError`` (a broker fenced mid-failover) and
+    ``RetriableRpcError`` — by re-flushing the re-staged chunks after a
+    bounded exponential backoff, up to ``retries`` attempts. Re-sent
+    chunks keep their ``chunk_seq``, so the broker's exactly-once
+    sequence check deduplicates anything the first attempt actually
+    landed; before each retry the staged queue is re-sorted into
+    per-streamlet sequence order, so chunks from several failed
+    pipelined frames replay in the order the broker expects.
     """
+
+    #: Flush failures that are safe (and useful) to retry.
+    RETRYABLE = (NotLeaderError, RetriableRpcError)
 
     def __init__(
         self,
@@ -236,6 +255,8 @@ class AsyncProducer:
         streamlet_ids: list[int],
         max_inflight: int = 1,
         linger_ms: float = 0.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.client = client
         self.producer_id = producer_id
@@ -244,6 +265,9 @@ class AsyncProducer:
         self.streamlet_ids = list(streamlet_ids)
         self.max_inflight = max_inflight
         self.linger_ms = linger_ms
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retries_used = 0
         self._pool = BufferPool(CHUNK_HEADER_SIZE + chunk_size)
         self._builders: dict[int, ChunkBuilder] = {}
         # Staged-but-unencoded records per streamlet (raw value bytes for
@@ -272,6 +296,8 @@ class AsyncProducer:
         stream_id: int,
         max_inflight: int = 1,
         linger_ms: float = 0.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> "AsyncProducer":
         """Fetch stream metadata and build a wired-up producer."""
         _, chunk_size, streamlets = await client.meta(stream_id)
@@ -283,6 +309,8 @@ class AsyncProducer:
             streamlet_ids=streamlets,
             max_inflight=max_inflight,
             linger_ms=linger_ms,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
         )
 
     def _pick_streamlet(self, record: Record) -> int:
@@ -534,8 +562,28 @@ class AsyncProducer:
         the chunks back so a retry re-sends them (the broker's
         exactly-once sequence check absorbs partial first attempts).
         Pipelined mode additionally drains the in-flight window and
-        raises the first ship failure, if any.
+        raises the first ship failure, if any. With ``retries > 0``,
+        typed transient failures (:attr:`RETRYABLE`) re-flush after a
+        bounded backoff instead of surfacing.
         """
+        attempts_left = self.retries
+        backoff = self.retry_backoff_s
+        while True:
+            try:
+                return await self._flush_once()
+            except self.RETRYABLE:
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                self.retries_used += 1
+                # Re-staged chunks from several failed pipelined frames
+                # may have prepended out of order; the broker needs each
+                # streamlet's chunk_seq back in sequence.
+                self._ready.sort(key=lambda c: (c.streamlet_id, c.chunk_seq))
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, 1.0)
+
+    async def _flush_once(self) -> list[ChunkAssignment]:
         if self._linger_handle is not None:
             self._linger_handle.cancel()
             self._linger_handle = None

@@ -21,10 +21,11 @@ plane's ``frames_verified=False``.
 
 from __future__ import annotations
 
+import re
 import struct
 from collections.abc import Sequence
 
-from repro.common.errors import RpcError
+from repro.common.errors import NotLeaderError, RetriableRpcError, RpcError
 from repro.wire.chunk import Chunk, decode_chunk
 from repro.wire.netframe import BufferPart
 from repro.kera.messages import ChunkAssignment, FetchPosition
@@ -307,9 +308,43 @@ def encode_error(request_id: int, exc: BaseException) -> list[BufferPart]:
     return [_REQUEST_ID.pack(request_id), message.encode("utf-8", "replace")]
 
 
-def decode_error(payload: bytes | memoryview) -> tuple[int, GatewayError]:
+#: Relayed ``NotLeaderError`` messages, as ``encode_error`` renders them
+#: (``str(NotLeaderError(...))`` — see :mod:`repro.common.errors`).
+_NOT_LEADER = re.compile(
+    r"^NotLeaderError: not leader for stream (-?\d+) streamlet (-?\d+)"
+    r"(?: \(leader is broker (\d+)\))?$"
+)
+
+#: Server-side exception type names whose relays stay retryable: the
+#: condition is transient (a broker mid-failover, replication catching
+#: up) and the client should refresh metadata and re-send.
+_RETRYABLE_NAMES = frozenset({"RetriableRpcError", "ReplicationError"})
+
+
+def decode_error(payload: bytes | memoryview) -> tuple[int, RpcError]:
+    """Decode an error relay, re-typing the retryable ones.
+
+    A broker that died mid-pipeline surfaces here as the server-side
+    ``NotLeaderError`` the fenced broker raised; reconstructing the
+    typed error (rather than an opaque :class:`GatewayError`) lets
+    pipelined producers refresh routing and retry instead of dying.
+    Everything else stays a ``GatewayError``: the gateway fronts an
+    untrusted boundary, so only messages matching the known typed
+    shapes are promoted — never arbitrary type names.
+    """
     (request_id,) = _REQUEST_ID.unpack_from(payload, 0)
     message = bytes(payload[_REQUEST_ID.size :]).decode("utf-8", "replace")
+    match = _NOT_LEADER.match(message)
+    if match:
+        leader = match.group(3)
+        return request_id, NotLeaderError(
+            int(match.group(1)),
+            int(match.group(2)),
+            None if leader is None else int(leader),
+        )
+    name, sep, _ = message.partition(":")
+    if sep and name in _RETRYABLE_NAMES:
+        return request_id, RetriableRpcError(message)
     return request_id, GatewayError(message)
 
 

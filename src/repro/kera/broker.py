@@ -137,6 +137,17 @@ class KeraBrokerCore:
             self.registry.add(stream)
             return stream
 
+    def ensure_streamlet(self, stream_id: int, streamlet_id: int) -> None:
+        """Register a streamlet this broker is taking over (recovery /
+        migration), idempotently and race-free against live produces."""
+        with self._mutex:
+            if stream_id in self.registry:
+                stream = self.registry.get(stream_id)
+                if streamlet_id not in stream.streamlet_ids:
+                    stream.add_streamlet(streamlet_id)
+            else:
+                self.create_stream(stream_id, [streamlet_id])
+
     # -- produce path ------------------------------------------------------------
 
     def handle_produce(self, request: ProduceRequest) -> ProduceOutcome:

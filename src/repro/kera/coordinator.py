@@ -92,11 +92,23 @@ class Coordinator:
 
     # -- failure handling -------------------------------------------------------
 
-    def plan_recovery(self, failed_broker: int) -> RecoveryPlan:
+    def plan_recovery(
+        self, failed_broker: int, *, defer_routing: bool = False
+    ) -> RecoveryPlan:
         """Mark a broker failed and reassign its streamlets round-robin
         over the survivors — ``each virtual log can be recovered in
         parallel over many brokers that become the primary leader of the
-        partitions associated to recovered virtual logs``."""
+        partitions associated to recovered virtual logs``.
+
+        With ``defer_routing`` the catalog keeps pointing at the failed
+        (fenced) broker until :meth:`commit_recovery` runs. Live failover
+        needs the gap: re-routing a producer's retries to the new leader
+        *before* replay finishes would let a retried chunk_seq land ahead
+        of the replayed acked prefix, and the broker's exactly-once dedup
+        would then drop the replay as a stale duplicate — acked-record
+        loss. Clients retrying against the fenced broker get a typed
+        routing error until the commit.
+        """
         if failed_broker not in self.broker_ids:
             raise RecoveryError(f"unknown broker {failed_broker}")
         if failed_broker in self._failed:
@@ -111,10 +123,17 @@ class Coordinator:
             for sid in meta.streamlets_on(failed_broker):
                 target = survivors[i % len(survivors)]
                 reassignments[(meta.stream_id, sid)] = target
-                meta.leaders[sid] = target
+                if not defer_routing:
+                    meta.leaders[sid] = target
                 i += 1
         return RecoveryPlan(
             failed_broker=failed_broker,
             reassignments=reassignments,
             survivors=survivors,
         )
+
+    def commit_recovery(self, plan: RecoveryPlan) -> None:
+        """Apply a deferred plan's leader updates: replay finished, the
+        new leaders own every re-ingested record, clients may re-route."""
+        for (stream_id, sid), target in plan.reassignments.items():
+            self.stream(stream_id).leaders[sid] = target

@@ -21,7 +21,12 @@ import time
 from collections import defaultdict
 from collections.abc import Callable
 
-from repro.common.errors import ConfigError, ReplicationError, StorageError
+from repro.common.errors import (
+    ConfigError,
+    NotLeaderError,
+    ReplicationError,
+    StorageError,
+)
 from repro.common.idgen import IdGenerator
 from repro.runtime.runtime import ClusterRuntime
 from repro.runtime.system import KeraSystem
@@ -50,7 +55,15 @@ ProduceCallback = Callable[["ProduceResponse | None", "BaseException | None"], N
 class _AsyncProduce:
     """One in-flight completion-driven produce toward a single broker."""
 
-    __slots__ = ("broker_id", "request_id", "on_complete", "deadline", "response", "done")
+    __slots__ = (
+        "broker_id",
+        "request_id",
+        "on_complete",
+        "deadline",
+        "response",
+        "done",
+        "route",
+    )
 
     def __init__(
         self,
@@ -58,11 +71,15 @@ class _AsyncProduce:
         request_id: int,
         on_complete: ProduceCallback,
         deadline: float,
+        route: tuple[int, int] | None = None,
     ) -> None:
         self.broker_id = broker_id
         self.request_id = request_id
         self.on_complete = on_complete
         self.deadline = deadline
+        #: (stream_id, streamlet_id) of the request's first chunk, so a
+        #: broker fence can fail this produce with a typed routing error.
+        self.route = route
         self.response: ProduceResponse | None = None
         self.done = False  # checked-and-set under the owning cluster's _async_lock
 
@@ -128,6 +145,10 @@ class LiveKeraCluster:
         self._async_produces: dict[int, dict[int, _AsyncProduce]] = {}  # guarded-by: _async_lock
         self._flushers: dict[int, "BackupFlusher[FlushWork]"] = {}
         self._persistence_drained = False
+        # The live failover plane, when installed (repro.failover.plane).
+        # The cluster never imports it: the dependency points failover →
+        # kera, keeping this module free of signal/process machinery.
+        self._failover = None
         self._start_flushers()
         self._register_services()
         self.runtime.start()
@@ -281,6 +302,7 @@ class LiveKeraCluster:
             request.request_id,
             on_complete,
             time.monotonic() + self.ack_timeout,
+            (chunks[0].stream_id, chunks[0].streamlet_id) if chunks else None,
         )
         with self._async_lock:
             self._async_produces.setdefault(broker_id, {})[request.request_id] = state
@@ -527,6 +549,81 @@ class LiveKeraCluster:
                 )
             )
         return responses
+
+    # -- failover plane hooks ----------------------------------------------------------------
+
+    def install_failover(self, plane) -> None:
+        """Attach a live failover plane (detection + recovery)."""
+        self._failover = plane
+
+    def report_backup_failure(self, node_id: int, error: BaseException) -> bool:
+        """A replicate RPC to ``node_id`` failed (transport/shipper
+        thread). Returns True when an installed failover plane claims the
+        node — fences it cluster-wide and schedules recovery — in which
+        case the caller should repair-and-continue instead of dying."""
+        plane = self._failover
+        if plane is None:
+            return False
+        return plane.note_node_failure(node_id, error)
+
+    def is_failed(self, node_id: int) -> bool:
+        with self._failed_lock:
+            return node_id in self._failed
+
+    def fence_node(self, node_id: int) -> bool:
+        """Fence a node: stop its broker service from accepting requests
+        and fail its in-flight produces with a typed routing error.
+        Idempotent; returns False when the node was already fenced."""
+        with self._failed_lock:
+            if node_id in self._failed:
+                return False
+            self._failed.add(node_id)
+        self._fence_broker_service(node_id)
+        self._fail_broker_produces(node_id)
+        return True
+
+    def _fence_broker_service(self, node_id: int) -> None:
+        """Driver hook: make the node's broker service refuse requests
+        (threaded drivers fence the in-parent service thread and halt its
+        shipper). The base cluster has nothing to fence."""
+
+    def _fail_broker_produces(self, node_id: int) -> None:
+        """Fail every in-flight async produce toward a fenced broker with
+        ``NotLeaderError`` (leader unknown until recovery commits the new
+        routing), so clients refresh metadata and retry instead of
+        hanging out the ack timeout."""
+        with self._async_lock:
+            states = list(self._async_produces.get(node_id, {}).values())
+        for state in states:
+            stream_id, streamlet_id = state.route if state.route else (-1, -1)
+            self._finish_async(
+                state, None, NotLeaderError(stream_id, streamlet_id, None)
+            )
+
+    def repair_backups_for(self, failed_node: int) -> None:
+        """Restore copy counts after a node loss: every surviving broker
+        swaps the dead node out of its virtual segments and re-ships the
+        durable prefixes to the replacements. The base implementation
+        sends synchronously (inproc); shipper-driven clusters route the
+        repair through each survivor's shipper thread so a backup's
+        per-vseg arrival order always matches one thread's ship order."""
+        with self._failed_lock:
+            failed = set(self._failed)
+        for survivor_id, broker in self.brokers.items():
+            if survivor_id in failed:
+                continue
+            repairs = broker.handle_backup_failure(failed_node)
+            send = self._replication_send(survivor_id)
+            for batch in repairs:
+                request = self.system.replicate_request(survivor_id, batch)
+                for backup_node in batch.backups:
+                    send(backup_node, request)
+
+    def backup_drop_broker(self, node_id: int, failed_broker: int) -> int:
+        """Discard a recovered broker's segments on one backup; returns
+        bytes freed. Routed through the cluster so drivers whose backups
+        live in another process can override with an RPC."""
+        return self.backups[node_id].store.drop_broker(failed_broker)
 
     # -- failure injection -------------------------------------------------------------------
 

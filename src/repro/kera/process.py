@@ -138,6 +138,8 @@ class ProcessBackupWorker(LiveService):
         if method == "retire_epochs":
             self.core.retire_loaded_epochs()
             return True
+        if method == "drop_broker":
+            return self.core.store.drop_broker(int(request))
         raise ConfigError(f"unknown backup method {method!r}")
 
     def close(self) -> None:
@@ -192,7 +194,9 @@ class ProcessKeraCluster(ThreadedKeraCluster):
         config = self.config
         storage_dir = config.storage_dir
         for node in self.system.node_ids:
-            self.transport.register(node, "broker", _ThreadedBrokerService(self, node))
+            service = _ThreadedBrokerService(self, node)
+            self._broker_services[node] = service
+            self.transport.register(node, "broker", service)
             self.transport.register(
                 node,
                 "backup",
@@ -258,3 +262,8 @@ class ProcessKeraCluster(ThreadedKeraCluster):
 
     def backup_retire_epochs(self, node_id: int) -> None:
         self.transport.call(CLIENT_NODE, node_id, "backup", "retire_epochs", None)
+
+    def backup_drop_broker(self, node_id: int, failed_broker: int) -> int:
+        return self.transport.call(
+            CLIENT_NODE, node_id, "backup", "drop_broker", failed_broker
+        )

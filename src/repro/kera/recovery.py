@@ -52,10 +52,36 @@ def merge_backup_copies(
     Replicas of the same virtual segment must agree on the chunk sequence
     up to a prefix (a backup acked earlier batches only); the longest
     replica wins. Any divergence is a corruption signal, not a race.
+
+    A single run may carry the same chunk twice: backup-failure repair
+    re-ships a virtual segment's durable prefix, and a backup that
+    already held part of it appends the repeats after its original copy.
+    Those repeats are collapsed (first occurrence wins) before the
+    prefix comparison — identical payloads are a repair echo, differing
+    payloads are corruption.
     """
+
+    def dedup_run(vseg_id: int, chunks: list[Chunk]) -> list[Chunk]:
+        seen: dict[tuple[int, int, int, int], int] = {}
+        out: list[Chunk] = []
+        for chunk in chunks:
+            key = (chunk.stream_id, *chunk.dedup_key())
+            first = seen.get(key)
+            if first is None:
+                seen[key] = chunk.payload_crc
+                out.append(chunk)
+                continue
+            if first != chunk.payload_crc:
+                raise RecoveryError(
+                    f"replica divergence in virtual segment {vseg_id}: "
+                    f"repeated chunk {key} with differing payloads"
+                )
+        return out
+
     merged: dict[int, list[Chunk]] = {}
     for backup_run in copies:
         for vseg_id, chunks in backup_run:
+            chunks = dedup_run(vseg_id, chunks)
             existing = merged.get(vseg_id)
             if existing is None:
                 merged[vseg_id] = list(chunks)
@@ -136,10 +162,12 @@ def recover_broker(cluster: InprocKeraCluster, failed_broker: int) -> RecoveryRe
             report.records_recovered += outcome.new_records
             report.duplicates_dropped += outcome.duplicates
 
-    # The recovered broker's backup data is no longer needed.
-    for node, backup in cluster.backups.items():
+    # The recovered broker's backup data is no longer needed. Routed
+    # through the cluster accessor so process-hosted backups drop over
+    # their transport.
+    for node in sorted(cluster.backups):
         if node != failed_broker:
-            backup.store.drop_broker(failed_broker)
+            cluster.backup_drop_broker(node, failed_broker)
     return report
 
 

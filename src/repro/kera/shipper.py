@@ -75,6 +75,12 @@ class PipelinedShipper(threading.Thread):
         self._drain_deadline = float("inf")
         self._flights_lock = threading.Lock()
         self._flights: dict[int, _Flight] = {}  # guarded-by: _flights_lock
+        # Failed flights awaiting backup repair, queued by transport
+        # threads and serviced on this thread (blocking repair RPCs on a
+        # transport callback would deadlock the reaper/reader draining
+        # its own responses). (batch, failed backup node, error) triples;
+        # batch is None for proactive repairs with no failed flight.
+        self._repairs: list[tuple[ReplicationBatch | None, int, BaseException]] = []  # guarded-by: _flights_lock
         self.error: BaseException | None = None
 
     # -- control --------------------------------------------------------------
@@ -87,9 +93,30 @@ class PipelinedShipper(threading.Thread):
         self._stopping.set()
         self._wake.set()
 
+    def halt(self, error: BaseException) -> None:
+        """Stop shipping *without* draining and without failing parked
+        produces (the failover plane fences a dead broker's shipper and
+        fails its in-flight produces itself, with a typed routing error
+        clients can retry on)."""
+        if self.error is None:
+            self.error = error
+        self._wake.set()
+
     def in_flight_batches(self) -> int:
         with self._flights_lock:
             return len(self._flights)
+
+    def repair_node(self, node: int) -> None:
+        """Queue proactive repair for a dead backup (any thread): the
+        shipper thread swaps the node out of every affected virtual
+        segment and re-ships durable prefixes. Going through the shipper
+        keeps all of a broker's replicate traffic on one thread, so a
+        backup's per-vseg arrival order matches ship order."""
+        with self._flights_lock:
+            self._repairs.append(
+                (None, node, ReplicationError(f"backup node {node} failed"))
+            )
+        self._wake.set()
 
     # -- main loop ------------------------------------------------------------
 
@@ -102,6 +129,7 @@ class PipelinedShipper(threading.Thread):
                 return
             draining = self._stopping.is_set()
             try:
+                self._service_repairs()
                 sleep = self._pump(draining)
             except BaseException as exc:  # noqa: BLE001 - surfaced to producers
                 self._fail(exc)
@@ -131,6 +159,69 @@ class PipelinedShipper(threading.Thread):
                 break
         return self._IDLE_POLL
 
+    def _service_repairs(self) -> None:
+        """Repair after a fenced backup's ship failures (shipper thread).
+
+        Aborts the earliest failed batch per virtual log (the rewind
+        covers its later siblings), swaps the dead node out of every
+        affected virtual segment, and re-ships the durable prefix to the
+        replacement. Runs on this thread because repair issues blocking
+        flow-credit waits and RPCs that must not run on transport
+        callbacks.
+        """
+        with self._flights_lock:
+            if not self._repairs:
+                return
+            repairs, self._repairs = self._repairs, []
+        core = self.cluster.brokers[self.broker_id]
+        # Earliest-issued failed batch per vlog: abort_batch(earliest)
+        # rewinds the cursor past every later in-flight sibling too.
+        earliest: dict[int, ReplicationBatch] = {}
+        failed_nodes: list[int] = []
+        for batch, node, _error in repairs:
+            if node not in failed_nodes:
+                failed_nodes.append(node)
+            if batch is None or batch.repair:
+                # Proactive repair (no failed flight), or a repair ship
+                # that failed: durability was never revoked, so there is
+                # nothing to abort; the node swap below emits fresh
+                # repair batches.
+                continue
+            best = earliest.get(batch.vlog_id)
+            if best is None or batch.issue_seq < best.issue_seq:
+                earliest[batch.vlog_id] = batch
+        for batch in earliest.values():
+            # Aborting drops every later in-flight batch of the vlog;
+            # their late acks must find their flights already resolved
+            # (else they would complete_batch a dropped batch).
+            with self._flights_lock:
+                siblings = [
+                    f
+                    for f in self._flights.values()
+                    if f.batch.vlog_id == batch.vlog_id
+                    and not f.batch.repair
+                    and f.batch.issue_seq >= batch.issue_seq
+                ]
+                for flight in siblings:
+                    flight.resolved = True
+                    self._flights.pop(flight.batch.batch_id, None)
+            for flight in siblings:
+                self.flow.release(flight.nbytes)
+            try:
+                core.abort_batch(batch)
+            except ReplicationError:
+                # Already dropped by an earlier sibling's abort (a late
+                # failure callback queued after that abort ran): the
+                # rewound cursor covers these references.
+                continue
+        for node in failed_nodes:
+            # ReplicationError here is the typed cluster-too-small
+            # refusal (not enough survivors for the copy count) and must
+            # surface to producers, not be swallowed.
+            for repair_batch in core.handle_backup_failure(node):
+                self._issue(core, repair_batch)
+        self._wake.set()
+
     # -- issue path -----------------------------------------------------------
 
     def _issue(self, core: "KeraBrokerCore", batch: ReplicationBatch) -> None:
@@ -152,6 +243,7 @@ class PipelinedShipper(threading.Thread):
                 self._resolve(
                     flight,
                     ReplicationError(f"replication to failed node {backup}"),
+                    backup,
                 )
                 return
             try:
@@ -162,15 +254,20 @@ class PipelinedShipper(threading.Thread):
                     "replicate",
                     request,
                     nbytes,
-                    on_done=lambda _resp, err, f=flight: self._resolve(f, err),
+                    on_done=lambda _resp, err, f=flight, b=backup: self._resolve(f, err, b),
                 )
             except BaseException as exc:  # noqa: BLE001 - enqueue-side failure
-                self._resolve(flight, exc)
+                self._resolve(flight, exc, backup)
                 return
 
     # -- ack path (transport threads) -----------------------------------------
 
-    def _resolve(self, flight: _Flight, error: BaseException | None) -> None:
+    def _resolve(
+        self,
+        flight: _Flight,
+        error: BaseException | None,
+        backup: int | None = None,
+    ) -> None:
         with self._flights_lock:
             if flight.resolved:
                 return  # late ack for a batch already failed
@@ -182,7 +279,22 @@ class PipelinedShipper(threading.Thread):
             self._flights.pop(flight.batch.batch_id, None)
         if error is not None:
             self.flow.release(flight.nbytes)
+            # Backup-loss is survivable: if the failover plane claims the
+            # node (fences it cluster-wide), queue the batch for repair on
+            # the shipper thread instead of killing this broker's pipeline.
+            if backup is not None and self.cluster.report_backup_failure(backup, error):
+                with self._flights_lock:
+                    self._repairs.append((flight.batch, backup, error))
+                self._wake.set()
+                return
             self._fail(error)
+            return
+        if flight.batch.repair:
+            # Repair batches re-ship an already-durable prefix to a
+            # replacement backup; the virtual log forbids completing them
+            # (durability was never revoked), so just return the credit.
+            self.flow.release(flight.nbytes)
+            self._wake.set()
             return
         try:
             # Safe on a transport thread: the core's reentrant mutex

@@ -65,7 +65,9 @@ class SocketKeraCluster(ProcessKeraCluster):
         config = self.config
         storage_dir = config.storage_dir
         for node in self.system.node_ids:
-            self.transport.register(node, "broker", _ThreadedBrokerService(self, node))
+            service = _ThreadedBrokerService(self, node)
+            self._broker_services[node] = service
+            self.transport.register(node, "broker", service)
             self.transport.register(
                 node,
                 "backup",

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.common.errors import ConfigError, ReplicationError
+from repro.common.errors import ConfigError, NotLeaderError, ReplicationError, RpcError
 from repro.persist import BackupFlusher
 from repro.runtime.threaded import ThreadedTransport
 from repro.runtime.transport import LiveService, Transport
@@ -48,6 +48,7 @@ class _ThreadedBrokerService(LiveService):
         self.core = cluster.brokers[node_id]
         self._locks_guard = threading.Lock()
         self._locks: dict[tuple[int, int, int], threading.Lock] = {}  # guarded-by: _locks_guard
+        self._fenced = False  # set once by fence(); never cleared
 
     def _lock(self, key: tuple[int, int, int]) -> threading.Lock:
         with self._locks_guard:
@@ -56,7 +57,40 @@ class _ThreadedBrokerService(LiveService):
                 lock = self._locks[key] = threading.Lock()
             return lock
 
+    def fence(self) -> None:
+        """Stop serving: every subsequent request gets a typed routing
+        error. One-way — a fenced broker never comes back under the same
+        identity (its streamlets move to survivors)."""
+        self._fenced = True
+
+    def _refuse(self, request: object) -> NotLeaderError:
+        stream_id, streamlet_id = -1, -1
+        chunks = getattr(request, "chunks", None)
+        if chunks:
+            stream_id = chunks[0].stream_id
+            streamlet_id = chunks[0].streamlet_id
+        else:
+            positions = getattr(request, "positions", None)
+            if positions:
+                stream_id = positions[0].stream_id
+                streamlet_id = positions[0].streamlet_id
+        leader: int | None = None
+        if stream_id >= 0:
+            try:
+                current = self.cluster.leader_of(stream_id, streamlet_id)
+            except Exception:  # noqa: BLE001 - stream unknown mid-recovery
+                current = self.node_id
+            if current != self.node_id:
+                leader = current  # recovery already committed new routing
+        return NotLeaderError(stream_id, streamlet_id, leader)
+
     def handle(self, method: str, request: object) -> object:
+        if method == "ping":
+            if self._fenced:
+                raise RpcError(f"broker {self.node_id} is fenced")
+            return self.node_id
+        if self._fenced:
+            raise self._refuse(request)
         if method == "produce":
             return self._produce(request)
         if method == "produce_async":
@@ -131,6 +165,7 @@ class ThreadedKeraCluster(LiveKeraCluster):
     ) -> None:
         self.ack_timeout = ack_timeout
         self._shippers: dict[int, PipelinedShipper] = {}
+        self._broker_services: dict[int, _ThreadedBrokerService] = {}
         super().__init__(
             config,
             transport
@@ -158,9 +193,9 @@ class ThreadedKeraCluster(LiveKeraCluster):
 
     def _register_services(self) -> None:
         for node in self.system.node_ids:
-            self.transport.register(
-                node, "broker", _ThreadedBrokerService(self, node)
-            )
+            service = _ThreadedBrokerService(self, node)
+            self._broker_services[node] = service
+            self.transport.register(node, "broker", service)
             # One worker: the backup core stays single-threaded.
             self.transport.register(
                 node, "backup", LiveBackupService(self, node), workers=1
@@ -172,6 +207,28 @@ class ThreadedKeraCluster(LiveKeraCluster):
     def _shipper_error(self, broker_id: int) -> BaseException | None:
         shipper = self._shippers.get(broker_id)
         return shipper.error if shipper is not None else None
+
+    def _fence_broker_service(self, node_id: int) -> None:
+        service = self._broker_services.get(node_id)
+        if service is not None:
+            service.fence()
+        shipper = self._shippers.get(node_id)
+        if shipper is not None:
+            shipper.halt(
+                ReplicationError(f"broker {node_id} fenced by failover")
+            )
+
+    def repair_backups_for(self, failed_node: int) -> None:
+        # Queue the repair on each survivor's shipper thread rather than
+        # sending from here: a backup's per-vseg arrival order must match
+        # the one shipper's issue order, or later recovery merges would
+        # see interleaved (diverging) runs.
+        with self._failed_lock:
+            failed = set(self._failed)
+        for survivor_id, shipper in self._shippers.items():
+            if survivor_id in failed or shipper.error is not None:
+                continue
+            shipper.repair_node(failed_node)
 
     def shutdown(self) -> None:
         for shipper in self._shippers.values():

@@ -36,6 +36,7 @@ import pickle
 import struct
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any
@@ -60,6 +61,12 @@ KIND_ACK = 3  # packed ReplicateResponse
 _REPL_HEAD = struct.Struct("<QqqqqII")
 #: call_id, ok, bytes_held
 _ACK = struct.Struct("<QIq")
+
+#: Transport-level liveness notification: ``(node_id, service, source,
+#: reason)``. ``source`` names the detection channel ("process-exit" for
+#: a reaped worker process, "socket-eof" / "socket-error" for a broken
+#: worker connection) so failure detectors can type their verdicts.
+LivenessListener = Callable[[int, str, str, str], None]
 
 
 @dataclass(frozen=True)
@@ -253,6 +260,9 @@ class _ProcessBinding:
         # brokers shipping to one backup) serialize on this lock.
         self.write_lock = threading.Lock()
         self.process: multiprocessing.process.BaseProcess | None = None
+        #: Set once the worker process was found dead: submits fail fast
+        #: instead of queueing requests no one will ever serve.
+        self.dead = False
 
     def spawn(self, ctx: multiprocessing.context.BaseContext) -> None:
         self.process = ctx.Process(
@@ -302,10 +312,19 @@ class ProcessTransport(ThreadedTransport):
         self.write_timeout = write_timeout
         self._proc: dict[tuple[int, str], _ProcessBinding] = {}  # guarded-by: _state_lock
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, Any] = {}  # guarded-by: _pending_lock
+        #: call_id -> (pending call, the binding it was routed through).
+        self._pending: dict[int, tuple[Any, _ProcessBinding]] = {}  # guarded-by: _pending_lock
         self._next_call_id = 0  # guarded-by: _pending_lock
         self._reaper: threading.Thread | None = None
         self._reaper_stop = threading.Event()
+        #: Clean-shutdown flag: children exiting after close-then-drain
+        #: must not be reported as failures.
+        self._draining = threading.Event()
+        #: Settable hook: called ``(node_id, service, source, reason)``
+        #: when a worker process is found dead outside shutdown. The
+        #: transport never imports the failover plane — detectors attach
+        #: themselves here (dependency points failover -> runtime).
+        self.liveness_listener: LivenessListener | None = None
 
     # -- registration / lifecycle -------------------------------------------
 
@@ -354,6 +373,7 @@ class ProcessTransport(ThreadedTransport):
             # Close-then-drain: children serve every record already in
             # their request ring, push the acks, and exit; the reaper
             # keeps resolving pendings until the response rings are dry.
+            self._draining.set()
             for binding in bindings:
                 binding.requests.close()
             for binding in bindings:
@@ -371,7 +391,7 @@ class ProcessTransport(ThreadedTransport):
             with self._pending_lock:
                 leftover = list(self._pending.values())
                 self._pending.clear()
-            for call in leftover:
+            for call, _binding in leftover:
                 call.error = RpcError("transport shut down with call in flight")
                 call.done.set()
                 if call.on_done is not None:
@@ -388,6 +408,17 @@ class ProcessTransport(ThreadedTransport):
             return super().credit(dst, service)
         return binding.requests.free_bytes
 
+    def worker_pid(self, node_id: int, service: str) -> int | None:
+        """The OS pid of a process-hosted binding's worker, if any.
+
+        Chaos tooling uses this to aim real SIGKILLs; thread-hosted
+        bindings have no pid of their own and return None.
+        """
+        binding = self._proc.get((node_id, service))
+        if binding is None or binding.process is None:
+            return None
+        return binding.process.pid
+
     def _submit(
         self,
         dst: int,
@@ -400,11 +431,13 @@ class ProcessTransport(ThreadedTransport):
         from repro.kera.messages import ReplicateRequest
 
         binding = self._proc[(dst, service)]
+        if binding.dead:
+            raise RpcError(f"worker process for {service!r} on node {dst} is dead")
         call = _PendingCall(method, request, on_done)
         with self._pending_lock:
             call_id = self._next_call_id
             self._next_call_id += 1
-            self._pending[call_id] = call
+            self._pending[call_id] = (call, binding)
         if (
             method == "replicate"
             and isinstance(request, ReplicateRequest)
@@ -474,21 +507,69 @@ class ProcessTransport(ThreadedTransport):
 
     def _resolve(self, call_id: int, response: Any, error: BaseException | None) -> None:
         with self._pending_lock:
-            call = self._pending.pop(call_id, None)
-        if call is None:  # pragma: no cover - late ack after shutdown
+            entry = self._pending.pop(call_id, None)
+        if entry is None:  # pragma: no cover - late ack after shutdown
             return
+        call, _binding = entry
         call.response = response
         call.error = error
         call.done.set()
         if call.on_done is not None:
             call.on_done(response, error)
 
+    def _fail_dead_binding(self, binding: _ProcessBinding) -> None:
+        """A worker process died (not a clean shutdown): fail every call
+        routed through it and notify the liveness listener."""
+        binding.dead = True
+        node_id, service = binding.key
+        exitcode = None if binding.process is None else binding.process.exitcode
+        reason = (
+            f"worker process for {service!r} on node {node_id} died "
+            f"(exitcode {exitcode})"
+        )
+        with self._pending_lock:
+            doomed = [
+                (call_id, call)
+                for call_id, (call, b) in self._pending.items()
+                if b is binding
+            ]
+            for call_id, _call in doomed:
+                del self._pending[call_id]
+        for _call_id, call in doomed:
+            call.error = RpcError(reason)
+            call.done.set()
+            if call.on_done is not None:
+                call.on_done(None, call.error)
+        listener = self.liveness_listener
+        if listener is not None:
+            try:
+                listener(node_id, service, "process-exit", reason)
+            except Exception:  # noqa: S110,BLE001 -- a broken listener must not kill the reaper; liveness keeps being reported for the remaining bindings.
+                pass
+
+    def _check_liveness(self, bindings: list[_ProcessBinding]) -> None:
+        if self._draining.is_set():
+            return
+        for binding in bindings:
+            if binding.dead or binding.process is None:
+                continue
+            if not binding.process.is_alive():
+                self._fail_dead_binding(binding)
+
     def _reap(self) -> None:
         """Single thread draining every response ring: decode, resolve."""
         from repro.kera.messages import ReplicateResponse
 
         bindings = list(self._proc.values())
+        next_liveness = time.monotonic() + 0.05
         while True:
+            now = time.monotonic()
+            if now >= next_liveness:
+                # Dead-child detection: a SIGKILLed worker never answers,
+                # so its pendings must fail instead of riding out the
+                # call timeout.
+                self._check_liveness(bindings)
+                next_liveness = now + 0.05
             drained = True
             for binding in bindings:
                 record = binding.responses.try_read()

@@ -57,6 +57,7 @@ from repro.runtime.process import (
     KIND_PICKLE,
     KIND_REPLICATE,
     _ACK,
+    LivenessListener,
     _serve,
     encode_replicate,
 )
@@ -252,6 +253,13 @@ class SocketTransport(ThreadedTransport):
         self._pending: dict[int, tuple[_PendingCall, _SocketBinding, int]] = {}  # guarded-by: _pending_lock
         self._next_call_id = 0  # guarded-by: _pending_lock
         self._listener: socket.socket | None = None
+        #: Clean-shutdown flag: the EOF that follows our own half-close
+        #: is expected and must not be reported as a worker failure.
+        self._draining = threading.Event()
+        #: Settable hook: called ``(node_id, service, source, reason)``
+        #: when a worker connection drops outside shutdown (the socket
+        #: analogue of the process transport's dead-child detection).
+        self.liveness_listener: LivenessListener | None = None
 
     # -- registration / lifecycle -------------------------------------------
 
@@ -356,6 +364,7 @@ class SocketTransport(ThreadedTransport):
             # Close-then-drain: children serve every request already in
             # their stream, push the responses, and exit; reader threads
             # keep resolving pendings until the streams are dry.
+            self._draining.set()
             for binding in bindings:
                 binding.half_close()
             for binding in bindings:
@@ -392,6 +401,17 @@ class SocketTransport(ThreadedTransport):
         if binding is None:
             return super().credit(dst, service)
         return binding.flow.credit()
+
+    def worker_pid(self, node_id: int, service: str) -> int | None:
+        """The OS pid of a socket-hosted binding's worker, if any.
+
+        Chaos tooling uses this to aim real SIGKILLs; thread-hosted
+        bindings have no pid of their own and return None.
+        """
+        binding = self._sockets.get((node_id, service))
+        if binding is None or binding.process is None:
+            return None
+        return binding.process.pid
 
     def _submit(
         self,
@@ -511,7 +531,9 @@ class SocketTransport(ThreadedTransport):
         if call.on_done is not None:
             call.on_done(response, error)
 
-    def _fail_binding(self, binding: _SocketBinding, reason: str) -> None:
+    def _fail_binding(
+        self, binding: _SocketBinding, reason: str, *, source: str = "socket-error"
+    ) -> None:
         """Connection lost: fail every pending call routed through it."""
         binding.dead = True
         with self._pending_lock:
@@ -528,6 +550,13 @@ class SocketTransport(ThreadedTransport):
             call.done.set()
             if call.on_done is not None:
                 call.on_done(None, call.error)
+        listener = self.liveness_listener
+        if listener is not None and not self._draining.is_set():
+            node_id, service = binding.key
+            try:
+                listener(node_id, service, source, reason)
+            except Exception:  # noqa: S110,BLE001 -- a broken listener must not kill the reader thread; the binding is already marked dead and its pendings failed.
+                pass
 
     def _read_loop(self, binding: _SocketBinding) -> None:
         """One thread per worker connection: decode responses, resolve."""
@@ -546,7 +575,20 @@ class SocketTransport(ThreadedTransport):
                 )
                 return
             if record is None:
-                return  # clean EOF: child drained and exited
+                if self._draining.is_set():
+                    return  # clean EOF: child drained and exited
+                # EOF without a shutdown in progress: the worker died (a
+                # SIGKILLed child closes its socket with a clean FIN, so
+                # this is the only signal a kill leaves). Fail the
+                # binding's pendings instead of letting them ride out
+                # the call timeout.
+                self._fail_binding(
+                    binding,
+                    f"worker connection for {binding.key[1]!r} on node "
+                    f"{binding.key[0]} closed unexpectedly (worker died)",
+                    source="socket-eof",
+                )
+                return
             kind, view = record
             try:
                 if kind == KIND_ACK:

@@ -1,0 +1,26 @@
+"""A002 fixture: a chaos harness that must never ride into the sim.
+
+Mirrors the shape of ``repro.failover.chaos`` — process kills, kill-wait
+polling, timer threads — so the golden findings pin that none of it can
+become import-reachable from a sim root.
+"""
+
+import os
+import signal
+import threading
+import time
+
+
+def kill_worker(pid):
+    os.kill(pid, signal.SIGKILL)
+
+
+def wait_for_death(check):
+    while not check():
+        time.sleep(0.05)
+
+
+def kill_later(pid, delay):
+    timer = threading.Timer(delay, kill_worker, (pid,))
+    timer.start()
+    return timer

@@ -2,7 +2,7 @@
 
 import random
 
-from brokenpkg import clock
+from brokenpkg import chaos, clock
 
 
 def seeded_draw(seed):
@@ -11,3 +11,9 @@ def seeded_draw(seed):
 
 def now():
     return clock.wall_now()
+
+
+def recover(pid):
+    # A sim engine reaching for the chaos harness drags in os/signal/
+    # threading/time — exactly the leak A002 exists to catch.
+    return chaos.kill_later(pid, 1.0)

@@ -148,3 +148,84 @@ def test_unknown_label_exits_with_inventory(tmp_path):
     with pytest.raises(SystemExit) as exc:
         perf_compare.main([doc, "--baseline", "nope", "--candidate", "base"])
     assert "nope" in str(exc.value)
+
+
+def _run_typed(label: str, benchmarks: dict[str, tuple[float, str]]) -> dict:
+    return {
+        "label": label,
+        "benchmarks": {
+            name: {"value": value, "unit": unit}
+            for name, (value, unit) in benchmarks.items()
+        },
+    }
+
+
+def test_frac_unit_compares_downward_under_latency(tmp_path, capsys):
+    # failover_throughput_dip is a fraction: smaller is better, so the
+    # improvement ratio inverts to baseline/candidate just like ms.
+    doc = _doc(
+        tmp_path,
+        [
+            _run_typed("base", {"dip": (0.8, "frac")}),
+            _run_typed("cand", {"dip": (0.4, "frac")}),
+        ],
+    )
+    code = perf_compare.main(
+        [doc, "--baseline", "base", "--candidate", "cand", "--latency", "--strict"]
+    )
+    assert code == 0
+    assert "2.00x" in capsys.readouterr().out
+
+
+def test_require_abs_is_a_ceiling_for_downward_units(tmp_path, capsys):
+    doc = _doc(
+        tmp_path,
+        [
+            _run_typed(
+                "failover",
+                {
+                    "recovery_time_ms": (120.0, "ms"),
+                    "failover_throughput_dip": (0.7, "frac"),
+                },
+            )
+        ],
+    )
+    ok = perf_compare.main(
+        [
+            doc,
+            "--baseline", "failover", "--candidate", "failover", "--latency",
+            "--require-abs", "recovery_time_ms=2000",
+            "--require-abs", "failover_throughput_dip=0.99",
+        ]
+    )
+    assert ok == 0
+    assert "thresholds met" in capsys.readouterr().out
+    too_slow = perf_compare.main(
+        [
+            doc,
+            "--baseline", "failover", "--candidate", "failover", "--latency",
+            "--strict", "--require-abs", "recovery_time_ms=100",
+        ]
+    )
+    assert too_slow != 0
+    assert "violation" in capsys.readouterr().out
+
+
+def test_frac_unit_stays_upward_without_latency_flag(tmp_path, capsys):
+    # Without --latency nothing flips: a shrinking frac value reads as a
+    # regression, which is why the failover gate always passes the flag.
+    doc = _doc(
+        tmp_path,
+        [
+            _run_typed("base", {"dip": (0.8, "frac")}),
+            _run_typed("cand", {"dip": (0.4, "frac")}),
+        ],
+    )
+    code = perf_compare.main(
+        [
+            doc, "--baseline", "base", "--candidate", "cand",
+            "--strict", "--max-regression", "0.2",
+        ]
+    )
+    assert code != 0
+    assert "regression" in capsys.readouterr().out

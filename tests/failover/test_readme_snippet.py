@@ -1,0 +1,27 @@
+"""The README chaos quick-start must actually run, verbatim.
+
+The snippet is extracted from README.md between the
+``readme-chaos-snippet`` markers and executed as-is — if the quick-start
+drifts from the real API, this fails before a reader does.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def test_chaos_quickstart_runs_verbatim(capsys):
+    text = README.read_text()
+    match = re.search(
+        r"<!-- readme-chaos-snippet-start -->\n```python\n(.*?)```\n"
+        r"<!-- readme-chaos-snippet-end -->",
+        text,
+        re.DOTALL,
+    )
+    assert match, "README chaos snippet markers missing"
+    snippet = match.group(1)
+    exec(compile(snippet, str(README), "exec"), {"__name__": "__readme__"})
+    out = capsys.readouterr().out
+    assert "recovered in" in out
+    assert "parallel lanes" in out

@@ -9,9 +9,9 @@ These tests pin the three properties ISSUE 9 bought:
 * the ``inflight_produces`` gauge rises while requests await replication
   and returns to zero — no executor thread is parked anywhere in that
   window;
-* a SIGKILLed backup worker surfaces as a relayed ``GW_ERROR`` on the
-  waiting client and leaks nothing: gateway gauge zero, cluster
-  in-flight registry empty.
+* a SIGKILLed backup worker surfaces as a relayed *typed, retryable*
+  error on the waiting client and leaks nothing: gateway gauge zero,
+  cluster in-flight registry empty.
 """
 
 import asyncio
@@ -24,7 +24,7 @@ from repro.common.units import KB, MB
 from repro.replication.config import ReplicationConfig
 from repro.storage.config import StorageConfig
 from repro.gateway import AsyncConsumer, AsyncGatewayClient, AsyncProducer, GatewayServer
-from repro.gateway.protocol import GatewayError
+from repro.common.errors import RetriableRpcError
 from repro.kera import KeraConfig, ThreadedKeraCluster
 from repro.kera.socket_cluster import SocketKeraCluster
 
@@ -135,7 +135,12 @@ def test_sigkilled_backup_relays_gw_error_without_leaks(tmp_path):
                     os.kill(binding.process.pid, signal.SIGKILL)
                     for i in range(50):
                         producer.send(f"lost-{i}".encode())
-                    with pytest.raises(GatewayError):
+                    # The wire relays the replication failure as a typed
+                    # retryable error — with no failover plane running
+                    # there is nobody to recover, so retries would also
+                    # fail, but the *classification* lets real clients
+                    # decide to retry.
+                    with pytest.raises(RetriableRpcError):
                         await producer.flush()
 
             asyncio.run(run())

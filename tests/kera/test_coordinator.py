@@ -69,3 +69,32 @@ def test_streams_created_after_failure_avoid_dead_broker():
     coord.plan_recovery(2)
     meta = coord.create_stream(0, 6)
     assert 2 not in meta.leaders.values()
+
+
+def test_deferred_recovery_leaves_routing_until_commit():
+    coord = Coordinator([0, 1, 2, 3])
+    coord.create_stream(0, 8)
+    before = dict(coord.stream(0).leaders)
+    owned = coord.partitions_on(1)
+    plan = coord.plan_recovery(1, defer_routing=True)
+    # The node is failed (no new streams land on it), the plan is full,
+    # but every streamlet still routes to the fenced broker: clients get
+    # typed refusals, not premature re-routes, while replay runs.
+    assert set(plan.reassignments) == set(owned)
+    assert coord.live_brokers == [0, 2, 3]
+    assert coord.stream(0).leaders == before
+    assert coord.partitions_on(1) == owned
+
+    coord.commit_recovery(plan)
+    assert coord.partitions_on(1) == []
+    for (stream, sid), target in plan.reassignments.items():
+        assert coord.stream(stream).leaders[sid] == target
+
+
+def test_default_recovery_commits_immediately():
+    coord = Coordinator([0, 1, 2, 3])
+    coord.create_stream(0, 8)
+    plan = coord.plan_recovery(1)
+    assert coord.partitions_on(1) == []
+    for (stream, sid), target in plan.reassignments.items():
+        assert coord.stream(stream).leaders[sid] == target

@@ -133,3 +133,23 @@ class TestMergeBackupCopies:
         b = [(0, [self.chunk(0, crc=2)])]
         with pytest.raises(RecoveryError):
             merge_backup_copies([a, b])
+
+    def test_repeated_chunk_within_one_run_is_deduped(self):
+        # A repair mid-replication can legally land the same chunk twice
+        # in one backup's copy; the merge keeps the first occurrence.
+        a = [(0, [self.chunk(0), self.chunk(1), self.chunk(1), self.chunk(2)])]
+        merged = merge_backup_copies([a])
+        assert [c.chunk_seq for c in merged[0][1]] == [0, 1, 2]
+
+    def test_repeated_chunk_with_differing_payload_is_divergence(self):
+        a = [(0, [self.chunk(0, crc=1), self.chunk(0, crc=2)])]
+        with pytest.raises(RecoveryError):
+            merge_backup_copies([a])
+
+    def test_dedup_keeps_prefix_property_across_copies(self):
+        # Dedup inside each run must not break the prefix comparison:
+        # both copies still merge to the longer clean prefix.
+        a = [(0, [self.chunk(0), self.chunk(0), self.chunk(1)])]
+        b = [(0, [self.chunk(0), self.chunk(1), self.chunk(2)])]
+        merged = merge_backup_copies([a, b])
+        assert [c.chunk_seq for c in merged[0][1]] == [0, 1, 2]

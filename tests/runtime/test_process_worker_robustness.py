@@ -131,9 +131,12 @@ def test_reaper_survives_short_and_garbage_acks():
 
     transport = ProcessTransport()
     ring = SpscRing(bytearray(8192), reset=True)
-    transport._proc[(0, "backup")] = types.SimpleNamespace(responses=ring)
+    binding = types.SimpleNamespace(responses=ring, dead=False)
+    transport._proc[(0, "backup")] = binding
     call = _PendingCall("replicate", None)
-    transport._pending[11] = call
+    # Pending entries carry the binding so a dead worker can fail the
+    # calls routed through it (_fail_dead_binding).
+    transport._pending[11] = (call, binding)
 
     assert ring.try_write(KIND_ACK, [b"\x01\x02"])  # too short to unpack
     assert ring.try_write(KIND_ACK, [b"\xff" * (_ACK.size + 3)])  # oversized
